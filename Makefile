@@ -1,0 +1,26 @@
+# Convenience targets for the Dike reproduction.
+
+.PHONY: install test bench figures report clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -x -q --ignore=tests/test_paper_shapes.py --ignore=tests/test_properties.py
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper artefact at full scale (slow: ~10 min).
+figures:
+	python -m repro all --scale 1.0
+
+report:
+	python -m repro report --scale 0.25
+
+clean:
+	rm -rf .pytest_cache benchmarks/output .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,49 @@
+"""Micro-benchmarks of the simulator itself (not a paper artefact).
+
+Measures the engine's quantum throughput — the number the sweeps'
+wall-clock cost scales with — for the three policy cost classes: static
+(no decisions), Dike (observe+predict) and DIO (all-pairs churn).  These
+run multiple rounds (they are fast), so pytest-benchmark's statistics are
+meaningful here.
+"""
+
+from __future__ import annotations
+
+from repro.core.dike import dike
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.topology import xeon_e5_heterogeneous
+from repro.workloads.suite import workload
+
+TOPO = xeon_e5_heterogeneous()
+SPEC = workload("wl1")
+
+
+def run_sim(scheduler_factory) -> int:
+    groups = SPEC.build(seed=1, work_scale=0.02)
+    engine = SimulationEngine(
+        topology=TOPO,
+        groups=groups,
+        scheduler=scheduler_factory(),
+        seed=1,
+        record_timeseries=False,
+        workload_name=SPEC.name,
+    )
+    result = engine.run()
+    return result.n_quanta
+
+
+def test_engine_throughput_static(benchmark):
+    quanta = benchmark(run_sim, StaticScheduler)
+    assert quanta > 0
+
+
+def test_engine_throughput_dike(benchmark):
+    quanta = benchmark(run_sim, dike)
+    assert quanta > 0
+
+
+def test_engine_throughput_dio(benchmark):
+    quanta = benchmark(run_sim, DIOScheduler)
+    assert quanta > 0

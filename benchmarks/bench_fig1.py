@@ -1,0 +1,36 @@
+"""Bench: regenerate Figure 1 (standalone vs concurrent slowdowns).
+
+Paper shape: concurrent slowdowns are significant and non-uniform; on the
+homogeneous machine memory-intensive apps degrade more than compute apps
+(jacobi 2.3x vs srad 1.25x in wl2); heterogeneity worsens every slowdown
+(STREAM 3.4x -> 4.6x in wl15).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1(benchmark, save_artefact):
+    result = run_once(benchmark, run_fig1, work_scale=BENCH_SCALE)
+    save_artefact("fig1", result.render())
+
+    rows = {(r.workload, r.benchmark): r for r in result.rows}
+    # all slowdowns are real
+    for r in result.rows:
+        assert r.slowdown_homogeneous > 1.1
+        assert r.slowdown_heterogeneous > 1.1
+    # heterogeneity hurts
+    for r in result.rows:
+        assert r.slowdown_heterogeneous > r.slowdown_homogeneous * 0.95
+    # memory app degrades more than its compute partner (homogeneous)
+    assert (
+        rows[("wl2", "jacobi")].slowdown_homogeneous
+        > rows[("wl2", "srad")].slowdown_homogeneous
+    )
+    assert (
+        rows[("wl15", "stream_omp")].slowdown_homogeneous
+        > rows[("wl15", "hotspot")].slowdown_homogeneous
+    )

@@ -1,0 +1,30 @@
+"""Bench: regenerate Figure 2 (optimal vs default vs worst configuration).
+
+Paper shape: a poor static configuration loses real fairness/performance
+relative to the optimum, and the default sits in between — motivating the
+adaptive Optimizer.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig2 import run_fig2
+
+SCALE = 0.08  # 32-config sweeps per workload: keep each run short
+
+
+def test_fig2(benchmark, save_artefact):
+    result = run_once(
+        benchmark, run_fig2, workloads=("wl2", "wl9", "wl14"), work_scale=SCALE
+    )
+    save_artefact("fig2", result.render())
+
+    for row in result.rows:
+        # worst <= default <= optimal (within sweep noise for default)
+        assert row.worst <= row.optimal
+        assert row.worst_normalized <= 1.0
+        assert row.default_normalized <= 1.0 + 1e-9
+    # a bad configuration must cost something measurable on performance
+    perf_rows = [r for r in result.rows if r.metric == "performance"]
+    assert any(r.worst_normalized < 0.97 for r in perf_rows)

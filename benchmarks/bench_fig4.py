@@ -1,0 +1,39 @@
+"""Bench: regenerate Figure 4 (configuration heatmaps).
+
+Paper shape: (1) for a fixed workload the best configuration differs
+between the fairness and performance metrics; (2) for a fixed metric the
+best configuration differs across workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig4 import run_fig4
+
+SCALE = 0.08
+
+
+def test_fig4(benchmark, save_artefact):
+    result = run_once(
+        benchmark, run_fig4, workloads=("wl2", "wl13"), work_scale=SCALE
+    )
+    save_artefact("fig4", result.render())
+
+    best = result.best_configs()
+    # claim (1): fairness-best != performance-best for at least one workload
+    differs_by_metric = any(
+        best[(w, "fairness")] != best[(w, "performance")]
+        for w in ("wl2", "wl13")
+    )
+    # claim (2): for at least one metric the best config differs by workload
+    differs_by_workload = any(
+        best[("wl2", m)] != best[("wl13", m)] for m in ("fairness", "performance")
+    )
+    assert differs_by_metric or differs_by_workload
+    # grids fully populated
+    for sweep in result.sweeps:
+        import numpy as np
+
+        assert np.isfinite(sweep.fairness_grid).all()
+        assert np.isfinite(sweep.speedup_grid).all()

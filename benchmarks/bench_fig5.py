@@ -1,0 +1,46 @@
+"""Bench: regenerate Figure 5 (optimisation space per workload class).
+
+Paper shape: the high-intensity (>= 75%-of-best) regions differ between
+classes and metrics — the basis for Algorithm 2's per-class rules, e.g.
+Performance improves toward longer quanta while Fairness favours shorter
+quanta / larger swapSize on unbalanced workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5, top_region
+
+SCALE = 0.08
+
+
+def test_fig5(benchmark, save_artefact):
+    result = run_once(
+        benchmark, run_fig5, work_scale=SCALE, workloads_per_class=2
+    )
+    save_artefact("fig5", result.render())
+
+    # every (class, metric) grid is populated and normalised
+    for key, grid in result.grids.items():
+        assert np.isfinite(grid).all(), key
+        assert np.nanmax(grid) <= 1.0 + 1e-9
+
+    # the paper's 75% top-region is a strict subset somewhere (the space
+    # is not flat: configuration genuinely matters)
+    flat = True
+    for grid in result.grids.values():
+        region = top_region(grid, threshold=0.99)
+        if not region.all():
+            flat = False
+    assert not flat
+
+    # performance's preferred quanta direction at the default is never
+    # *shorter* than fairness's for the same class (Algorithm 2's split:
+    # fairness pushes quanta down, performance pushes them up)
+    for cls in result.classes:
+        _, dq_perf = result.rule_direction(cls, "performance")
+        _, dq_fair = result.rule_direction(cls, "fairness")
+        assert dq_perf >= dq_fair

@@ -1,0 +1,38 @@
+"""Bench: regenerate Figure 6 (fairness and performance vs CFS/DIO).
+
+The paper's headline evaluation.  Shape asserted:
+
+* fairness (6a): every contention-aware policy well above CFS; Dike-AF the
+  best; Dike-AP does not destroy fairness;
+* performance (6b): Dike-AP > Dike > DIO, all >= ~baseline.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6(benchmark, save_artefact):
+    result = run_once(benchmark, run_fig6, work_scale=BENCH_SCALE)
+    save_artefact("fig6", result.render())
+
+    # 6a: fairness improvement over CFS
+    for policy in ("dio", "dike", "dike-af", "dike-ap"):
+        assert result.geomean_fairness_ratio(policy) > 1.10
+    assert (
+        result.geomean_fairness_ratio("dike-af")
+        >= result.geomean_fairness_ratio("dike-ap") - 0.01
+    )
+
+    # 6b: speedup over CFS
+    s = {p: result.geomean_speedup(p) for p in ("dio", "dike", "dike-af", "dike-ap")}
+    assert s["dike"] > s["dio"]
+    assert s["dike-ap"] >= s["dike"] - 0.02
+    assert s["dike"] > 1.0
+    assert s["dio"] > 0.9
+
+    # per-workload: Dike beats CFS fairness everywhere
+    for row in result.rows:
+        assert row.fairness["dike"] > row.baseline_fairness

@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 7 (Dike's prediction error per workload).
+
+Paper shape: per-workload average error within a few percent; bounded
+extremes; UM workloads (steady streaming) are easier to predict than UC
+workloads (fluctuating compute bursts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7(benchmark, save_artefact):
+    result = run_once(benchmark, run_fig7, work_scale=BENCH_SCALE)
+    save_artefact("fig7", result.render())
+
+    assert len(result.summaries) == 16
+    means = [s["mean"] for s in result.summaries.values()]
+    assert all(np.isfinite(m) for m in means)
+    # average error within a modest band
+    assert all(abs(m) < 0.2 for m in means)
+    # extremes bounded
+    for s in result.summaries.values():
+        assert s["min"] > -1.0
+        assert s["max"] < 3.0
+    # UM easier (narrower error band) than UC on average
+    assert result.class_mean_spread("UM") <= result.class_mean_spread("UC") + 0.05

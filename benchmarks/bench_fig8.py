@@ -1,0 +1,31 @@
+"""Bench: regenerate Figure 8 (prediction error over time for wl6/wl11).
+
+Paper shape: the error fluctuates around zero, with spikes at phase
+changes and after benchmark completions, while staying bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.experiments.fig8 import run_fig8
+
+SCALE = 0.3  # time series need some run length to be interesting
+
+
+def test_fig8(benchmark, save_artefact):
+    result = run_once(benchmark, run_fig8, work_scale=SCALE)
+    save_artefact("fig8", result.render())
+
+    assert [s.workload for s in result.series] == ["wl6", "wl11"]
+    for series in result.series:
+        finite = series.errors[np.isfinite(series.errors)]
+        assert finite.size > 10
+        # fluctuates around zero rather than drifting
+        assert abs(np.mean(finite)) < 0.2
+        # bounded
+        assert series.max_abs_error() < 3.0
+        # completions recorded for annotation
+        assert len(series.completions) == 5

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table III (swap counts per workload and policy).
+
+Paper shape: Dike needs a fraction of DIO's swaps ("a third on average";
+"reduces the average number of migrations by 64%"), and Dike-AP cuts
+swaps further below non-adaptive Dike.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, save_artefact):
+    result = run_once(benchmark, run_table3, work_scale=BENCH_SCALE)
+    save_artefact("tab3", result.render())
+
+    assert len(result.workloads) == 16
+    dio = result.average("dio")
+    dike = result.average("dike")
+    ap = result.average("dike-ap")
+    # Dike's prediction avoids most of DIO's migrations
+    assert dike < 0.5 * dio
+    assert result.reduction_vs_dio("dike") > 0.5
+    # the performance-adaptive mode reduces swaps further
+    assert ap < dike
+    # DIO churns on every workload
+    assert all(c > 100 for c in result.swaps["dio"])

@@ -1,0 +1,26 @@
+"""Bench: render Tables I and II (configuration consistency artefacts)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.tables12 import run_table1, run_table2
+
+
+def test_table1(benchmark, save_artefact):
+    result = run_once(benchmark, run_table1)
+    out = result.render()
+    save_artefact("tab1", out)
+    assert "2.33" in out and "1.21" in out
+    assert result.topology.n_vcores == 40
+
+
+def test_table2(benchmark, save_artefact):
+    result = run_once(benchmark, run_table2)
+    out = result.render()
+    save_artefact("tab2", out)
+    assert len(result.entries) == 16
+    classes = [cls for _, cls in result.entries.values()]
+    assert classes.count("B") == 6
+    assert classes.count("UC") == 5
+    assert classes.count("UM") == 5

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Scenario: writing your own contention-aware scheduler against the API.
+
+Implements a new policy — a greedy *bandwidth balancer* that each quantum
+moves the single most bandwidth-starved thread to the core whose recent
+traffic is lowest — entirely against the public ``Scheduler`` interface,
+and evaluates it against CFS, DIO and Dike on two workloads.
+
+This is the template for extending the library: subclass
+:class:`repro.schedulers.Scheduler`, read ``QuantumCounters``, emit
+``Move``/``Swap`` actions.
+
+Run:  python examples/custom_scheduler.py [work_scale]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import (
+    CFSScheduler,
+    DIOScheduler,
+    dike,
+    fairness,
+    run_workload,
+    speedup,
+    workload,
+)
+from repro.schedulers.base import Action, Scheduler, Swap
+from repro.sim.counters import QuantumCounters
+from repro.util.tables import format_table
+
+
+class GreedyBandwidthBalancer(Scheduler):
+    """Swap the most-starved memory thread with the occupant of the calmest core.
+
+    *Starved*: highest LLC miss **ratio** but lowest achieved access rate —
+    a thread that wants memory and isn't getting it.  *Calmest core*: the
+    occupied core with the least recent traffic.  One swap per quantum:
+    deliberately conservative, no prediction, no adaptation — a useful
+    baseline between CFS (do nothing) and DIO (swap everything).
+    """
+
+    name = "greedy-bw"
+
+    def __init__(self, quantum_s: float = 0.5) -> None:
+        self.quantum_s = quantum_s
+
+    def quantum_length_s(self) -> float:
+        return self.quantum_s
+
+    def decide(
+        self, counters: QuantumCounters, placement: dict[int, int]
+    ) -> Sequence[Action]:
+        samples = [s for s in counters.samples if s.tid in placement and s.instructions > 0]
+        if len(samples) < 2:
+            return []
+        # starvation score: wants memory (miss ratio) per unit of service
+        def starvation(s) -> float:
+            return s.miss_rate / (1.0 + s.access_rate / 1e6)
+
+        starved = max(samples, key=starvation)
+        if starved.miss_rate < 0.1:
+            return []  # nobody is memory-bound: leave placement alone
+        calmest = min(
+            (s for s in samples if s.tid != starved.tid),
+            key=lambda s: s.access_rate,
+        )
+        if calmest.access_rate >= starved.access_rate:
+            return []
+        return [Swap(tid_a=starved.tid, tid_b=calmest.tid)]
+
+    def describe(self) -> dict[str, object]:
+        return {"policy": self.name, "quantum_s": self.quantum_s}
+
+
+def main() -> None:
+    work_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    policies = {
+        "cfs": CFSScheduler,
+        "dio": DIOScheduler,
+        "greedy-bw": GreedyBandwidthBalancer,
+        "dike": dike,
+    }
+    rows = []
+    for wl_name in ("wl2", "wl13"):
+        spec = workload(wl_name)
+        results = {
+            name: run_workload(spec, factory(), work_scale=work_scale)
+            for name, factory in policies.items()
+        }
+        base = results["cfs"]
+        for name, res in results.items():
+            rows.append(
+                [wl_name, name, fairness(res), speedup(res, base), res.swap_count]
+            )
+    print(
+        format_table(
+            ["workload", "policy", "fairness", "speedup", "swaps"],
+            rows,
+            title="A custom scheduler evaluated against the built-in policies",
+        )
+    )
+    print(
+        "\nReading: a plausible greedy heuristic helps on some workloads "
+        "and *hurts* on others (misdirected swaps on saturated UM mixes) — "
+        "without Dike's placement rule, profit prediction and adaptation "
+        "the gap to Dike stays wide. That gap is the paper's contribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: compare the five schedulers on one paper workload.
+
+Runs Table II's wl1 (balanced: jacobi + needle + leukocyte + lavaMD, plus
+the KMEANS contention generator) under Linux-CFS, DIO, Dike, Dike-AF and
+Dike-AP on the simulated Table I machine, then prints the paper's three
+headline metrics: fairness (Eqn. 4), speedup over CFS, and swap count.
+
+Run:  python examples/quickstart.py [work_scale]
+
+``work_scale`` defaults to 0.25 (a few seconds); 1.0 reproduces
+paper-sized runs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import fairness, run_policies, speedup, workload
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    work_scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.25
+    spec = workload("wl1")
+    print(
+        f"Running {spec.name} ({spec.workload_class}: {', '.join(spec.apps)} "
+        f"+ kmeans) at work_scale={work_scale} ..."
+    )
+
+    results = run_policies(spec, work_scale=work_scale)
+    baseline = results["cfs"]
+
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                fairness(result),
+                speedup(result, baseline),
+                result.swap_count,
+                result.makespan_s,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "fairness (Eqn.4)", "speedup vs CFS", "swaps", "makespan (s)"],
+            rows,
+            title="wl1: scheduling policy comparison",
+        )
+    )
+    print(
+        "\nExpected shape (paper): fairness dike-af >= dike > dio >> cfs;"
+        "\nspeedup dike-ap > dike > dio; swaps dio >> dike > dike-ap."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy shim: this offline environment lacks the `wheel` package that
+`pip install -e .` (PEP 660) needs, so editable installs go through
+`python setup.py develop`. All metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""repro — reproduction of "Providing Fairness in Heterogeneous Multicores
+with a Predictive, Adaptive Scheduler" (Dike, IPPS 2016).
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.sim` — heterogeneous-multicore simulator substrate;
+* :mod:`repro.workloads` — Rodinia-style phase-trace workloads (Table II);
+* :mod:`repro.schedulers` — CFS / DIO / control baselines;
+* :mod:`repro.core` — the Dike scheduler (the paper's contribution);
+* :mod:`repro.metrics` — fairness (Eqn. 4), speedup, swaps, prediction error;
+* :mod:`repro.experiments` — per-figure/table regeneration harness.
+
+Quickstart::
+
+    from repro import run_policies, workload, fairness, speedup
+
+    results = run_policies(workload("wl1"), work_scale=0.1)
+    base = results["cfs"]
+    for name, res in results.items():
+        print(name, fairness(res), speedup(res, base), res.swap_count)
+"""
+
+from repro.core import (
+    AdaptationGoal,
+    DikeConfig,
+    DikeScheduler,
+    dike,
+    dike_af,
+    dike_ap,
+)
+from repro.experiments.runner import (
+    STANDARD_POLICIES,
+    run_policies,
+    run_standalone,
+    run_workload,
+)
+from repro.metrics import (
+    fairness,
+    fairness_improvement,
+    makespan_speedup,
+    speedup,
+    swap_count,
+)
+from repro.analysis import (
+    build_report,
+    compare_policies,
+    replicate,
+)
+from repro.schedulers import (
+    CFSScheduler,
+    DIOScheduler,
+    OracleStaticScheduler,
+    RandomSwapScheduler,
+    StaticScheduler,
+    SuspensionScheduler,
+)
+from repro.sim import (
+    MigrationModel,
+    RunResult,
+    SimulationEngine,
+    Topology,
+    homogeneous,
+    xeon_e5_heterogeneous,
+)
+from repro.workloads import (
+    DynamicWorkload,
+    WorkloadSpec,
+    all_workloads,
+    phased_workload,
+    poisson_arrivals,
+    random_workload,
+    workload,
+    workload_with_mix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationGoal",
+    "DikeConfig",
+    "DikeScheduler",
+    "dike",
+    "dike_af",
+    "dike_ap",
+    "STANDARD_POLICIES",
+    "run_policies",
+    "run_standalone",
+    "run_workload",
+    "fairness",
+    "fairness_improvement",
+    "makespan_speedup",
+    "speedup",
+    "swap_count",
+    "build_report",
+    "compare_policies",
+    "replicate",
+    "CFSScheduler",
+    "DIOScheduler",
+    "OracleStaticScheduler",
+    "RandomSwapScheduler",
+    "StaticScheduler",
+    "SuspensionScheduler",
+    "MigrationModel",
+    "RunResult",
+    "SimulationEngine",
+    "Topology",
+    "homogeneous",
+    "xeon_e5_heterogeneous",
+    "DynamicWorkload",
+    "WorkloadSpec",
+    "all_workloads",
+    "phased_workload",
+    "poisson_arrivals",
+    "random_workload",
+    "workload",
+    "workload_with_mix",
+    "__version__",
+]

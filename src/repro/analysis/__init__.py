@@ -1,0 +1,34 @@
+"""Analysis utilities: multi-seed replication, convergence, report building."""
+
+from repro.analysis.convergence import (
+    SwapPhaseStats,
+    rate_dispersion_series,
+    swap_phases,
+    time_to_stable_placement,
+)
+from repro.analysis.replication import (
+    MetricSummary,
+    ReplicatedCell,
+    compare_policies,
+    replicate,
+    significance_table,
+)
+from repro.analysis.report import EvaluationReport, ShapeCheck, build_report
+from repro.analysis.timeline import placement_timeline, swap_activity_sparkline
+
+__all__ = [
+    "SwapPhaseStats",
+    "rate_dispersion_series",
+    "swap_phases",
+    "time_to_stable_placement",
+    "MetricSummary",
+    "ReplicatedCell",
+    "compare_policies",
+    "replicate",
+    "significance_table",
+    "EvaluationReport",
+    "ShapeCheck",
+    "build_report",
+    "placement_timeline",
+    "swap_activity_sparkline",
+]

@@ -1,0 +1,122 @@
+"""Convergence analysis: when and how a scheduler reaches a fair state.
+
+The paper observes that swapping concentrates in the early, memory-
+intensive stages of a run ("it is necessary to maintain fairness ... in
+early stages by swapping more frequently.  After time ... the swap rate
+could decrease").  These helpers quantify that from a run's trace:
+
+* :func:`swap_phases` — how front-loaded the migration activity is;
+* :func:`time_to_stable_placement` — when the thread-to-core mapping
+  stops changing;
+* :func:`rate_dispersion_series` — the per-quantum access-rate dispersion
+  a fairness gate watches, as a time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.results import RunResult
+from repro.util.stats import coefficient_of_variation
+from repro.util.validation import require
+
+__all__ = [
+    "SwapPhaseStats",
+    "swap_phases",
+    "time_to_stable_placement",
+    "rate_dispersion_series",
+]
+
+
+@dataclass(frozen=True)
+class SwapPhaseStats:
+    """Distribution of a run's swaps over its lifetime."""
+
+    total_swaps: int
+    first_half_fraction: float
+    first_quarter_fraction: float
+    median_swap_time_s: float
+    makespan_s: float
+
+    @property
+    def front_loaded(self) -> bool:
+        """More than half of all swaps in the first half of the run."""
+        return self.first_half_fraction > 0.5
+
+
+def swap_phases(result: RunResult) -> SwapPhaseStats:
+    """Summarise when a run's swaps happened (requires swap events)."""
+    require(result.trace is not None, "run has no trace attached")
+    events = result.trace.swap_events
+    makespan = result.makespan_s
+    if not events or not np.isfinite(makespan) or makespan <= 0:
+        return SwapPhaseStats(
+            total_swaps=len(events),
+            first_half_fraction=float("nan"),
+            first_quarter_fraction=float("nan"),
+            median_swap_time_s=float("nan"),
+            makespan_s=makespan,
+        )
+    times = np.array([e.time_s for e in events])
+    return SwapPhaseStats(
+        total_swaps=len(events),
+        first_half_fraction=float((times <= makespan / 2).mean()),
+        first_quarter_fraction=float((times <= makespan / 4).mean()),
+        median_swap_time_s=float(np.median(times)),
+        makespan_s=makespan,
+    )
+
+
+def time_to_stable_placement(
+    result: RunResult, stable_quanta: int = 10
+) -> float:
+    """Time after which the placement stayed unchanged for ``stable_quanta``
+    consecutive quanta (ignoring threads leaving), or NaN if never.
+
+    Requires a run recorded with ``record_timeseries=True``.
+    """
+    require(result.trace is not None, "run has no trace attached")
+    trace = result.trace
+    require(
+        trace.record_timeseries and trace.assignments,
+        "run was not recorded with timeseries enabled",
+    )
+    assignments = trace.assignments
+    times = trace.times
+    stable_since: int | None = None
+    prev: dict[int, int] | None = None
+    for i, current in enumerate(assignments):
+        if prev is not None:
+            moved = any(
+                prev.get(tid) is not None and prev[tid] != vcore
+                for tid, vcore in current.items()
+            )
+            if moved:
+                stable_since = None
+            elif stable_since is None:
+                stable_since = i
+            if stable_since is not None and i - stable_since + 1 >= stable_quanta:
+                return float(times[stable_since])
+        prev = current
+    return float("nan")
+
+
+def rate_dispersion_series(result: RunResult) -> tuple[np.ndarray, np.ndarray]:
+    """(times, cv of access rates) per recorded quantum.
+
+    The raw global dispersion of per-thread access rates over time — the
+    quantity a fairness gate reacts to, useful for plotting convergence.
+    """
+    require(result.trace is not None, "run has no trace attached")
+    trace = result.trace
+    times = np.asarray(trace.times, dtype=np.float64)
+    cvs = np.array(
+        [
+            coefficient_of_variation([r for r in rates.values() if r > 0.0])
+            for rates in trace.access_rates
+        ],
+        dtype=np.float64,
+    )
+    return times, cvs

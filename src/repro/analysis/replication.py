@@ -1,0 +1,159 @@
+"""Multi-seed replication: are the reported effects seed-robust?
+
+The paper reports single numbers per workload; a reproduction should show
+the spread.  :func:`replicate` runs one ``(workload, policy)`` cell across
+seeds and summarises each metric with mean, standard deviation and a
+normal-approximation confidence interval; :func:`compare_policies` does it
+for a set of policies with a shared per-seed CFS baseline (so speedups are
+paired, not pooled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import PolicyFactory, run_workload
+from repro.metrics.fairness import fairness
+from repro.metrics.performance import speedup
+from repro.schedulers.cfs import CFSScheduler
+from repro.sim.results import RunResult
+from repro.util.validation import require
+from repro.workloads.suite import WorkloadSpec
+
+__all__ = [
+    "MetricSummary",
+    "ReplicatedCell",
+    "replicate",
+    "compare_policies",
+    "significance_table",
+]
+
+#: z-value for a 95 % normal-approximation interval.
+_Z95 = 1.96
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / spread / 95 % CI of one metric across seeds."""
+
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "MetricSummary":
+        arr = np.asarray([v for v in values if np.isfinite(v)], dtype=np.float64)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, 0)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        half = _Z95 * std / np.sqrt(arr.size) if arr.size > 1 else 0.0
+        return cls(mean, std, mean - half, mean + half, int(arr.size))
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """Whether the two 95 % intervals overlap (a coarse significance
+        check for 'policy A beats policy B')."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+
+@dataclass(frozen=True)
+class ReplicatedCell:
+    """One (workload, policy) cell across seeds."""
+
+    workload: str
+    policy: str
+    fairness: MetricSummary
+    speedup: MetricSummary
+    swaps: MetricSummary
+    results: tuple[RunResult, ...]
+
+
+def replicate(
+    spec: WorkloadSpec,
+    policy_factory: PolicyFactory,
+    seeds: Sequence[int],
+    work_scale: float = 1.0,
+    baseline_factory: PolicyFactory = CFSScheduler,
+    **run_kwargs: object,
+) -> ReplicatedCell:
+    """Run one policy across ``seeds`` with a paired per-seed baseline."""
+    require(len(seeds) >= 1, "at least one seed is required")
+    fair, speed, swaps, results = [], [], [], []
+    for seed in seeds:
+        base = run_workload(
+            spec, baseline_factory(), seed=seed, work_scale=work_scale, **run_kwargs
+        )
+        res = run_workload(
+            spec, policy_factory(), seed=seed, work_scale=work_scale, **run_kwargs
+        )
+        fair.append(fairness(res))
+        speed.append(speedup(res, base))
+        swaps.append(float(res.swap_count))
+        results.append(res)
+    name = results[0].policy_name
+    return ReplicatedCell(
+        workload=spec.name,
+        policy=name,
+        fairness=MetricSummary.from_values(fair),
+        speedup=MetricSummary.from_values(speed),
+        swaps=MetricSummary.from_values(swaps),
+        results=tuple(results),
+    )
+
+
+def compare_policies(
+    spec: WorkloadSpec,
+    policies: Mapping[str, PolicyFactory],
+    seeds: Sequence[int],
+    work_scale: float = 1.0,
+    **run_kwargs: object,
+) -> dict[str, ReplicatedCell]:
+    """Replicate several policies on one workload (shared seeds/baselines)."""
+    return {
+        name: replicate(
+            spec, factory, seeds, work_scale=work_scale, **run_kwargs
+        )
+        for name, factory in policies.items()
+    }
+
+
+def significance_table(
+    cells: Mapping[str, ReplicatedCell], metric: str = "fairness"
+) -> str:
+    """Pairwise CI-overlap matrix for one metric across policies.
+
+    ``>`` / ``<`` mark pairs whose 95 % intervals do *not* overlap (a
+    coarse "significantly better/worse"); ``~`` marks overlapping pairs.
+    A quick honesty check before claiming one policy beats another.
+    """
+    from repro.util.tables import format_table
+
+    names = list(cells)
+
+    def summary(name: str) -> MetricSummary:
+        return getattr(cells[name], metric)
+
+    rows = []
+    for a in names:
+        row: list[object] = [f"{a} ({summary(a).mean:.3f})"]
+        for b in names:
+            if a == b:
+                row.append("-")
+            elif summary(a).overlaps(summary(b)):
+                row.append("~")
+            elif summary(a).mean > summary(b).mean:
+                row.append(">")
+            else:
+                row.append("<")
+        rows.append(row)
+    return format_table(
+        [f"{metric} (mean)"] + names,
+        rows,
+        title=f"Pairwise 95% CI comparison on {metric}",
+    )

@@ -1,0 +1,119 @@
+"""Full-evaluation report builder.
+
+Combines a Figure 6 run (or a multi-seed replication) into a single
+plain-text report: per-workload metrics, per-class aggregates, headline
+geomeans and the shape checklist — the artefact a reviewer would skim to
+judge the reproduction at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.fig6 import POLICY_ORDER, Fig6Result
+from repro.util.stats import geometric_mean
+from repro.util.tables import format_table
+
+__all__ = ["ShapeCheck", "EvaluationReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim and whether the data supports it."""
+
+    claim: str
+    holds: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class EvaluationReport:
+    fig6: Fig6Result
+    checks: tuple[ShapeCheck, ...]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def render(self) -> str:
+        parts = [self.fig6.render(), "", self._class_table(), "", self._checklist()]
+        return "\n".join(parts)
+
+    def _class_table(self) -> str:
+        by_class: dict[str, list] = {}
+        for row in self.fig6.rows:
+            by_class.setdefault(row.workload_class, []).append(row)
+        rows = []
+        for cls, cls_rows in by_class.items():
+            cells: list[object] = [cls, len(cls_rows)]
+            for p in POLICY_ORDER:
+                cells.append(
+                    geometric_mean(
+                        [r.fairness[p] / r.baseline_fairness for r in cls_rows]
+                    )
+                )
+                cells.append(geometric_mean([r.speedup[p] for r in cls_rows]))
+            rows.append(cells)
+        headers = ["class", "n"] + [
+            f"{p} {m}" for p in POLICY_ORDER for m in ("F-ratio", "S")
+        ]
+        return format_table(
+            headers, rows, title="Per-class aggregates (geomean)"
+        )
+
+    def _checklist(self) -> str:
+        lines = ["Shape checklist:"]
+        for c in self.checks:
+            mark = "PASS" if c.holds else "FAIL"
+            lines.append(f"  [{mark}] {c.claim} — {c.detail}")
+        return "\n".join(lines)
+
+
+def build_report(fig6: Fig6Result) -> EvaluationReport:
+    """Evaluate the paper's headline claims against a Figure 6 run."""
+    f = {p: fig6.geomean_fairness_ratio(p) for p in POLICY_ORDER}
+    s = {p: fig6.geomean_speedup(p) for p in POLICY_ORDER}
+    swaps = {
+        p: float(np.mean([r.swaps[p] for r in fig6.rows])) for p in POLICY_ORDER
+    }
+
+    checks = (
+        ShapeCheck(
+            "contention-aware policies improve fairness over CFS",
+            all(v > 1.05 for v in f.values()),
+            ", ".join(f"{p}:{(v - 1) * 100:+.1f}%" for p, v in f.items()),
+        ),
+        ShapeCheck(
+            "Dike-AF achieves the best fairness",
+            f["dike-af"] >= max(f.values()) - 0.005,
+            f"dike-af ratio {f['dike-af']:.3f} vs best {max(f.values()):.3f}",
+        ),
+        ShapeCheck(
+            "Dike-AP does not hurt fairness materially",
+            f["dike-ap"] > 0.95 * f["dike"],
+            f"dike-ap {f['dike-ap']:.3f} vs dike {f['dike']:.3f}",
+        ),
+        ShapeCheck(
+            "Dike outperforms DIO",
+            s["dike"] > s["dio"],
+            f"dike {s['dike']:.3f} vs dio {s['dio']:.3f}",
+        ),
+        ShapeCheck(
+            "Dike-AP delivers the best performance",
+            s["dike-ap"] >= max(s.values()) - 0.02,
+            f"dike-ap {s['dike-ap']:.3f} vs best {max(s.values()):.3f}",
+        ),
+        ShapeCheck(
+            "Dike needs a fraction of DIO's migrations",
+            swaps["dike"] < 0.5 * swaps["dio"],
+            f"dike {swaps['dike']:.0f} vs dio {swaps['dio']:.0f}",
+        ),
+        ShapeCheck(
+            "Dike-AP migrates least among Dike modes",
+            swaps["dike-ap"] <= min(swaps["dike"], swaps["dike-af"]),
+            f"dike-ap {swaps['dike-ap']:.0f}",
+        ),
+    )
+    return EvaluationReport(fig6=fig6, checks=checks)

@@ -1,0 +1,112 @@
+"""Placement-timeline visualisation: where did each thread run, over time?
+
+Renders a run's recorded assignments as an ASCII timeline — one row per
+thread, one column per time bucket, each cell the core *tier* the thread
+occupied (``F`` fast tier, ``s`` slow tier, further tiers ``t``, ``u``, …;
+``.`` = not yet arrived / finished) — plus
+a swap-activity sparkline.  Makes scheduler behaviour directly visible:
+CFS rows are constant, DIO rows shimmer every quantum, Dike rows change a
+few times early then settle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import RunResult
+from repro.sim.topology import Topology
+from repro.util.validation import require
+
+__all__ = ["placement_timeline", "swap_activity_sparkline"]
+
+#: Tier glyphs, fastest socket first.
+_TIER_GLYPHS = "Fstuvwxyz"
+_SPARK = " .:-=+*#%@"
+
+
+def _tier_of(topology: Topology) -> dict[int, int]:
+    """vcore -> tier index (0 = fastest socket)."""
+    freqs = sorted(
+        {s.freq_ghz for s in topology.sockets}, reverse=True
+    )
+    tier_of_socket = {}
+    for sid, sock in enumerate(topology.sockets):
+        tier_of_socket[sid] = freqs.index(sock.freq_ghz)
+    return {
+        v.vcore_id: tier_of_socket[v.socket_id] for v in topology.vcores
+    }
+
+
+def placement_timeline(
+    result: RunResult,
+    topology: Topology,
+    width: int = 72,
+    max_threads: int = 48,
+) -> str:
+    """Render the run's thread-to-tier placement over time.
+
+    Requires a run recorded with ``record_timeseries=True``.
+    """
+    require(result.trace is not None, "run has no trace attached")
+    trace = result.trace
+    require(
+        trace.record_timeseries and trace.assignments,
+        "run was not recorded with timeseries enabled",
+    )
+    tiers = _tier_of(topology)
+    times = np.asarray(trace.times)
+    edges = np.linspace(times.min(), times.max() + 1e-9, width + 1)
+    col_of = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, width - 1)
+
+    tids = sorted({tid for snap in trace.assignments for tid in snap})[:max_threads]
+    lines = [
+        f"Placement timeline ({result.policy_name} on {result.workload_name}; "
+        f"F=fast tier, s=slow tier, .=absent)"
+    ]
+    for tid in tids:
+        row = ["."] * width
+        for i, snap in enumerate(trace.assignments):
+            vcore = snap.get(tid)
+            if vcore is None:
+                continue
+            tier = tiers.get(vcore, len(_TIER_GLYPHS) - 1)
+            row[col_of[i]] = _TIER_GLYPHS[min(tier, len(_TIER_GLYPHS) - 1)]
+        # forward-fill columns with no snapshot so rows read continuously
+        # (a gap after the thread's last appearance stays blank)
+        last = "."
+        last_seen = -1
+        for i, snap in enumerate(trace.assignments):
+            if tid in snap:
+                last_seen = col_of[i]
+        for c in range(min(last_seen + 1, width)):
+            if row[c] == ".":
+                row[c] = last
+            else:
+                last = row[c]
+        lines.append(f"t{tid:03d} {''.join(row)}")
+    lines.append(f"time: [{times.min():.1f}s, {times.max():.1f}s]")
+    return "\n".join(lines)
+
+
+def swap_activity_sparkline(
+    result: RunResult, width: int = 72
+) -> str:
+    """Swap volume over time as a one-line intensity ramp."""
+    require(result.trace is not None, "run has no trace attached")
+    events = result.trace.swap_events
+    if not events or not np.isfinite(result.makespan_s):
+        return "(no swaps)"
+    times = np.array([e.time_s for e in events])
+    edges = np.linspace(0.0, result.makespan_s + 1e-9, width + 1)
+    counts, _ = np.histogram(times, bins=edges)
+    peak = counts.max()
+    if peak == 0:
+        return "(no swaps)"
+    chars = [
+        _SPARK[min(int(c / peak * (len(_SPARK) - 1)), len(_SPARK) - 1)]
+        for c in counts
+    ]
+    return (
+        f"swap activity ({len(events)} swaps, peak {peak}/bucket):\n"
+        + "".join(chars)
+    )

@@ -1,0 +1,228 @@
+"""Command-line interface: ``dike-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show all regenerable experiments.
+``run <experiment-id> [--scale S] [--seed N]``
+    Regenerate one table/figure and print its plain-text render.
+``compare <workload> [--scale S] [--seed N]``
+    Run the five standard policies on one workload and print a summary.
+``report [--scale S] [--seed N]``
+    Run the full Figure 6 evaluation and print the shape-checklist report.
+``replicate <workload> [--seeds N] [--scale S]``
+    Multi-seed robustness summary of the five policies on one workload.
+``timeline <workload> <policy> [--scale S]``
+    ASCII placement timeline + swap-activity sparkline for one run.
+``all [--scale S] [--seed N]``
+    Regenerate every experiment (the full evaluation; slow at scale 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.runner import run_policies
+from repro.metrics.fairness import fairness
+from repro.metrics.performance import speedup
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import format_table
+from repro.workloads.suite import workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dike-repro",
+        description=(
+            "Reproduction of 'Providing Fairness in Heterogeneous Multicores "
+            "with a Predictive, Adaptive Scheduler' (IPPS 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list regenerable experiments")
+
+    p_run = sub.add_parser("run", help="regenerate one experiment")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_common(p_run)
+
+    p_cmp = sub.add_parser("compare", help="compare policies on one workload")
+    p_cmp.add_argument("workload", help="wl1 .. wl16")
+    _add_common(p_cmp)
+
+    p_rep = sub.add_parser("report", help="full evaluation + shape checklist")
+    p_rep.add_argument(
+        "--seeds", type=int, default=1,
+        help="average the evaluation over this many seeds",
+    )
+    _add_common(p_rep)
+
+    p_repl = sub.add_parser("replicate", help="multi-seed robustness check")
+    p_repl.add_argument("workload", help="wl1 .. wl16")
+    p_repl.add_argument("--seeds", type=int, default=3, help="number of seeds")
+    _add_common(p_repl)
+
+    p_tl = sub.add_parser("timeline", help="placement timeline of one run")
+    p_tl.add_argument("workload", help="wl1 .. wl16")
+    p_tl.add_argument(
+        "policy", choices=sorted(_policy_choices()), help="scheduling policy"
+    )
+    _add_common(p_tl)
+
+    p_all = sub.add_parser("all", help="regenerate every experiment")
+    _add_common(p_all)
+    return parser
+
+
+def _policy_choices() -> dict:
+    from repro.experiments.runner import STANDARD_POLICIES
+
+    return STANDARD_POLICIES
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="work scale (1.0 = paper-sized runs; smaller = faster)",
+    )
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def _cmd_list() -> int:
+    print(format_table(["id", "title"], list_experiments()))
+    return 0
+
+
+def _cmd_run(exp_id: str, scale: float, seed: int) -> int:
+    t0 = time.perf_counter()
+    result = run_experiment(exp_id, seed=seed, work_scale=scale)
+    print(result.render())
+    print(f"\n[{exp_id} regenerated in {time.perf_counter() - t0:.1f}s "
+          f"at work_scale={scale}]")
+    return 0
+
+
+def _cmd_compare(wl_name: str, scale: float, seed: int) -> int:
+    spec = workload(wl_name)
+    results = run_policies(spec, seed=seed, work_scale=scale)
+    base = results["cfs"]
+    rows = []
+    for name, res in results.items():
+        rows.append(
+            [
+                name,
+                fairness(res),
+                speedup(res, base),
+                res.swap_count,
+                res.makespan_s,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "fairness", "speedup", "swaps", "makespan(s)"],
+            rows,
+            title=f"{wl_name} ({spec.workload_class}): policy comparison",
+        )
+    )
+    return 0
+
+
+def _cmd_report(scale: float, seed: int, n_seeds: int = 1) -> int:
+    from repro.analysis.report import build_report
+    from repro.experiments.fig6 import run_fig6
+
+    seeds = tuple(seed + i for i in range(n_seeds)) if n_seeds > 1 else None
+    fig6 = run_fig6(seed=seed, work_scale=scale, seeds=seeds)
+    report = build_report(fig6)
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def _cmd_replicate(wl_name: str, n_seeds: int, scale: float, seed: int) -> int:
+    from repro.analysis.replication import compare_policies
+    from repro.experiments.runner import STANDARD_POLICIES
+
+    spec = workload(wl_name)
+    seeds = [seed + i for i in range(n_seeds)]
+    policies = {k: v for k, v in STANDARD_POLICIES.items() if k != "cfs"}
+    cells = compare_policies(spec, policies, seeds, work_scale=scale)
+    rows = []
+    for name, cell in cells.items():
+        rows.append(
+            [
+                name,
+                cell.fairness.mean,
+                cell.fairness.std,
+                cell.speedup.mean,
+                cell.speedup.std,
+                cell.swaps.mean,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "F mean", "F std", "S mean", "S std", "swaps"],
+            rows,
+            title=f"{wl_name}: {n_seeds}-seed replication (seeds {seeds})",
+        )
+    )
+    return 0
+
+
+def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
+    from repro.analysis.timeline import placement_timeline, swap_activity_sparkline
+    from repro.experiments.runner import run_workload
+    from repro.sim.topology import xeon_e5_heterogeneous
+
+    topo = xeon_e5_heterogeneous()
+    spec = workload(wl_name)
+    result = run_workload(
+        spec, _policy_choices()[policy](), seed=seed, work_scale=scale,
+        topology=topo, record_timeseries=True,
+    )
+    print(placement_timeline(result, topo))
+    print()
+    print(swap_activity_sparkline(result))
+    return 0
+
+
+def _cmd_all(scale: float, seed: int) -> int:
+    for exp_id in EXPERIMENTS:
+        _cmd_run(exp_id, scale, seed)
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:  # e.g. `dike-repro list | head` — not an error
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.seed)
+    if args.command == "compare":
+        return _cmd_compare(args.workload, args.scale, args.seed)
+    if args.command == "report":
+        return _cmd_report(args.scale, args.seed, args.seeds)
+    if args.command == "replicate":
+        return _cmd_replicate(args.workload, args.seeds, args.scale, args.seed)
+    if args.command == "timeline":
+        return _cmd_timeline(args.workload, args.policy, args.scale, args.seed)
+    if args.command == "all":
+        return _cmd_all(args.scale, args.seed)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Dike's configuration: the two key scheduling parameters and their ranges.
+
+The paper (Section III-F) defines the configuration space:
+
+* ``quantaLength`` drawn from **{100, 200, 500, 1000} ms**,
+* ``swapSize`` any **even number from 2 to 16** (half of the 32 main-workload
+  threads) — the number of *threads* migrated per quantum, i.e.
+  ``swapSize / 2`` pairs,
+
+giving 4 x 8 = **32 configurations**.  Non-adaptive Dike uses the median
+default **⟨swapSize=8, quantaLength=500 ms⟩**; adaptive Dike starts there
+and the Optimizer nudges one parameter one step per invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+from repro.util.validation import check_in_range, check_positive, require
+
+__all__ = [
+    "QUANTA_CHOICES_S",
+    "SWAP_SIZE_CHOICES",
+    "AdaptationGoal",
+    "DikeConfig",
+    "all_configurations",
+]
+
+#: Legal quantum lengths in seconds ({100, 200, 500, 1000} ms).
+QUANTA_CHOICES_S: tuple[float, ...] = (0.1, 0.2, 0.5, 1.0)
+
+#: Legal swap sizes (threads per quantum): even numbers 2..16.
+SWAP_SIZE_CHOICES: tuple[int, ...] = (2, 4, 6, 8, 10, 12, 14, 16)
+
+
+class AdaptationGoal(Enum):
+    """What the Optimizer tunes for (Section III-F)."""
+
+    NONE = "none"          # non-adaptive Dike
+    FAIRNESS = "fairness"  # Dike-AF
+    PERFORMANCE = "performance"  # Dike-AP
+
+
+@dataclass(frozen=True)
+class DikeConfig:
+    """Full parameterisation of the Dike scheduler.
+
+    Parameters
+    ----------
+    quanta_length_s:
+        Time between scheduling decisions (the paper's ``quantaLength``).
+    swap_size:
+        Threads migrated per quantum (the paper's ``swapSize``); must be a
+        positive even number.
+    fairness_threshold:
+        θ_f — the system is *fair* (no action) when the coefficient of
+        variation of thread access rates is below this (0.1 default).
+    goal:
+        Adaptation goal; :attr:`AdaptationGoal.NONE` disables the Optimizer.
+    adaptation_period:
+        Optimizer invocations happen every this many quanta.
+    classification_miss_threshold:
+        LLC miss-rate boundary between compute and memory intensive threads
+        (10 % per Xie & Loh, cited by the paper).
+    corebw_window:
+        Quanta window of the per-core moving-mean bandwidth (``CoreBW``).
+    swap_overhead_belief_s:
+        The scheduler's estimate of per-migration lost time (``swapOH`` in
+        Eqn. 2).  Deliberately decoupled from the simulator's true cost —
+        the closed loop is supposed to absorb this model error.
+    cooldown_quanta:
+        A thread swapped in the previous quantum is ineligible ("Dike does
+        not swap a thread in consecutive quanta").
+    cooldown_s:
+        Additional wall-clock floor on the per-thread re-swap interval, so
+        short quanta do not multiply the migration pressure on one thread
+        (the quanta rule alone would let a 100 ms configuration swap a
+        thread 5x as often as a 500 ms one).
+    require_positive_profit:
+        Drop pairs whose predicted ``totalProfit`` is negative.
+    contention_metric:
+        The per-thread progress signal fed to the Selector and fairness
+        gate: ``"access_rate"`` (the paper's choice) or ``"ipc"`` (the
+        alternative the paper argues *against* for heterogeneous machines —
+        kept for the ablation bench).
+    rotation_fallback:
+        When the system is unfair but fewer violator pairs exist than
+        ``swapSize`` allows, fill the remainder by pairing the sorted
+        array's ends.  This realises the paper's "Dike will naturally
+        migrate threads so that the rule is obeyed, on average, across
+        several quanta": under deep saturation core identity blurs and
+        strict violator pairing starves, yet rotating extremes is exactly
+        what equalises accumulated progress.
+    """
+
+    quanta_length_s: float = 0.5
+    swap_size: int = 8
+    fairness_threshold: float = 0.1
+    goal: AdaptationGoal = AdaptationGoal.NONE
+    adaptation_period: int = 5
+    classification_miss_threshold: float = 0.10
+    corebw_window: int = 8
+    swap_overhead_belief_s: float = 0.005
+    cooldown_quanta: int = 1
+    cooldown_s: float = 1.0
+    require_positive_profit: bool = True
+    rotation_fallback: bool = True
+    contention_metric: str = "access_rate"
+
+    def __post_init__(self) -> None:
+        check_positive(self.quanta_length_s, "quanta_length_s")
+        require(self.swap_size >= 2, "swap_size must be >= 2")
+        require(self.swap_size % 2 == 0, "swap_size must be even")
+        check_in_range(self.fairness_threshold, 0.0, 10.0, "fairness_threshold")
+        require(self.adaptation_period >= 1, "adaptation_period must be >= 1")
+        check_in_range(
+            self.classification_miss_threshold, 0.0, 1.0,
+            "classification_miss_threshold",
+        )
+        require(self.corebw_window >= 1, "corebw_window must be >= 1")
+        require(self.swap_overhead_belief_s >= 0, "swap_overhead_belief_s >= 0")
+        require(self.cooldown_quanta >= 0, "cooldown_quanta must be >= 0")
+        require(self.cooldown_s >= 0, "cooldown_s must be >= 0")
+        require(
+            self.contention_metric in ("access_rate", "ipc"),
+            "contention_metric must be 'access_rate' or 'ipc'",
+        )
+
+    @property
+    def n_pairs(self) -> int:
+        """Pairs formed per quantum (= swap_size / 2)."""
+        return self.swap_size // 2
+
+    @property
+    def adaptive(self) -> bool:
+        return self.goal is not AdaptationGoal.NONE
+
+    def with_parameters(self, swap_size: int, quanta_length_s: float) -> "DikeConfig":
+        """Copy with new key parameters (used by the Optimizer)."""
+        return replace(self, swap_size=swap_size, quanta_length_s=quanta_length_s)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "quanta_length_s": self.quanta_length_s,
+            "swap_size": self.swap_size,
+            "fairness_threshold": self.fairness_threshold,
+            "goal": self.goal.value,
+        }
+
+
+def all_configurations() -> list[tuple[int, float]]:
+    """The 32 ⟨swapSize, quantaLength⟩ configurations of Section III-F."""
+    return [(s, q) for q in QUANTA_CHOICES_S for s in SWAP_SIZE_CHOICES]

@@ -1,0 +1,88 @@
+"""Dike's Decider: per-pair acceptance (§III-D).
+
+Each predicted pair is judged independently:
+
+* **cooldown** — "to prevent excessive overhead on a thread, Dike does not
+  swap a thread in consecutive quanta"; a pair containing a thread migrated
+  within the last ``cooldown_quanta`` quanta *or* the last ``cooldown_s``
+  seconds is skipped.  The time floor keeps the per-thread migration rate
+  configuration-independent (otherwise a 100 ms quantum would swap a thread
+  5x as often as a 500 ms one, which is exactly the "excessive overhead"
+  the rule exists to prevent);
+* **profit** — pairs with negative ``totalProfit`` are dropped (the swap
+  would reduce aggregate memory throughput more than it helps).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DikeConfig
+from repro.core.predictor import PairPrediction
+
+__all__ = ["Decider"]
+
+
+class Decider:
+    """Stateful filter tracking recent migrations for the cooldown rule."""
+
+    def __init__(self, config: DikeConfig) -> None:
+        self.config = config
+        #: tid -> (quantum index, time) of that thread's most recent migration
+        self._last_swap: dict[int, tuple[int, float]] = {}
+
+    def reset(self) -> None:
+        self._last_swap.clear()
+
+    def decide(
+        self,
+        predictions: list[PairPrediction],
+        quantum_index: int,
+        time_s: float = float("inf"),
+    ) -> list[PairPrediction]:
+        """Return the accepted subset of ``predictions`` (order preserved).
+
+        ``quantum_index``/``time_s`` identify the quantum boundary at which
+        the decision is made; a thread swapped at ``(q, t)`` is ineligible
+        while ``index - q <= cooldown_quanta`` or ``time - t < cooldown_s``.
+        """
+        accepted: list[PairPrediction] = []
+        claimed: set[int] = set()
+        for pred in predictions:
+            pair = pred.pair
+            if self._in_cooldown(pair.t_l, quantum_index, time_s) or self._in_cooldown(
+                pair.t_h, quantum_index, time_s
+            ):
+                continue
+            if pair.t_l in claimed or pair.t_h in claimed:
+                continue  # a thread can move at most once per quantum
+            if self.config.require_positive_profit and pred.total_profit < 0.0:
+                # A swap must "benefit fairness or performance": negative
+                # profit is acceptable only when the swap is predicted to
+                # shrink the pair's rate spread (fairness) and the loss is
+                # within the migration-overhead scale — equalising rotations
+                # between near-equivalent cores land here.
+                tolerance = 0.1 * (pred.current_rate_l + pred.current_rate_h)
+                if not (pred.fairness_benefit and pred.total_profit >= -tolerance):
+                    continue
+            accepted.append(pred)
+            claimed.update((pair.t_l, pair.t_h))
+        for pred in accepted:
+            self._last_swap[pred.pair.t_l] = (quantum_index, time_s)
+            self._last_swap[pred.pair.t_h] = (quantum_index, time_s)
+        return accepted
+
+    def _in_cooldown(self, tid: int, quantum_index: int, time_s: float) -> bool:
+        last = self._last_swap.get(tid)
+        if last is None:
+            return False
+        last_q, last_t = last
+        if self.config.cooldown_quanta > 0 and (
+            quantum_index - last_q
+        ) <= self.config.cooldown_quanta:
+            return True
+        if self.config.cooldown_s > 0 and (time_s - last_t) < self.config.cooldown_s:
+            return True
+        return False
+
+    def forget_thread(self, tid: int) -> None:
+        """Drop cooldown state for a finished thread."""
+        self._last_swap.pop(tid, None)

@@ -1,0 +1,220 @@
+"""The Dike scheduler: Observer -> Selector -> Predictor -> Decider ->
+Migrator, with the Optimizer adapting the key parameters (Figure 3).
+
+``DikeScheduler`` wires the five per-quantum components behind the common
+:class:`~repro.schedulers.base.Scheduler` interface, and additionally keeps
+the **closed loop's books**: every accepted swap registers a predicted
+post-swap access rate, and the next quantum's measurement back-fills the
+ground truth — producing the prediction-error records behind Figures 7/8.
+
+Three factory functions build the paper's three evaluated instantiations:
+
+* :func:`dike` — non-adaptive, fixed ⟨swapSize=8, quantaLength=500 ms⟩;
+* :func:`dike_af` — adaptive, favouring fairness;
+* :func:`dike_ap` — adaptive, favouring performance.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.config import AdaptationGoal, DikeConfig
+from repro.core.decider import Decider
+from repro.core.migrator import Migrator
+from repro.core.observer import Observer
+from repro.core.optimizer import Optimizer
+from repro.core.predictor import Predictor
+from repro.core.selector import Selector
+from repro.schedulers.base import Action, Scheduler, SchedulingContext
+from repro.sim.counters import QuantumCounters
+from repro.sim.results import PredictionRecord
+
+__all__ = ["DikeScheduler", "dike", "dike_af", "dike_ap"]
+
+
+class DikeScheduler(Scheduler):
+    """Predictive, adaptive contention-aware scheduler (the paper's system)."""
+
+    def __init__(self, config: DikeConfig | None = None, name: str | None = None) -> None:
+        self.config = config or DikeConfig()
+        if name is not None:
+            self.name = name
+        elif self.config.goal is AdaptationGoal.FAIRNESS:
+            self.name = "dike-af"
+        elif self.config.goal is AdaptationGoal.PERFORMANCE:
+            self.name = "dike-ap"
+        else:
+            self.name = "dike"
+        self._initial_config = self.config
+
+    # ----------------------------------------------------------- lifecycle
+
+    def prepare(self, context: SchedulingContext) -> None:
+        super().prepare(context)
+        self.config = self._initial_config
+        groups = {t.tid: t.group for t in context.threads}
+        self.observer = Observer(self.config, context.topology.n_vcores, groups)
+        self.selector = Selector(self.config)
+        self.predictor = Predictor(self.config)
+        self.decider = Decider(self.config)
+        self.migrator = Migrator()
+        self.optimizer = Optimizer(self.config)
+        #: tid -> (quantum_index_of_prediction, time_s, predicted_rate)
+        self._pending: dict[int, tuple[int, float, float]] = {}
+        self._records: list[PredictionRecord] = []
+        #: (quantum_index, swap_size, quanta_length_s) adaptation trajectory
+        self._config_history: list[tuple[int, int, float]] = [
+            (0, self.config.swap_size, self.config.quanta_length_s)
+        ]
+
+    def quantum_length_s(self) -> float:
+        return self.config.quanta_length_s
+
+    # ------------------------------------------------------------- decision
+
+    def decide(
+        self, counters: QuantumCounters, placement: dict[int, int]
+    ) -> Sequence[Action]:
+        report = self.observer.update(counters)
+        self._backfill_predictions(counters, report)
+
+        new_cfg = self.optimizer.maybe_update(report)
+        if new_cfg is not self.config:
+            self._set_config(new_cfg, counters.quantum_index)
+
+        # Finished threads drop out of `placement`; forget their cooldowns.
+        for tid in list(self.decider._last_swap):
+            if tid not in placement:
+                self.decider.forget_thread(tid)
+
+        pairs = self.selector.select(report, placement)
+        predictions = self.predictor.predict(pairs, report, placement)
+        accepted = self.decider.decide(
+            predictions, counters.quantum_index, counters.time_s
+        )
+        actions = self.migrator.build_actions(accepted)
+
+        # Register next-quantum predictions for every live thread — the
+        # quantity Figures 7/8 score.  The closed-loop model's stay-case is
+        # persistence ("if thread t_l stays on the same core, we expect it
+        # to keep the same access rate"); for swapped threads the moved-case
+        # estimate applies: the destination core's bandwidth, capped by the
+        # thread's own demand (a compute thread will not consume a fast
+        # core's entire memory bandwidth no matter where it lands).
+        demand = report.demand_estimate or {}
+        for tid in placement:
+            rate = report.access_rate.get(tid)
+            if rate is not None and rate > 0.0:
+                self._pending[tid] = (
+                    counters.quantum_index,
+                    counters.time_s,
+                    rate,
+                )
+        for pred in accepted:
+            for tid, dest_bw in (
+                (pred.pair.t_l, report.core_bw.get(placement[pred.pair.t_h])),
+                (pred.pair.t_h, report.core_bw.get(placement[pred.pair.t_l])),
+            ):
+                moved_case = dest_bw if dest_bw is not None else float("nan")
+                bound = demand.get(tid, float("inf"))
+                predicted = min(moved_case, bound)
+                if predicted == predicted:  # not NaN
+                    self._pending[tid] = (
+                        counters.quantum_index,
+                        counters.time_s,
+                        max(predicted - self.predictor.overhead(predicted), 0.0),
+                    )
+        return actions
+
+    # ------------------------------------------------------------ internals
+
+    def _set_config(self, cfg: DikeConfig, quantum_index: int) -> None:
+        self.config = cfg
+        self.selector.config = cfg
+        self.predictor.config = cfg
+        self.decider.config = cfg
+        self.observer.config = cfg
+        self._config_history.append(
+            (quantum_index, cfg.swap_size, cfg.quanta_length_s)
+        )
+
+    def _backfill_predictions(
+        self, counters: QuantumCounters, report
+    ) -> None:
+        """Match predictions from the previous quantum with measurements."""
+        done: list[int] = []
+        for tid, (q, t, predicted) in self._pending.items():
+            if counters.quantum_index <= q:
+                continue
+            actual = report.access_rate.get(tid)
+            if actual is not None and actual > 0.0:
+                self._records.append(
+                    PredictionRecord(
+                        time_s=t,
+                        quantum_index=q,
+                        tid=tid,
+                        predicted_rate=predicted,
+                        actual_rate=actual,
+                    )
+                )
+            done.append(tid)
+        for tid in done:
+            self._pending.pop(tid, None)
+
+    def drain_prediction_records(self) -> tuple[PredictionRecord, ...]:
+        records = tuple(self._records)
+        self._records = []
+        return records
+
+    def describe(self) -> dict[str, object]:
+        info: dict[str, object] = {"policy": self.name}
+        info.update(self._initial_config.describe())
+        history = getattr(self, "_config_history", None)
+        if history is not None:
+            info["config_history"] = tuple(history)
+        return info
+
+
+def dike(config: DikeConfig | None = None) -> DikeScheduler:
+    """Non-adaptive Dike with the paper's default ⟨8, 500 ms⟩ (or a custom
+    fixed configuration)."""
+    cfg = config or DikeConfig()
+    if cfg.goal is not AdaptationGoal.NONE:
+        raise ValueError("use dike_af()/dike_ap() for adaptive goals")
+    return DikeScheduler(cfg, name="dike")
+
+
+def dike_af(config: DikeConfig | None = None) -> DikeScheduler:
+    """Adaptive Dike favouring fairness (Dike-AF)."""
+    cfg = config or DikeConfig()
+    cfg = DikeConfig(
+        quanta_length_s=cfg.quanta_length_s,
+        swap_size=cfg.swap_size,
+        fairness_threshold=cfg.fairness_threshold,
+        goal=AdaptationGoal.FAIRNESS,
+        adaptation_period=cfg.adaptation_period,
+        classification_miss_threshold=cfg.classification_miss_threshold,
+        corebw_window=cfg.corebw_window,
+        swap_overhead_belief_s=cfg.swap_overhead_belief_s,
+        cooldown_quanta=cfg.cooldown_quanta,
+        require_positive_profit=cfg.require_positive_profit,
+    )
+    return DikeScheduler(cfg, name="dike-af")
+
+
+def dike_ap(config: DikeConfig | None = None) -> DikeScheduler:
+    """Adaptive Dike favouring performance (Dike-AP)."""
+    cfg = config or DikeConfig()
+    cfg = DikeConfig(
+        quanta_length_s=cfg.quanta_length_s,
+        swap_size=cfg.swap_size,
+        fairness_threshold=cfg.fairness_threshold,
+        goal=AdaptationGoal.PERFORMANCE,
+        adaptation_period=cfg.adaptation_period,
+        classification_miss_threshold=cfg.classification_miss_threshold,
+        corebw_window=cfg.corebw_window,
+        swap_overhead_belief_s=cfg.swap_overhead_belief_s,
+        cooldown_quanta=cfg.cooldown_quanta,
+        require_positive_profit=cfg.require_positive_profit,
+    )
+    return DikeScheduler(cfg, name="dike-ap")

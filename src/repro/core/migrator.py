@@ -1,0 +1,26 @@
+"""Dike's Migrator: turn accepted pairs into affinity swaps (§III-E).
+
+The Migrator "simply manipulates thread-to-core affinity mappings to swap a
+thread pair's cores" — no third core is used, and the paper found the
+ordering of the two moves immaterial.  In this reproduction the mechanism
+is the engine's :class:`~repro.schedulers.base.Swap` action (the analogue
+of two ``sched_setaffinity`` calls); the Migrator's job is the bookkeeping
+between decision and enforcement.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictor import PairPrediction
+from repro.schedulers.base import Swap
+
+__all__ = ["Migrator"]
+
+
+class Migrator:
+    """Stateless translation of accepted predictions into engine actions."""
+
+    def build_actions(self, accepted: list[PairPrediction]) -> list[Swap]:
+        """One :class:`Swap` per accepted pair, in decision order."""
+        return [
+            Swap(tid_a=pred.pair.t_l, tid_b=pred.pair.t_h) for pred in accepted
+        ]

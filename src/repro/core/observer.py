@@ -1,0 +1,232 @@
+"""Dike's Observer: thread classification and core identification (§III-A).
+
+Per quantum the Observer:
+
+* reads each thread's **memory access rate** (LLC misses / second) and
+  **LLC miss rate** from the hardware-counter sample;
+* classifies threads *memory-intensive* (``M``, miss rate > 10 %) or
+  *compute-intensive* (``C``) — re-classified every quantum because
+  "memory intensity of a thread dynamically changes as thread goes through
+  execution phases";
+* maintains ``CoreBW`` — the moving mean of bandwidth *deliverable by*
+  each virtual core — and partitions cores into *high-* and
+  *low-bandwidth* halves at the median.
+
+CoreBW semantics (an interpretation the paper leaves implicit): a core's
+achieved bandwidth only reveals its capability when its occupant actually
+stresses the memory path.  The Observer therefore folds a quantum's
+achieved bandwidth into a core's moving mean **only when the occupant was
+memory-intensive** — such an occupant acts as a *bandwidth probe* ("we
+assume that if a thread migrates to a new core, it consumes the new core's
+entire memory bandwidth").  A core that has never been probed reports an
+**optimistic** estimate (the best probed value seen anywhere): optimism
+drives exploratory swaps onto unknown cores, and the closed loop corrects
+the estimate one quantum later — exactly the feedback-absorbs-model-error
+argument of §III-C.  Probed estimates embed current contention, so "a core
+may become low-bandwidth due to contention" falls out naturally.
+
+Fairness signal (``getSystemFairness``): the paper defines fairness
+per application — "fairness in an application means that threads'
+runtimes are approximately close together" — and Eqn. 4 averages a
+per-benchmark cv.  The runtime gate mirrors that: the signal is the
+**bandwidth-weighted mean over process groups of the cv of each group's
+thread access rates**.  A raw global cv would compare memory apps against
+compute apps and read "unfair" forever; an unweighted group mean would let
+an idle compute app's noisy near-zero rates dominate.  Weighting each
+group's internal dispersion by its share of total traffic measures exactly
+what Dike can fix: unequal memory progress among sibling threads that
+actually use memory.  (Group membership is OS-visible — it is the
+process/tgid of each thread.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import DikeConfig
+from repro.sim.counters import QuantumCounters
+from repro.util.stats import MovingMean, coefficient_of_variation
+
+__all__ = ["ObserverReport", "Observer"]
+
+
+@dataclass(frozen=True)
+class ObserverReport:
+    """The Observer's per-quantum digest consumed by Selector/Predictor.
+
+    Attributes
+    ----------
+    access_rate:
+        tid -> measured access rate this quantum (misses/second).
+    miss_rate:
+        tid -> LLC miss ratio this quantum.
+    classification:
+        tid -> ``"M"`` or ``"C"``.
+    core_bw:
+        vcore -> CoreBW capability estimate (accesses/second).
+    high_bw_cores:
+        Set of vcores currently identified as high-bandwidth.
+    fairness:
+        Dike's ``getSystemFairness()`` value (lower = fairer).
+    """
+
+    access_rate: dict[int, float]
+    miss_rate: dict[int, float]
+    classification: dict[int, str]
+    core_bw: dict[int, float]
+    high_bw_cores: frozenset[int]
+    fairness: float
+    group_of: dict[int, int] | None = None
+    demand_estimate: dict[int, float] | None = None
+
+    def is_fair(self, threshold: float) -> bool:
+        """True when no scheduling action is needed this quantum."""
+        return bool(np.isnan(self.fairness)) or self.fairness < threshold
+
+    def n_memory(self) -> int:
+        return sum(1 for c in self.classification.values() if c == "M")
+
+    def n_compute(self) -> int:
+        return sum(1 for c in self.classification.values() if c == "C")
+
+
+class Observer:
+    """Stateful Observer: feed counters, get an :class:`ObserverReport`."""
+
+    def __init__(
+        self,
+        config: DikeConfig,
+        n_vcores: int,
+        groups: dict[int, int] | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        config:
+            Dike configuration (thresholds, CoreBW window).
+        n_vcores:
+            Number of virtual cores on the machine.
+        groups:
+            tid -> process-group id, used by the per-application fairness
+            signal.  ``None`` degrades to a single global group.
+        """
+        self.config = config
+        self.n_vcores = n_vcores
+        self.groups = dict(groups) if groups else None
+        self._core_bw = [
+            MovingMean(window=config.corebw_window) for _ in range(n_vcores)
+        ]
+        self._best_probe = float("nan")
+        #: tid -> decaying peak of observed access rate (the thread's
+        #: *demand*: what it would consume given an uncontended fast core)
+        self._demand: dict[int, float] = {}
+
+    def reset(self) -> None:
+        for mm in self._core_bw:
+            mm.reset()
+        self._best_probe = float("nan")
+        self._demand.clear()
+
+    # ------------------------------------------------------------------ API
+
+    def update(self, counters: QuantumCounters) -> ObserverReport:
+        """Digest one quantum of counter readings."""
+        access_rate: dict[int, float] = {}
+        miss_rate: dict[int, float] = {}
+        classification: dict[int, str] = {}
+        active: list[tuple[int, float]] = []  # (tid, rate) of running threads
+        threshold = self.config.classification_miss_threshold
+
+        use_ipc = self.config.contention_metric == "ipc"
+        for s in counters.samples:
+            access_rate[s.tid] = s.ips if use_ipc else s.access_rate
+            miss_rate[s.tid] = s.miss_rate
+            classification[s.tid] = "M" if s.miss_rate > threshold else "C"
+            if s.instructions > 0.0:  # barrier-idle threads don't define fairness
+                active.append((s.tid, access_rate[s.tid]))
+                prev = self._demand.get(s.tid, 0.0)
+                self._demand[s.tid] = max(s.access_rate, 0.75 * prev)
+
+        # Probe-based CoreBW update: only a memory-intensive occupant
+        # reveals what its core can deliver.
+        bw = counters.core_bandwidth
+        for s in counters.samples:
+            if classification[s.tid] == "M" and s.instructions > 0.0:
+                probe = float(bw[s.vcore])
+                self._core_bw[s.vcore].update(probe)
+                if not np.isfinite(self._best_probe) or probe > self._best_probe:
+                    self._best_probe = probe
+
+        core_bw = {v: self.core_bw_value(v) for v in range(self.n_vcores)}
+        high = self._identify_high_bw(core_bw)
+        fairness = self._system_fairness(active)
+        return ObserverReport(
+            access_rate=access_rate,
+            miss_rate=miss_rate,
+            classification=classification,
+            core_bw=core_bw,
+            high_bw_cores=high,
+            fairness=fairness,
+            group_of=self.groups,
+            demand_estimate=dict(self._demand),
+        )
+
+    def core_bw_value(self, vcore: int) -> float:
+        """CoreBW estimate: probed moving mean, else the optimistic prior."""
+        value = self._core_bw[vcore].value
+        if np.isfinite(value):
+            return value
+        return self._best_probe  # nan before any probe anywhere
+
+    # ------------------------------------------------------------- internals
+
+    def _system_fairness(self, active: list[tuple[int, float]]) -> float:
+        """Bandwidth-weighted mean of per-group access-rate cv.
+
+        See the module docstring for why this — not a raw global cv — is
+        the faithful reading of the paper's ``getSystemFairness``.
+        """
+        if len(active) < 2:
+            return float("nan")
+        if self.groups is None:
+            return coefficient_of_variation([r for _, r in active])
+        by_group: dict[int, list[float]] = {}
+        for tid, rate in active:
+            by_group.setdefault(self.groups.get(tid, -1), []).append(rate)
+        total = sum(sum(rates) for rates in by_group.values())
+        if total <= 0.0:
+            return 0.0  # nobody is using memory: trivially fair
+        signal = 0.0
+        for rates in by_group.values():
+            if len(rates) < 2:
+                continue
+            weight = sum(rates) / total
+            cv = coefficient_of_variation(rates)
+            if np.isfinite(cv):
+                signal += weight * cv
+        return signal
+
+    def _identify_high_bw(self, core_bw: dict[int, float]) -> frozenset[int]:
+        """Median split of capability estimates over all cores.
+
+        Unprobed (optimistic) cores sit at the best probed value, so they
+        land in the high half and attract exploration.
+        """
+        values = np.array([core_bw[v] for v in range(self.n_vcores)])
+        finite = values[np.isfinite(values)]
+        if finite.size == 0:
+            return frozenset()
+        median = float(np.median(finite))
+        vmin = float(finite.min())
+        # ">= median and > min" keeps the split meaningful when estimates
+        # tie at the top (e.g. many optimistically-initialised cores) and
+        # returns the empty set when every core looks identical.
+        return frozenset(
+            v
+            for v in range(self.n_vcores)
+            if np.isfinite(core_bw[v])
+            and core_bw[v] >= median
+            and core_bw[v] > vmin
+        )

@@ -1,0 +1,131 @@
+"""Dike's Optimizer: adaptive tuning of the key parameters (§III-F, Alg. 2).
+
+When adaptation is enabled the Optimizer periodically re-tunes
+``⟨swapSize, quantaLength⟩`` toward the region of configuration space that
+the paper's contour study (Figure 5) found best for the current **workload
+class** and the user's **goal**:
+
+======== ============================== ==============================
+class    goal = Fairness                goal = Performance
+======== ============================== ==============================
+B        qLen down (floor 100 ms)       qLen up (cap 1000 ms)
+UC       swapSize +2 (cap 16),          swapSize +2 (cap 16),
+         qLen down (floor 200 ms)       qLen up (cap 1000 ms)
+UM       swapSize +2 (cap 16),          qLen up (cap 1000 ms)
+         qLen down (floor 500 ms)
+======== ============================== ==============================
+
+Each invocation moves at most one step per parameter ("updating
+quantaLength from 100 to 1000 milliseconds requires calling optimizer for
+3 times"), and nothing changes while the system is fair.  The workload
+class is derived online from the Observer's C/M counts — never from
+a-priori knowledge.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    QUANTA_CHOICES_S,
+    AdaptationGoal,
+    DikeConfig,
+)
+from repro.core.observer import ObserverReport
+
+__all__ = ["Optimizer", "classify_workload"]
+
+_MAX_SWAP = 16
+
+
+def classify_workload(n_memory: int, n_compute: int, tolerance: float = 0.2) -> str:
+    """Classify a live thread mix as ``"B"``, ``"UC"`` or ``"UM"``.
+
+    The paper classes workloads by the *count* of memory vs compute
+    intensive threads.  Online counts jitter quantum to quantum (phase
+    bursts flip classifications), so a relative ``tolerance`` band around
+    equality counts as balanced.
+    """
+    total = n_memory + n_compute
+    if total == 0:
+        return "B"
+    imbalance = (n_compute - n_memory) / total
+    if abs(imbalance) <= tolerance:
+        return "B"
+    return "UC" if imbalance > 0 else "UM"
+
+
+class Optimizer:
+    """Implements Algorithm 2 over the discrete configuration grid."""
+
+    def __init__(self, config: DikeConfig) -> None:
+        self.config = config
+        self._quanta_since_update = 0
+
+    def reset(self) -> None:
+        self._quanta_since_update = 0
+
+    # ------------------------------------------------------------------ API
+
+    def maybe_update(self, report: ObserverReport) -> DikeConfig:
+        """Advance the adaptation clock; possibly return a retuned config.
+
+        Returns the (possibly unchanged) configuration to use from the next
+        quantum on.  Mirrors Algorithm 2: no update while fair, one step
+        per parameter per invocation.
+        """
+        cfg = self.config
+        if cfg.goal is AdaptationGoal.NONE:
+            return cfg
+        self._quanta_since_update += 1
+        if self._quanta_since_update < cfg.adaptation_period:
+            return cfg
+        self._quanta_since_update = 0
+
+        if report.is_fair(cfg.fairness_threshold):
+            return cfg  # Algorithm 2, lines 2-4
+
+        wl_class = classify_workload(report.n_memory(), report.n_compute())
+        swap, qlen = cfg.swap_size, cfg.quanta_length_s
+        if cfg.goal is AdaptationGoal.FAIRNESS:
+            if wl_class == "B":
+                qlen = _step_quanta(qlen, down=True, floor=0.1)
+            elif wl_class == "UC":
+                swap = min(swap + 2, _MAX_SWAP)
+                qlen = _step_quanta(qlen, down=True, floor=0.2)
+            else:  # UM
+                swap = min(swap + 2, _MAX_SWAP)
+                qlen = _step_quanta(qlen, down=True, floor=0.5)
+        else:  # PERFORMANCE
+            if wl_class == "B":
+                qlen = _step_quanta(qlen, down=False, cap=1.0)
+            elif wl_class == "UC":
+                swap = min(swap + 2, _MAX_SWAP)
+                qlen = _step_quanta(qlen, down=False, cap=1.0)
+            else:  # UM
+                qlen = _step_quanta(qlen, down=False, cap=1.0)
+
+        if swap == cfg.swap_size and qlen == cfg.quanta_length_s:
+            return cfg
+        new_cfg = cfg.with_parameters(swap_size=swap, quanta_length_s=qlen)
+        self.config = new_cfg
+        return new_cfg
+
+
+def _step_quanta(
+    current: float,
+    down: bool,
+    floor: float | None = None,
+    cap: float | None = None,
+) -> float:
+    """Move one step along ``QUANTA_CHOICES_S``, clamped to floor/cap."""
+    choices = QUANTA_CHOICES_S
+    # Snap to the nearest legal value first (configs are always legal in
+    # practice; this guards hand-built configs).
+    idx = min(range(len(choices)), key=lambda i: abs(choices[i] - current))
+    idx = idx - 1 if down else idx + 1
+    idx = max(0, min(idx, len(choices) - 1))
+    value = choices[idx]
+    if floor is not None:
+        value = max(value, floor)
+    if cap is not None:
+        value = min(value, cap)
+    return value

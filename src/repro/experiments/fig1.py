@@ -1,0 +1,124 @@
+"""Figure 1 — performance variation of standalone vs concurrent execution.
+
+The paper's motivating figure: each application's slowdown when run inside
+a multi-application workload relative to running alone, on both the
+homogeneous and the heterogeneous machine.  Application runtime is the
+mean of its threads' completion times (per-application average
+performance — the max would measure the placement of the single unluckiest
+thread rather than the application's slowdown).  Headline data points from the
+paper: jacobi degrades ~2.3x in wl2 while srad only ~1.25x; STREAM in wl15
+slows 3.4x on the homogeneous machine but 4.6x on the heterogeneous one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_standalone, run_workload
+from repro.schedulers.cfs import CFSScheduler
+from repro.sim.topology import homogeneous, xeon_e5_heterogeneous
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import format_table
+from repro.workloads.suite import workload
+
+__all__ = ["Fig1Row", "Fig1Result", "run_fig1"]
+
+#: (workload, application) pairs highlighted by the figure.
+DEFAULT_CASES: tuple[tuple[str, str], ...] = (
+    ("wl2", "jacobi"),
+    ("wl2", "srad"),
+    ("wl6", "needle"),
+    ("wl6", "heartwall"),
+    ("wl15", "stream_omp"),
+    ("wl15", "hotspot"),
+)
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """Slowdowns of one application inside one workload."""
+
+    workload: str
+    benchmark: str
+    standalone_s: float
+    concurrent_homogeneous_s: float
+    concurrent_heterogeneous_s: float
+
+    @property
+    def slowdown_homogeneous(self) -> float:
+        return self.concurrent_homogeneous_s / self.standalone_s
+
+    @property
+    def slowdown_heterogeneous(self) -> float:
+        return self.concurrent_heterogeneous_s / self.standalone_s
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    rows: tuple[Fig1Row, ...]
+
+    def render(self) -> str:
+        return format_table(
+            ["workload", "benchmark", "standalone(s)", "homog slowdown", "hetero slowdown"],
+            [
+                [
+                    r.workload,
+                    r.benchmark,
+                    r.standalone_s,
+                    r.slowdown_homogeneous,
+                    r.slowdown_heterogeneous,
+                ]
+                for r in self.rows
+            ],
+            title="Figure 1: standalone vs concurrent performance variation",
+        )
+
+
+def run_fig1(
+    cases: tuple[tuple[str, str], ...] = DEFAULT_CASES,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+) -> Fig1Result:
+    """Regenerate Figure 1's slowdown comparison.
+
+    Standalone runs pin the benchmark's threads to the fastest cores of the
+    heterogeneous machine; concurrent runs execute the full workload under
+    CFS on the homogeneous and heterogeneous machines.
+    """
+    topo_het = xeon_e5_heterogeneous()
+    topo_hom = homogeneous()
+    rows: list[Fig1Row] = []
+    cache: dict[tuple[str, str], dict[str, float]] = {}
+    for wl_name, bench in cases:
+        spec = workload(wl_name)
+        key_het = (wl_name, "het")
+        key_hom = (wl_name, "hom")
+        if key_het not in cache:
+            res = run_workload(
+                spec, CFSScheduler(), seed=seed, work_scale=work_scale,
+                topology=topo_het,
+            )
+            cache[key_het] = {
+                b.benchmark: b.mean_thread_time for b in res.benchmarks
+            }
+        if key_hom not in cache:
+            res = run_workload(
+                spec, CFSScheduler(), seed=seed, work_scale=work_scale,
+                topology=topo_hom,
+            )
+            cache[key_hom] = {
+                b.benchmark: b.mean_thread_time for b in res.benchmarks
+            }
+        solo = run_standalone(
+            spec, bench, seed=seed, work_scale=work_scale, topology=topo_het
+        )
+        rows.append(
+            Fig1Row(
+                workload=wl_name,
+                benchmark=bench,
+                standalone_s=solo.benchmark_named(bench).mean_thread_time,
+                concurrent_homogeneous_s=cache[key_hom][bench],
+                concurrent_heterogeneous_s=cache[key_het][bench],
+            )
+        )
+    return Fig1Result(rows=tuple(rows))

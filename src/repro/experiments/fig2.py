@@ -1,0 +1,103 @@
+"""Figure 2 — optimal vs default vs worst Dike configuration.
+
+For selected workloads, the normalised fairness and performance of three
+scheduler configurations: the best over the 32-point space, the default
+⟨8, 500 ms⟩, and the worst.  The paper's point: a bad static configuration
+costs real fairness/performance, and no single configuration is optimal
+everywhere — motivating the Optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import format_table
+from repro.workloads.suite import workload
+
+__all__ = ["Fig2Row", "Fig2Result", "run_fig2"]
+
+#: One workload per class, as the paper selects three representatives.
+DEFAULT_WORKLOADS: tuple[str, ...] = ("wl2", "wl9", "wl14")
+
+DEFAULT_CONFIG = (8, 0.5)
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    workload: str
+    workload_class: str
+    metric: str  # "fairness" | "performance"
+    optimal: float
+    default: float
+    worst: float
+    optimal_config: tuple[int, float]
+    worst_config: tuple[int, float]
+
+    @property
+    def default_normalized(self) -> float:
+        return self.default / self.optimal if self.optimal else float("nan")
+
+    @property
+    def worst_normalized(self) -> float:
+        return self.worst / self.optimal if self.optimal else float("nan")
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    rows: tuple[Fig2Row, ...]
+    sweeps: tuple[ConfigSweepResult, ...]
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "workload", "class", "metric",
+                "optimal", "default/opt", "worst/opt",
+                "opt cfg", "worst cfg",
+            ],
+            [
+                [
+                    r.workload,
+                    r.workload_class,
+                    r.metric,
+                    r.optimal,
+                    r.default_normalized,
+                    r.worst_normalized,
+                    f"<{r.optimal_config[0]},{int(r.optimal_config[1] * 1000)}ms>",
+                    f"<{r.worst_config[0]},{int(r.worst_config[1] * 1000)}ms>",
+                ]
+                for r in self.rows
+            ],
+            title="Figure 2: optimal / default / worst configuration",
+        )
+
+
+def run_fig2(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+) -> Fig2Result:
+    """Regenerate Figure 2 from full configuration sweeps."""
+    rows: list[Fig2Row] = []
+    sweeps: list[ConfigSweepResult] = []
+    for wl_name in workloads:
+        spec = workload(wl_name)
+        sweep = sweep_configurations(spec, seed=seed, work_scale=work_scale)
+        sweeps.append(sweep)
+        for metric in ("fairness", "performance"):
+            s_best, q_best, v_best = sweep.best_config(metric)
+            s_worst, q_worst, v_worst = sweep.worst_config(metric)
+            rows.append(
+                Fig2Row(
+                    workload=wl_name,
+                    workload_class=spec.workload_class,
+                    metric=metric,
+                    optimal=v_best,
+                    default=sweep.value_at(*DEFAULT_CONFIG, metric=metric),
+                    worst=v_worst,
+                    optimal_config=(s_best, q_best),
+                    worst_config=(s_worst, q_worst),
+                )
+            )
+    return Fig2Result(rows=tuple(rows), sweeps=tuple(sweeps))

@@ -1,0 +1,67 @@
+"""Figure 4 — configuration heatmaps for selected workloads.
+
+Normalised fairness and performance of every ⟨swapSize, quantaLength⟩
+configuration, one heatmap per (workload, metric), brighter = better.
+The paper's takeaways: (1) the best configuration differs between fairness
+and performance for a fixed workload; (2) it differs across workloads for
+a fixed metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import format_heatmap
+from repro.workloads.suite import workload
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+DEFAULT_WORKLOADS: tuple[str, ...] = ("wl2", "wl13")
+
+
+@dataclass(frozen=True)
+class Fig4Result:
+    sweeps: tuple[ConfigSweepResult, ...]
+
+    def render(self) -> str:
+        blocks: list[str] = []
+        for sweep in self.sweeps:
+            for metric in ("fairness", "performance"):
+                grid = sweep.normalized(metric)
+                blocks.append(
+                    format_heatmap(
+                        grid,
+                        row_labels=[f"{int(q * 1000)}ms" for q in sweep.quanta_choices],
+                        col_labels=list(sweep.swap_choices),
+                        title=(
+                            f"Figure 4: {metric} of {sweep.workload} "
+                            f"({sweep.workload_class}), normalised to best "
+                            f"(rows=quantaLength, cols=swapSize)"
+                        ),
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    def best_configs(self) -> dict[tuple[str, str], tuple[int, float]]:
+        """(workload, metric) -> best ⟨swapSize, quantaLength⟩."""
+        out: dict[tuple[str, str], tuple[int, float]] = {}
+        for sweep in self.sweeps:
+            for metric in ("fairness", "performance"):
+                s, q, _ = sweep.best_config(metric)
+                out[(sweep.workload, metric)] = (s, q)
+        return out
+
+
+def run_fig4(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+) -> Fig4Result:
+    """Regenerate Figure 4's heatmaps."""
+    sweeps = tuple(
+        sweep_configurations(workload(w), seed=seed, work_scale=work_scale)
+        for w in workloads
+    )
+    return Fig4Result(sweeps=sweeps)

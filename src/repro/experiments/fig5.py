@@ -1,0 +1,128 @@
+"""Figure 5 — the optimisation space per workload class (B / UC / UM).
+
+Aggregates the normalised configuration grids of every workload in a class
+into one contour-style map per (class, metric).  The paper derives the
+Optimizer's rules (Algorithm 2) from the local extrema of these maps —
+e.g. "Fairness-UC shows higher intensity in the center right: increase
+swapSize and decrease quantaLength down to 200 ms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import format_heatmap
+from repro.workloads.suite import workloads_of_class
+
+__all__ = ["Fig5Result", "run_fig5", "top_region"]
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Mean normalised grids per workload class."""
+
+    classes: tuple[str, ...]
+    quanta_choices: tuple[float, ...]
+    swap_choices: tuple[int, ...]
+    #: (class, metric) -> grid, mean of per-workload normalised grids
+    grids: dict[tuple[str, str], np.ndarray]
+    sweeps: tuple[ConfigSweepResult, ...]
+
+    def render(self) -> str:
+        blocks: list[str] = []
+        for cls in self.classes:
+            for metric in ("fairness", "performance"):
+                blocks.append(
+                    format_heatmap(
+                        self.grids[(cls, metric)],
+                        row_labels=[f"{int(q * 1000)}ms" for q in self.quanta_choices],
+                        col_labels=list(self.swap_choices),
+                        title=(
+                            f"Figure 5: {metric} optimisation space, class {cls} "
+                            f"(rows=quantaLength, cols=swapSize)"
+                        ),
+                    )
+                )
+        return "\n\n".join(blocks)
+
+    def rule_direction(self, cls: str, metric: str) -> tuple[int, int]:
+        """Sign of the grid's gradient at the default ⟨8, 500 ms⟩.
+
+        Returns ``(d_swap, d_quanta)`` with each component in {-1, 0, +1}:
+        the direction a hill-climbing optimizer should move.  This is the
+        quantitative counterpart of the paper's reading of the contours.
+        """
+        grid = self.grids[(cls, metric)]
+        i = self.quanta_choices.index(0.5)
+        j = self.swap_choices.index(8)
+
+        def direction(lo: float, here: float, hi: float) -> int:
+            if np.isnan(lo) or np.isnan(hi):
+                return 0
+            if hi > here and hi >= lo:
+                return 1
+            if lo > here and lo > hi:
+                return -1
+            return 0
+
+        d_swap = direction(
+            grid[i, j - 1] if j > 0 else np.nan,
+            grid[i, j],
+            grid[i, j + 1] if j + 1 < grid.shape[1] else np.nan,
+        )
+        d_quanta = direction(
+            grid[i - 1, j] if i > 0 else np.nan,
+            grid[i, j],
+            grid[i + 1, j] if i + 1 < grid.shape[0] else np.nan,
+        )
+        return d_swap, d_quanta
+
+
+def top_region(grid: np.ndarray, threshold: float = 0.75) -> np.ndarray:
+    """Boolean mask of configurations within ``threshold`` of the best —
+    the paper's "top configurations that provide 75 % or more of best"."""
+    best = np.nanmax(grid)
+    if not np.isfinite(best) or best <= 0:
+        return np.zeros_like(grid, dtype=bool)
+    return grid >= threshold * best
+
+
+def run_fig5(
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+    workloads_per_class: int | None = None,
+) -> Fig5Result:
+    """Regenerate Figure 5 by sweeping every workload of every class.
+
+    ``workloads_per_class`` limits how many of each class's workloads are
+    swept (the benchmark harness uses a reduced count; ``None`` = all).
+    """
+    classes = ("B", "UC", "UM")
+    grids: dict[tuple[str, str], np.ndarray] = {}
+    sweeps: list[ConfigSweepResult] = []
+    quanta: tuple[float, ...] = ()
+    swaps: tuple[int, ...] = ()
+    for cls in classes:
+        specs = workloads_of_class(cls)
+        if workloads_per_class is not None:
+            specs = specs[:workloads_per_class]
+        per_metric: dict[str, list[np.ndarray]] = {"fairness": [], "performance": []}
+        for spec in specs:
+            sweep = sweep_configurations(spec, seed=seed, work_scale=work_scale)
+            sweeps.append(sweep)
+            quanta, swaps = sweep.quanta_choices, sweep.swap_choices
+            for metric in per_metric:
+                per_metric[metric].append(sweep.normalized(metric))
+        for metric, stack in per_metric.items():
+            grids[(cls, metric)] = np.nanmean(np.stack(stack), axis=0)
+    return Fig5Result(
+        classes=classes,
+        quanta_choices=quanta,
+        swap_choices=swaps,
+        grids=grids,
+        sweeps=tuple(sweeps),
+    )

@@ -1,0 +1,78 @@
+"""Experiment registry: every paper artefact, runnable by id.
+
+Maps experiment ids (``fig1`` ... ``fig8``, ``tab1`` ... ``tab3``) to their
+runner functions and metadata, for the CLI and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments import fig1, fig2, fig4, fig5, fig6, fig7, fig8, table3, tables12
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One regenerable paper artefact."""
+
+    id: str
+    title: str
+    #: callable accepting (seed=..., work_scale=...) where applicable
+    run: Callable[..., Any]
+    #: does the runner accept seed/work_scale kwargs?
+    parametric: bool = True
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "fig1": Experiment(
+        "fig1", "Standalone vs concurrent performance variation", fig1.run_fig1
+    ),
+    "fig2": Experiment(
+        "fig2", "Optimal / default / worst scheduler configuration", fig2.run_fig2
+    ),
+    "fig4": Experiment(
+        "fig4", "Configuration heatmaps for selected workloads", fig4.run_fig4
+    ),
+    "fig5": Experiment(
+        "fig5", "Optimisation space per workload class", fig5.run_fig5
+    ),
+    "fig6": Experiment(
+        "fig6", "Fairness and performance vs CFS and DIO", fig6.run_fig6
+    ),
+    "fig7": Experiment(
+        "fig7", "Prediction error per workload", fig7.run_fig7
+    ),
+    "fig8": Experiment(
+        "fig8", "Prediction error over time (wl6, wl11)", fig8.run_fig8
+    ),
+    "tab1": Experiment(
+        "tab1", "System configuration", tables12.run_table1, parametric=False
+    ),
+    "tab2": Experiment(
+        "tab2", "Workload definitions", tables12.run_table2, parametric=False
+    ),
+    "tab3": Experiment(
+        "tab3", "Swap counts per workload and policy", table3.run_table3
+    ),
+}
+
+
+def list_experiments() -> list[tuple[str, str]]:
+    """(id, title) pairs in presentation order."""
+    return [(e.id, e.title) for e in EXPERIMENTS.values()]
+
+
+def run_experiment(exp_id: str, **kwargs: Any) -> Any:
+    """Run one experiment by id; returns its result object (has .render())."""
+    try:
+        exp = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    if not exp.parametric:
+        return exp.run()
+    return exp.run(**kwargs)

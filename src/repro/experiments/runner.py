@@ -1,0 +1,120 @@
+"""Single-run harness: ``(workload, policy, config, seed) -> RunResult``.
+
+Everything the figure/table modules need funnels through
+:func:`run_workload`, so simulator wiring (topology defaults, migration
+model, noise) lives in exactly one place.  Policies are passed as
+zero-argument *factories* because scheduler objects are stateful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.dike import dike, dike_af, dike_ap
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.memory import MemoryModelConfig
+from repro.sim.migration import MigrationModel
+from repro.sim.results import RunResult
+from repro.sim.topology import Topology, xeon_e5_heterogeneous
+from repro.util.rng import DEFAULT_SEED
+from repro.workloads.dynamic import DynamicWorkload
+from repro.workloads.suite import WorkloadSpec
+
+__all__ = [
+    "PolicyFactory",
+    "STANDARD_POLICIES",
+    "run_workload",
+    "run_policies",
+    "run_standalone",
+]
+
+PolicyFactory = Callable[[], Scheduler]
+
+#: The paper's five evaluated policies (Figure 6 / Table III), by name.
+STANDARD_POLICIES: dict[str, PolicyFactory] = {
+    "cfs": CFSScheduler,
+    "dio": DIOScheduler,
+    "dike": dike,
+    "dike-af": dike_af,
+    "dike-ap": dike_ap,
+}
+
+
+def run_workload(
+    spec: WorkloadSpec | DynamicWorkload,
+    scheduler: Scheduler,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+    topology: Topology | None = None,
+    migration: MigrationModel | None = None,
+    memory_config: MemoryModelConfig | None = None,
+    record_timeseries: bool = False,
+    counter_noise: float = 0.06,
+    max_time_s: float = 36_000.0,
+) -> RunResult:
+    """Simulate one workload under one scheduler and return the result."""
+    topo = topology or xeon_e5_heterogeneous()
+    groups = spec.build(seed=seed, work_scale=work_scale)
+    engine = SimulationEngine(
+        topology=topo,
+        groups=groups,
+        scheduler=scheduler,
+        migration=migration,
+        memory_config=memory_config,
+        seed=seed,
+        counter_noise=counter_noise,
+        max_time_s=max_time_s,
+        record_timeseries=record_timeseries,
+        workload_name=spec.name,
+    )
+    return engine.run()
+
+
+def run_policies(
+    spec: WorkloadSpec | DynamicWorkload,
+    policies: Mapping[str, PolicyFactory] | None = None,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+    **kwargs: object,
+) -> dict[str, RunResult]:
+    """Run one workload under several policies (same build, same seed)."""
+    policies = dict(policies or STANDARD_POLICIES)
+    return {
+        name: run_workload(
+            spec, factory(), seed=seed, work_scale=work_scale, **kwargs
+        )
+        for name, factory in policies.items()
+    }
+
+
+def run_standalone(
+    spec: WorkloadSpec,
+    benchmark: str,
+    seed: int = DEFAULT_SEED,
+    work_scale: float = 1.0,
+    topology: Topology | None = None,
+    **kwargs: object,
+) -> RunResult:
+    """Run one of a workload's benchmarks *alone* on the machine.
+
+    Standalone runs (Figure 1's denominator) place threads one per
+    physical core, fastest cores first, and never migrate.
+    """
+    solo = WorkloadSpec(
+        name=f"{spec.name}:{benchmark}:standalone",
+        apps=(benchmark,),
+        include_kmeans=False,
+        threads_per_app=spec.threads_per_app,
+    )
+    return run_workload(
+        solo,
+        StaticScheduler(fastest_first=True),
+        seed=seed,
+        work_scale=work_scale,
+        topology=topology,
+        **kwargs,
+    )

@@ -1,0 +1,77 @@
+"""JSON-serialisable views of run results.
+
+`RunResult` objects hold NumPy arrays and nested dataclasses; these
+helpers flatten them into plain dict/list/float structures so experiment
+outputs can be archived, diffed, or post-processed outside Python
+(`json.dumps(run_result_to_dict(result))`).  Traces are summarised, not
+dumped (a full per-quantum trace can be tens of MB — callers who need it
+keep the live object).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.metrics.fairness import benchmark_cv, fairness
+from repro.metrics.prediction import error_summary
+from repro.sim.results import RunResult
+
+__all__ = ["run_result_to_dict", "run_result_to_json"]
+
+
+def _clean(value: Any) -> Any:
+    """Make a scalar JSON-safe (NaN/inf become None)."""
+    if isinstance(value, (np.floating, float)):
+        v = float(value)
+        return v if np.isfinite(v) else None
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    return value
+
+
+def run_result_to_dict(result: RunResult, include_metrics: bool = True) -> dict:
+    """Flatten a run result (and optionally its derived metrics)."""
+    out: dict[str, Any] = {
+        "workload": result.workload_name,
+        "policy": result.policy_name,
+        "seed": result.seed,
+        "makespan_s": _clean(result.makespan_s),
+        "n_quanta": result.n_quanta,
+        "swap_count": result.swap_count,
+        "migration_count": result.migration_count,
+        "benchmarks": [
+            {
+                "group_id": b.group_id,
+                "benchmark": b.benchmark,
+                "arrival_s": _clean(b.arrival_s),
+                "runtime_s": _clean(b.runtime),
+                "thread_finish_times": [_clean(t) for t in b.thread_finish_times],
+                "n_migrations": b.n_migrations,
+            }
+            for b in result.benchmarks
+        ],
+        "info": {
+            k: (list(v) if isinstance(v, tuple) else _clean(v))
+            for k, v in result.info.items()
+        },
+        "n_predictions": len(result.predictions),
+    }
+    if include_metrics:
+        out["metrics"] = {
+            "fairness": _clean(fairness(result)),
+            "benchmark_cv": {
+                k: _clean(v) for k, v in benchmark_cv(result).items()
+            },
+            "prediction_error": {
+                k: _clean(v) for k, v in error_summary(result).items()
+            },
+        }
+    return out
+
+
+def run_result_to_json(result: RunResult, **kwargs: Any) -> str:
+    """JSON string of :func:`run_result_to_dict` (stable key order)."""
+    return json.dumps(run_result_to_dict(result, **kwargs), sort_keys=True)

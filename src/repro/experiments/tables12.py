@@ -1,0 +1,73 @@
+"""Tables I and II — the system configuration and workload definitions.
+
+These "experiments" are consistency renders: Table I is the simulator's
+default topology (which must mirror the paper's machine), Table II the
+workload suite (which must mirror the paper's benchmark mixes).  Rendering
+them from the live objects keeps documentation and code from drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.topology import Topology, xeon_e5_heterogeneous
+from repro.util.tables import format_table
+from repro.workloads.rodinia import app
+from repro.workloads.suite import WORKLOAD_TABLE, workload
+
+__all__ = ["Table1Result", "run_table1", "Table2Result", "run_table2"]
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    topology: Topology
+
+    def render(self) -> str:
+        topo = self.topology
+        rows = []
+        for sid, sock in enumerate(topo.sockets):
+            rows.append(
+                [
+                    f"socket {sid}",
+                    f"{sock.n_physical_cores} cores @ {sock.freq_ghz} GHz, "
+                    f"SMT x{sock.smt}, link {sock.interconnect_gbps} GB/s",
+                ]
+            )
+        rows.append(["memory controller", f"{topo.memory_controller_gbps} GB/s (shared)"])
+        rows.append(["virtual cores", str(topo.n_vcores)])
+        return format_table(
+            ["component", "details"],
+            rows,
+            title="Table I: simulated system configuration",
+        )
+
+
+def run_table1() -> Table1Result:
+    return Table1Result(topology=xeon_e5_heterogeneous())
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    #: workload -> (apps, class)
+    entries: dict[str, tuple[tuple[str, ...], str]]
+
+    def render(self) -> str:
+        rows = []
+        for name, (apps, cls) in self.entries.items():
+            marked = [
+                f"*{a}*" if app(a).is_memory_intensive else a for a in apps
+            ]
+            rows.append([name, cls, ", ".join(marked)])
+        return format_table(
+            ["workload", "class", "applications (*memory-intensive*)"],
+            rows,
+            title="Table II: workloads (all also include kmeans x 8 threads)",
+        )
+
+
+def run_table2() -> Table2Result:
+    entries = {
+        name: (apps, workload(name).workload_class)
+        for name, apps in WORKLOAD_TABLE.items()
+    }
+    return Table2Result(entries=entries)

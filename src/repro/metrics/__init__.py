@@ -1,0 +1,33 @@
+"""Evaluation metrics: fairness (Eqn. 4), speedup, swaps, prediction error."""
+
+from repro.metrics.fairness import (
+    DEFAULT_EXCLUDE,
+    benchmark_cv,
+    fairness,
+    fairness_improvement,
+    unfairness_ratio,
+)
+from repro.metrics.performance import (
+    benchmark_speedups,
+    makespan_speedup,
+    speedup,
+)
+from repro.metrics.prediction import error_series, error_summary, prediction_errors
+from repro.metrics.swaps import migration_overhead_fraction, swap_count, swap_rate
+
+__all__ = [
+    "DEFAULT_EXCLUDE",
+    "benchmark_cv",
+    "fairness",
+    "fairness_improvement",
+    "unfairness_ratio",
+    "benchmark_speedups",
+    "makespan_speedup",
+    "speedup",
+    "error_series",
+    "error_summary",
+    "prediction_errors",
+    "migration_overhead_fraction",
+    "swap_count",
+    "swap_rate",
+]

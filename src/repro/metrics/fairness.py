@@ -1,0 +1,99 @@
+"""The paper's Fairness metric (Eqn. 4).
+
+For a workload of *n* benchmarks,
+
+.. math::
+
+    Fairness = 1 - \\frac{\\sum_{i=1}^{n} cv_i}{n}
+
+where :math:`cv_i` is the coefficient of variation of benchmark *i*'s
+homogeneous threads' execution times.  A perfectly fair system gives every
+sibling thread the same runtime (cv = 0, Fairness = 1); dispersion lowers
+the score.
+
+Which benchmarks count: the paper's workloads contain four main benchmarks
+plus the KMEANS contention generator.  The metric here defaults to the four
+main benchmarks (KMEANS's barrier coupling forces its threads to finish
+nearly together under *any* scheduler, so including it mostly dilutes the
+signal); pass ``include=("...",)`` or ``include=None`` with
+``exclude=()`` to override.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import RunResult
+from repro.util.stats import coefficient_of_variation
+
+__all__ = [
+    "benchmark_cv",
+    "fairness",
+    "fairness_improvement",
+    "unfairness_ratio",
+]
+
+#: Benchmarks excluded from the fairness average by default.
+DEFAULT_EXCLUDE: tuple[str, ...] = ("kmeans",)
+
+
+def benchmark_cv(result: RunResult, exclude: tuple[str, ...] = DEFAULT_EXCLUDE) -> dict[str, float]:
+    """Per-benchmark coefficient of variation of thread runtimes
+    (finish minus the instance's arrival — identical to finish times for
+    closed-system runs where everything starts at t=0)."""
+    out: dict[str, float] = {}
+    for b in result.benchmarks:
+        if b.benchmark in exclude:
+            continue
+        times = np.asarray(b.thread_runtimes, dtype=np.float64)
+        if not np.isfinite(times).all():
+            out[b.benchmark] = float("nan")  # truncated run
+        else:
+            out[b.benchmark] = coefficient_of_variation(times)
+    return out
+
+
+def fairness(result: RunResult, exclude: tuple[str, ...] = DEFAULT_EXCLUDE) -> float:
+    """Eqn. 4: ``1 - mean(cv_i)`` over the workload's benchmarks."""
+    cvs = list(benchmark_cv(result, exclude).values())
+    if not cvs:
+        return float("nan")
+    return 1.0 - float(np.mean(cvs))
+
+
+def fairness_improvement(
+    result: RunResult,
+    baseline: RunResult,
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE,
+) -> float:
+    """Relative fairness improvement over a baseline run (the quantity in
+    Figure 6a, where the baseline is Linux CFS and improvement is 0 for the
+    baseline itself)."""
+    f = fairness(result, exclude)
+    f0 = fairness(baseline, exclude)
+    if not np.isfinite(f) or not np.isfinite(f0) or f0 == 0.0:
+        return float("nan")
+    return (f - f0) / abs(f0)
+
+
+def unfairness_ratio(
+    result: RunResult, exclude: tuple[str, ...] = DEFAULT_EXCLUDE
+) -> float:
+    """The related-work metric: max-over-min thread runtime, worst benchmark.
+
+    Prior work (Feliu et al., Kim et al. — the paper's refs [8, 13]) scores
+    fairness as the ratio of the maximum to the minimum slowdown.  The
+    paper argues this "fails to address fairness completely as it only
+    considers best and worst cases"; it is implemented here so that
+    critique is testable (see tests/metrics) and so results can be compared
+    against ratio-reporting papers.  1.0 = perfectly fair; larger = worse.
+    """
+    worst = 1.0
+    for b in result.benchmarks:
+        if b.benchmark in exclude:
+            continue
+        times = np.asarray(b.thread_runtimes, dtype=np.float64)
+        if not np.isfinite(times).all() or times.min() <= 0:
+            return float("nan")
+        worst = max(worst, float(times.max() / times.min()))
+    return worst

@@ -1,0 +1,76 @@
+"""Performance metrics: speedup over a baseline run.
+
+The paper reports each workload's *speedup over baseline* (Figure 6b, CFS
+= 1.0).  Because Dike is a fairness scheduler, benchmark-level runtimes are
+the natural unit: a benchmark finishes when its slowest thread does, so
+equalising sibling runtimes directly shortens benchmark completion.  The
+headline number is the geometric mean over the workload's benchmarks of
+
+.. math::
+
+    speedup_i = \\frac{T_i^{baseline}}{T_i^{policy}}
+
+with the workload **makespan speedup** also exposed for cross-checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.fairness import DEFAULT_EXCLUDE
+from repro.sim.results import RunResult
+from repro.util.stats import geometric_mean
+
+__all__ = [
+    "benchmark_speedups",
+    "speedup",
+    "makespan_speedup",
+]
+
+
+def benchmark_speedups(
+    result: RunResult,
+    baseline: RunResult,
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE,
+) -> dict[str, float]:
+    """Per-benchmark speedup of ``result`` over ``baseline``.
+
+    Benchmarks are matched by group id (the instances are identical builds
+    of the same workload spec), with the name kept for reporting.
+    """
+    base_by_group = {b.group_id: b for b in baseline.benchmarks}
+    out: dict[str, float] = {}
+    for b in result.benchmarks:
+        if b.benchmark in exclude:
+            continue
+        base = base_by_group.get(b.group_id)
+        if base is None or base.benchmark != b.benchmark:
+            raise ValueError(
+                f"baseline run does not contain group {b.group_id} "
+                f"({b.benchmark}); are the runs from the same workload?"
+            )
+        t, t0 = b.runtime, base.runtime
+        out[b.benchmark] = (
+            t0 / t if np.isfinite(t) and np.isfinite(t0) and t > 0 else float("nan")
+        )
+    return out
+
+
+def speedup(
+    result: RunResult,
+    baseline: RunResult,
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE,
+) -> float:
+    """Geometric-mean benchmark speedup over the baseline (Figure 6b)."""
+    values = [v for v in benchmark_speedups(result, baseline, exclude).values()
+              if np.isfinite(v)]
+    if not values:
+        return float("nan")
+    return geometric_mean(values)
+
+
+def makespan_speedup(result: RunResult, baseline: RunResult) -> float:
+    """Whole-workload makespan ratio (baseline / policy)."""
+    if result.makespan_s <= 0 or not np.isfinite(result.makespan_s):
+        return float("nan")
+    return baseline.makespan_s / result.makespan_s

@@ -1,0 +1,40 @@
+"""Platform abstraction: perf-counter and affinity backends.
+
+All experiments use the simulator backend; the Linux backend demonstrates
+the real-kernel port path (see DESIGN.md §2 for the substitution note).
+"""
+
+from repro.platform.daemon import DaemonStats, SchedulingDaemon
+from repro.platform.iface import (
+    AffinityBackend,
+    CounterWindow,
+    PerfBackend,
+    PlatformCaps,
+)
+from repro.platform.linux import (
+    LinuxAffinityBackend,
+    ProcStatPerfBackend,
+    linux_caps,
+    parse_proc_stat,
+)
+from repro.platform.simbackend import (
+    SimAffinityBackend,
+    SimPerfBackend,
+    sim_caps,
+)
+
+__all__ = [
+    "DaemonStats",
+    "SchedulingDaemon",
+    "AffinityBackend",
+    "CounterWindow",
+    "PerfBackend",
+    "PlatformCaps",
+    "LinuxAffinityBackend",
+    "ProcStatPerfBackend",
+    "linux_caps",
+    "parse_proc_stat",
+    "SimAffinityBackend",
+    "SimPerfBackend",
+    "sim_caps",
+]

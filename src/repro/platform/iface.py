@@ -1,0 +1,83 @@
+"""Platform abstraction: what a user-level scheduler needs from the OS.
+
+The paper's Dike runs on Linux and needs exactly two capabilities:
+
+* **perf**: per-thread hardware counters sampled over a window
+  (instructions, LLC accesses, LLC misses, runtime), and
+* **affinity**: binding a thread to a core (``sched_setaffinity``).
+
+:class:`PerfBackend` and :class:`AffinityBackend` capture those contracts.
+`repro.platform.simbackend` implements them on the simulator (all
+quantitative experiments); `repro.platform.linux` is a best-effort real
+backend driving ``os.sched_setaffinity`` and ``/proc`` sampling, included
+to demonstrate deployability (the repro band notes Python overhead makes
+native measurements unfaithful, so it is not used for the figures).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = ["CounterWindow", "PerfBackend", "AffinityBackend", "PlatformCaps"]
+
+
+@dataclass(frozen=True)
+class CounterWindow:
+    """Counter deltas for one thread over one sampling window."""
+
+    tid: int
+    window_s: float
+    instructions: float
+    llc_accesses: float
+    llc_misses: float
+
+    @property
+    def access_rate(self) -> float:
+        """LLC misses per second."""
+        return self.llc_misses / self.window_s if self.window_s > 0 else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """LLC miss ratio."""
+        return (
+            self.llc_misses / self.llc_accesses if self.llc_accesses > 0 else 0.0
+        )
+
+
+class PerfBackend(abc.ABC):
+    """Per-thread hardware-counter sampling."""
+
+    @abc.abstractmethod
+    def sample(self, tids: list[int], window_s: float) -> list[CounterWindow]:
+        """Collect counter deltas for ``tids`` over a ``window_s`` window."""
+
+    @abc.abstractmethod
+    def available(self) -> bool:
+        """Whether this backend can actually collect counters here."""
+
+
+class AffinityBackend(abc.ABC):
+    """Thread-to-core binding."""
+
+    @abc.abstractmethod
+    def set_affinity(self, tid: int, cores: set[int]) -> None:
+        """Bind ``tid`` to the given core set."""
+
+    @abc.abstractmethod
+    def get_affinity(self, tid: int) -> set[int]:
+        """Current core set of ``tid``."""
+
+    @abc.abstractmethod
+    def n_cores(self) -> int:
+        """Number of schedulable cores."""
+
+
+@dataclass(frozen=True)
+class PlatformCaps:
+    """What the active platform can and cannot do — surfaced to users so
+    degradation is explicit, never silent."""
+
+    perf_counters: bool
+    affinity_control: bool
+    description: str

@@ -1,0 +1,142 @@
+"""Best-effort real-Linux platform backend.
+
+Demonstrates that the scheduler stack is deployable on a real kernel:
+
+* affinity via :func:`os.sched_setaffinity` (exactly what the paper's
+  Migrator does);
+* a counter *approximation* from ``/proc/<pid>/task/<tid>/stat`` utime /
+  stime deltas — real LLC-miss counters need the ``perf_event_open``
+  syscall with elevated permissions, which this offline environment (and
+  most CI machines) does not grant, so the backend reports CPU-time-based
+  activity instead and flags itself as degraded.
+
+Per DESIGN.md §2 the quantitative experiments never use this backend — the
+repro band for this paper notes that Python sampling overhead destroys
+measurement fidelity at the paper's 100 ms quanta.  The backend exists so
+the port path is visible and testable (its parsing is unit-tested against
+fixture data, and a smoke test exercises live affinity calls when the
+kernel allows).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.platform.iface import (
+    AffinityBackend,
+    CounterWindow,
+    PerfBackend,
+    PlatformCaps,
+)
+
+__all__ = [
+    "LinuxAffinityBackend",
+    "ProcStatPerfBackend",
+    "linux_caps",
+    "parse_proc_stat",
+]
+
+#: Kernel clock ticks per second (USER_HZ); constant 100 on Linux/x86.
+_USER_HZ = float(os.sysconf("SC_CLK_TCK")) if hasattr(os, "sysconf") else 100.0
+
+
+def parse_proc_stat(content: str) -> tuple[float, float]:
+    """Extract (utime_s, stime_s) from a ``/proc/.../stat`` line.
+
+    The comm field (field 2) may contain spaces and parentheses, so fields
+    are located relative to the *last* ``)`` — the only robust way to parse
+    this file.
+    """
+    rparen = content.rfind(")")
+    if rparen < 0:
+        raise ValueError("malformed /proc stat line: no ')' found")
+    rest = content[rparen + 1 :].split()
+    # rest[0] is field 3 (state); utime is field 14, stime field 15.
+    try:
+        utime_ticks = float(rest[11])
+        stime_ticks = float(rest[12])
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"malformed /proc stat line: {exc}") from exc
+    return utime_ticks / _USER_HZ, stime_ticks / _USER_HZ
+
+
+class LinuxAffinityBackend(AffinityBackend):
+    """Thread pinning through ``sched_setaffinity``."""
+
+    def set_affinity(self, tid: int, cores: set[int]) -> None:
+        if not cores:
+            raise ValueError("affinity set must be non-empty")
+        os.sched_setaffinity(tid, cores)
+
+    def get_affinity(self, tid: int) -> set[int]:
+        return set(os.sched_getaffinity(tid))
+
+    def n_cores(self) -> int:
+        return os.cpu_count() or 1
+
+
+class ProcStatPerfBackend(PerfBackend):
+    """CPU-time sampling from ``/proc`` (degraded stand-in for perf).
+
+    Reports CPU seconds consumed as the ``instructions`` proxy and zeros
+    for cache counters; :meth:`available` is False so callers know memory
+    classification is impossible on this backend.
+    """
+
+    def __init__(self, pid: int | None = None) -> None:
+        self.pid = pid or os.getpid()
+        self._last: dict[int, tuple[float, float]] = {}
+
+    def _read_cpu_s(self, tid: int) -> float:
+        path = f"/proc/{self.pid}/task/{tid}/stat"
+        with open(path, "r") as fh:
+            utime, stime = parse_proc_stat(fh.read())
+        return utime + stime
+
+    def sample(self, tids: list[int], window_s: float) -> list[CounterWindow]:
+        now = time.monotonic()
+        out: list[CounterWindow] = []
+        for tid in tids:
+            try:
+                cpu = self._read_cpu_s(tid)
+            except (OSError, ValueError):
+                continue  # thread exited between listing and sampling
+            prev = self._last.get(tid)
+            self._last[tid] = (now, cpu)
+            if prev is None:
+                continue
+            dt = now - prev[0]
+            if dt <= 0:
+                continue
+            out.append(
+                CounterWindow(
+                    tid=tid,
+                    window_s=dt,
+                    instructions=(cpu - prev[1]),
+                    llc_accesses=0.0,
+                    llc_misses=0.0,
+                )
+            )
+        return out
+
+    def available(self) -> bool:
+        return False  # degraded: no real cache counters without perf_event
+
+
+def linux_caps() -> PlatformCaps:
+    """Capabilities of the current kernel for this process."""
+    affinity = hasattr(os, "sched_setaffinity")
+    if affinity:
+        try:
+            os.sched_getaffinity(0)
+        except OSError:
+            affinity = False
+    return PlatformCaps(
+        perf_counters=False,
+        affinity_control=affinity,
+        description=(
+            "Linux best-effort backend: sched_setaffinity + /proc CPU-time "
+            "sampling (no perf_event access; see repro.platform.linux)"
+        ),
+    )

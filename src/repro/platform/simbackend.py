@@ -1,0 +1,89 @@
+"""Simulator-backed platform: the backend all experiments use.
+
+Adapts a live :class:`~repro.sim.engine.SimulationEngine` to the
+:mod:`repro.platform.iface` contracts, so code written against
+``PerfBackend``/``AffinityBackend`` runs unmodified on the simulator.
+The perf view is the last executed quantum's counters; affinity changes
+are applied at the next quantum boundary (exactly the granularity a
+user-level scheduler experiences on Linux, where ``sched_setaffinity``
+takes effect at the next context switch).
+"""
+
+from __future__ import annotations
+
+from repro.platform.iface import (
+    AffinityBackend,
+    CounterWindow,
+    PerfBackend,
+    PlatformCaps,
+)
+from repro.sim.counters import QuantumCounters
+
+__all__ = ["SimPerfBackend", "SimAffinityBackend", "sim_caps"]
+
+
+class SimPerfBackend(PerfBackend):
+    """Perf sampling over the most recent simulated quantum."""
+
+    def __init__(self) -> None:
+        self._latest: QuantumCounters | None = None
+
+    def publish(self, counters: QuantumCounters) -> None:
+        """Called by the engine adapter after each quantum."""
+        self._latest = counters
+
+    def sample(self, tids: list[int], window_s: float) -> list[CounterWindow]:
+        if self._latest is None:
+            return []
+        out: list[CounterWindow] = []
+        for s in self._latest.samples:
+            if s.tid in tids:
+                out.append(
+                    CounterWindow(
+                        tid=s.tid,
+                        window_s=s.runtime_s,
+                        instructions=s.instructions,
+                        llc_accesses=s.llc_accesses,
+                        llc_misses=s.llc_misses,
+                    )
+                )
+        return out
+
+    def available(self) -> bool:
+        return True
+
+
+class SimAffinityBackend(AffinityBackend):
+    """Affinity map applied at the next simulated quantum boundary."""
+
+    def __init__(self, n_vcores: int) -> None:
+        self._n_vcores = n_vcores
+        self._affinity: dict[int, set[int]] = {}
+
+    def set_affinity(self, tid: int, cores: set[int]) -> None:
+        bad = [c for c in cores if not 0 <= c < self._n_vcores]
+        if bad:
+            raise ValueError(f"invalid cores {bad} for tid {tid}")
+        if not cores:
+            raise ValueError("affinity set must be non-empty")
+        self._affinity[tid] = set(cores)
+
+    def get_affinity(self, tid: int) -> set[int]:
+        return set(self._affinity.get(tid, range(self._n_vcores)))
+
+    def pending(self) -> dict[int, set[int]]:
+        """Affinities set since the last drain (consumed by the engine)."""
+        out = self._affinity
+        self._affinity = {}
+        return out
+
+    def n_cores(self) -> int:
+        return self._n_vcores
+
+
+def sim_caps() -> PlatformCaps:
+    return PlatformCaps(
+        perf_counters=True,
+        affinity_control=True,
+        description="simulated heterogeneous multicore (repro.sim)",
+    )

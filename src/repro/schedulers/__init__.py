@@ -1,0 +1,35 @@
+"""Baseline scheduling policies and the shared scheduler interface."""
+
+from repro.schedulers.base import (
+    Action,
+    Move,
+    Scheduler,
+    SchedulingContext,
+    Suspend,
+    Swap,
+    ThreadInfo,
+    spread_placement,
+)
+from repro.schedulers.oracle import OracleStaticScheduler
+from repro.schedulers.suspension import SuspensionScheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.random_policy import RandomSwapScheduler
+from repro.schedulers.static import StaticScheduler
+
+__all__ = [
+    "Action",
+    "Move",
+    "Scheduler",
+    "SchedulingContext",
+    "Suspend",
+    "Swap",
+    "ThreadInfo",
+    "spread_placement",
+    "OracleStaticScheduler",
+    "SuspensionScheduler",
+    "CFSScheduler",
+    "DIOScheduler",
+    "RandomSwapScheduler",
+    "StaticScheduler",
+]

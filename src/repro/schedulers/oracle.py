@@ -1,0 +1,77 @@
+"""Oracle static placement: the a-priori-knowledge cheating baseline.
+
+Given the ground-truth intensity class of every application (which no
+online scheduler has), this policy computes the ideal static mapping once
+— memory-intensive threads on the fast/high-bandwidth socket, compute
+threads on the slow one, same-benchmark threads clustered on one core tier
+for intra-benchmark fairness — and never migrates.
+
+Comparing Dike against the oracle quantifies how much of the statically-
+achievable quality Dike's *online* mechanisms recover without a-priori
+knowledge, and where dynamism (phases, arrivals, contention shifts) makes
+even the oracle's fixed mapping suboptimal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.schedulers.base import Action, Scheduler
+from repro.sim.counters import QuantumCounters
+from repro.util.validation import check_positive
+from repro.workloads.rodinia import APP_REGISTRY
+
+__all__ = ["OracleStaticScheduler"]
+
+
+class OracleStaticScheduler(Scheduler):
+    """Ideal static mapping from ground-truth application classes."""
+
+    name = "oracle-static"
+
+    def __init__(self, quantum_s: float = 0.5) -> None:
+        self.quantum_s = check_positive(quantum_s, "quantum_s")
+
+    def initial_placement(self) -> dict[int, int]:
+        topo = self.context.topology
+        # Order cores: fast (high-frequency) tier first, physical cores
+        # before SMT siblings within each tier.
+        cores = sorted(
+            topo.vcores, key=lambda v: (-v.freq_hz, v.smt_id, v.physical_id)
+        )
+        core_ids = [v.vcore_id for v in cores]
+
+        def intensity(benchmark: str) -> str:
+            factory = APP_REGISTRY.get(benchmark)
+            return factory().intensity if factory else "C"
+
+        # Whole benchmarks are placed contiguously, memory-intensive ones
+        # first (onto the fast tier): clustering keeps sibling threads on
+        # equal cores, the property Eqn. 4 rewards.
+        groups: dict[int, list[int]] = {}
+        for t in self.context.threads:
+            groups.setdefault(t.group, []).append(t.tid)
+        group_class = {
+            t.group: intensity(t.benchmark) for t in self.context.threads
+        }
+        ordered_groups = sorted(
+            groups, key=lambda g: (group_class[g] != "M", g)
+        )
+        placement: dict[int, int] = {}
+        i = 0
+        for g in ordered_groups:
+            for tid in groups[g]:
+                placement[tid] = core_ids[i % len(core_ids)]
+                i += 1
+        return placement
+
+    def quantum_length_s(self) -> float:
+        return self.quantum_s
+
+    def decide(
+        self, counters: QuantumCounters, placement: dict[int, int]
+    ) -> Sequence[Action]:
+        return ()
+
+    def describe(self) -> dict[str, object]:
+        return {"policy": self.name, "quantum_s": self.quantum_s}

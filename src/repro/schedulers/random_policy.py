@@ -1,0 +1,53 @@
+"""Random-swap scheduler: a sanity/control policy.
+
+Swaps ``k`` uniformly random disjoint pairs per quantum.  It shares DIO's
+churn (averaging thread placement over core types) without any signal, so
+comparing it against DIO and Dike separates "migration churn helps
+fairness" from "contention-aware selection helps fairness".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.schedulers.base import Action, Scheduler, SchedulingContext, Swap
+from repro.sim.counters import QuantumCounters
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, require
+
+__all__ = ["RandomSwapScheduler"]
+
+
+class RandomSwapScheduler(Scheduler):
+    """Swap ``pairs_per_quantum`` random disjoint pairs every quantum."""
+
+    name = "random"
+
+    def __init__(self, quantum_s: float = 0.5, pairs_per_quantum: int = 4) -> None:
+        self.quantum_s = check_positive(quantum_s, "quantum_s")
+        require(pairs_per_quantum >= 0, "pairs_per_quantum must be >= 0")
+        self.pairs_per_quantum = pairs_per_quantum
+
+    def prepare(self, context: SchedulingContext) -> None:
+        super().prepare(context)
+        self._rng = make_rng(context.seed, "scheduler", "random-swap")
+
+    def quantum_length_s(self) -> float:
+        return self.quantum_s
+
+    def decide(
+        self, counters: QuantumCounters, placement: dict[int, int]
+    ) -> Sequence[Action]:
+        tids = sorted(placement)
+        self._rng.shuffle(tids)
+        swaps: list[Swap] = []
+        for k in range(min(self.pairs_per_quantum, len(tids) // 2)):
+            swaps.append(Swap(tid_a=tids[2 * k], tid_b=tids[2 * k + 1]))
+        return swaps
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "policy": self.name,
+            "quantum_s": self.quantum_s,
+            "pairs_per_quantum": self.pairs_per_quantum,
+        }

@@ -1,0 +1,102 @@
+"""Suspension-based fairness enforcement (the paper's rejected alternative).
+
+§III-E: "While some prior work employs thread suspension as scheduling
+enforcement, Dike uses thread migration instead.  Although suspending
+threads does not produce context switch overhead, it slows down
+performance significantly as fast threads are idle waiting for the slowest
+threads to catch up."
+
+This policy makes that argument testable: each quantum it estimates
+per-thread progress within every process group (cumulative instructions,
+tracked from counter samples) and suspends the threads that are furthest
+*ahead* of their group's laggard, letting the laggards catch up.  Fairness
+comes for free — progress literally equalises — at the cost of idling
+cores, which is exactly the trade the paper rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.schedulers.base import Action, Scheduler, SchedulingContext, Suspend
+from repro.sim.counters import QuantumCounters
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["SuspensionScheduler"]
+
+
+class SuspensionScheduler(Scheduler):
+    """Suspend ahead-of-group threads until the stragglers catch up."""
+
+    name = "suspend"
+
+    def __init__(
+        self,
+        quantum_s: float = 0.5,
+        lead_threshold: float = 0.10,
+        max_suspended_fraction: float = 0.25,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        quantum_s:
+            Scheduling interval.
+        lead_threshold:
+            A thread is suspended when its cumulative progress leads its
+            group's slowest member by more than this fraction.
+        max_suspended_fraction:
+            Upper bound on the fraction of live threads suspended per
+            quantum (suspending everyone would deadlock progress).
+        """
+        self.quantum_s = check_positive(quantum_s, "quantum_s")
+        self.lead_threshold = check_fraction(lead_threshold, "lead_threshold")
+        self.max_suspended_fraction = check_fraction(
+            max_suspended_fraction, "max_suspended_fraction"
+        )
+
+    def prepare(self, context: SchedulingContext) -> None:
+        super().prepare(context)
+        self._progress: dict[int, float] = {}
+        self._group_of = {t.tid: t.group for t in context.threads}
+
+    def quantum_length_s(self) -> float:
+        return self.quantum_s
+
+    def decide(
+        self, counters: QuantumCounters, placement: dict[int, int]
+    ) -> Sequence[Action]:
+        # Track cumulative retired instructions per thread.
+        for s in counters.samples:
+            self._progress[s.tid] = self._progress.get(s.tid, 0.0) + s.instructions
+
+        by_group: dict[int, list[int]] = {}
+        for tid in placement:
+            g = self._group_of.get(tid)
+            if g is not None and tid in self._progress:
+                by_group.setdefault(g, []).append(tid)
+
+        candidates: list[tuple[float, int]] = []  # (lead fraction, tid)
+        for tids in by_group.values():
+            if len(tids) < 2:
+                continue
+            slowest = min(self._progress[t] for t in tids)
+            if slowest <= 0.0:
+                continue
+            for t in tids:
+                lead = (self._progress[t] - slowest) / slowest
+                if lead > self.lead_threshold:
+                    candidates.append((lead, t))
+
+        if not candidates:
+            return []
+        candidates.sort(reverse=True)
+        budget = max(1, int(self.max_suspended_fraction * len(placement)))
+        return [Suspend(tid=tid, quanta=1) for _, tid in candidates[:budget]]
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "policy": self.name,
+            "quantum_s": self.quantum_s,
+            "lead_threshold": self.lead_threshold,
+            "max_suspended_fraction": self.max_suspended_fraction,
+        }

@@ -1,0 +1,90 @@
+"""Per-quantum hardware-performance-counter emulation.
+
+The schedulers in this reproduction never touch simulator internals — they
+read :class:`QuantumCounters`, the analogue of one ``perf`` sample window:
+per-thread retired instructions, LLC accesses/misses and wall time, plus
+per-core achieved bandwidth.  This is exactly the information the paper's
+Observer extracts from hardware counters, so every scheduler implemented on
+top of this interface would port to a real perf backend unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["QuantumCounters", "ThreadSample"]
+
+
+@dataclass(frozen=True)
+class ThreadSample:
+    """Counter readings for one thread over one quantum."""
+
+    tid: int
+    vcore: int
+    instructions: float
+    llc_accesses: float
+    llc_misses: float
+    runtime_s: float
+
+    @property
+    def access_rate(self) -> float:
+        """Memory (LLC-miss) accesses per second — Dike's contention signal."""
+        return self.llc_misses / self.runtime_s if self.runtime_s > 0 else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """LLC miss ratio — the paper's C/M classification signal."""
+        return self.llc_misses / self.llc_accesses if self.llc_accesses > 0 else 0.0
+
+    @property
+    def ips(self) -> float:
+        """Instructions per second (the metric the paper argues *against*
+        using for contention decisions, exposed for the ablation bench)."""
+        return self.instructions / self.runtime_s if self.runtime_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class QuantumCounters:
+    """All counter readings visible to a scheduler at a quantum boundary.
+
+    Attributes
+    ----------
+    quantum_index:
+        Monotone counter of scheduling quanta since the run began.
+    time_s:
+        Simulation time at the end of the quantum.
+    quantum_length_s:
+        Length of the quantum that just executed.
+    samples:
+        One :class:`ThreadSample` per thread that was *alive* during the
+        quantum (finished threads drop out of subsequent quanta).
+    core_bandwidth:
+        Achieved access rate per virtual core (accesses/second), dense over
+        all virtual cores; idle cores read 0.
+    """
+
+    quantum_index: int
+    time_s: float
+    quantum_length_s: float
+    samples: tuple[ThreadSample, ...]
+    core_bandwidth: np.ndarray = field(repr=False)
+
+    def sample_for(self, tid: int) -> ThreadSample | None:
+        for s in self.samples:
+            if s.tid == tid:
+                return s
+        return None
+
+    @property
+    def tids(self) -> tuple[int, ...]:
+        return tuple(s.tid for s in self.samples)
+
+    def access_rates(self) -> dict[int, float]:
+        """Map tid -> access rate for all sampled threads."""
+        return {s.tid: s.access_rate for s in self.samples}
+
+    def miss_rates(self) -> dict[int, float]:
+        """Map tid -> LLC miss ratio for all sampled threads."""
+        return {s.tid: s.miss_rate for s in self.samples}

@@ -1,0 +1,492 @@
+"""The quantum-level simulation engine.
+
+:class:`SimulationEngine` advances a set of benchmark process groups over a
+shared heterogeneous machine in discrete scheduling quanta.  Per quantum it
+
+1. asks the scheduler for the quantum length,
+2. gathers each runnable thread's phase parameters (with post-migration
+   cache warm-up applied),
+3. computes cycle rates after SMT sharing (`repro.sim.smt`),
+4. solves the memory contention fixed point (`repro.sim.memory`) to get
+   achieved access rates and instruction rates,
+5. advances thread progress (honouring barriers and migration penalties),
+   stamping sub-quantum-accurate finish times,
+6. emits a :class:`~repro.sim.counters.QuantumCounters` sample (with
+   optional measurement noise) to the scheduler,
+7. applies the scheduler's migration actions with their costs.
+
+The per-quantum math is vectorised across threads per the hpc-parallel
+guides — the Python-level loop runs once per quantum, not per thread-event.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.schedulers.base import (
+    Action,
+    Move,
+    Scheduler,
+    SchedulingContext,
+    Suspend,
+    Swap,
+    ThreadInfo,
+)
+from repro.sim.counters import QuantumCounters, ThreadSample
+from repro.sim.memory import MemoryModelConfig, MemorySystem
+from repro.sim.migration import MigrationModel
+from repro.sim.process import ProcessGroup
+from repro.sim.results import BenchmarkResult, RunResult
+from repro.sim.smt import smt_cycle_rates
+from repro.sim.thread import SimThread
+from repro.sim.topology import Topology
+from repro.sim.trace import SwapEvent, TraceRecorder
+from repro.util.rng import make_rng
+from repro.util.validation import check_non_negative, check_positive, require
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Simulate one workload under one scheduling policy.
+
+    Parameters
+    ----------
+    topology:
+        The machine.
+    groups:
+        Benchmark process groups (threads must carry dense, unique tids
+        starting at 0).
+    scheduler:
+        The policy under test.
+    migration:
+        Migration cost model.
+    memory_config:
+        Physical constants of the contention model.
+    smt_efficiency:
+        Per-thread throughput fraction under SMT sharing.
+    seed:
+        Seed for measurement noise (and handed to the scheduler context).
+    counter_noise:
+        Relative std-dev of multiplicative noise on reported counter rates
+        (0 disables).  Physics is never noisy — only the scheduler's view,
+        like real perf sampling.
+    max_time_s:
+        Safety horizon; the run aborts (with the result flagged) if any
+        thread is still unfinished at this simulated time.
+    record_timeseries:
+        Keep full per-quantum traces (needed by Figures 1/8, disabled for
+        big sweeps).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        groups: Sequence[ProcessGroup],
+        scheduler: Scheduler,
+        migration: MigrationModel | None = None,
+        memory_config: MemoryModelConfig | None = None,
+        smt_efficiency: float = 0.70,
+        seed: int = 0,
+        counter_noise: float = 0.06,
+        max_time_s: float = 36_000.0,
+        record_timeseries: bool = True,
+        workload_name: str = "workload",
+    ) -> None:
+        require(len(groups) >= 1, "at least one process group is required")
+        self.topology = topology
+        self.groups = list(groups)
+        self.scheduler = scheduler
+        self.migration = migration or MigrationModel()
+        self.memory = MemorySystem(
+            topology.socket_interconnect_rate,
+            topology.memory_controller_rate,
+            memory_config,
+        )
+        self.smt_efficiency = smt_efficiency
+        self.seed = int(seed)
+        self.counter_noise = check_non_negative(counter_noise, "counter_noise")
+        self.max_time_s = check_positive(max_time_s, "max_time_s")
+        self.workload_name = workload_name
+
+        self.threads: list[SimThread] = [t for g in self.groups for t in g.threads]
+        self.threads.sort(key=lambda t: t.tid)
+        tids = [t.tid for t in self.threads]
+        require(tids == list(range(len(tids))), "thread ids must be dense from 0")
+        require(
+            len(self.threads) <= topology.n_vcores or True,
+            "oversubscription is allowed but unusual",
+        )
+
+        self.trace = TraceRecorder(record_timeseries=record_timeseries)
+        self._noise_rng = make_rng(self.seed, "engine", "counter-noise")
+        self.time_s = 0.0
+        self.quantum_index = 0
+        self.migration_count = 0
+        self.swap_count = 0
+        self.suspension_count = 0
+        #: tid -> quanta of suspension remaining
+        self._suspended: dict[int, int] = {}
+        self.truncated = False
+
+    # ------------------------------------------------------------------ setup
+
+    def _make_context(self) -> SchedulingContext:
+        infos = tuple(
+            ThreadInfo(t.tid, t.benchmark, t.group, t.member) for t in self.threads
+        )
+        return SchedulingContext(
+            topology=self.topology, threads=infos, seed=self.seed
+        )
+
+    def _apply_initial_placement(self) -> None:
+        placement = self.scheduler.initial_placement()
+        initial = [
+            t for g in self.groups if g.arrival_s <= 0.0 for t in g.threads
+        ]
+        require(
+            {t.tid for t in initial} <= set(placement),
+            "initial placement must cover every thread present at t=0",
+        )
+        for t in initial:
+            vcore = placement[t.tid]
+            require(
+                0 <= vcore < self.topology.n_vcores,
+                f"placement of tid {t.tid} onto invalid vcore {vcore}",
+            )
+            t.vcore = vcore
+
+    def _place_arrivals(self) -> None:
+        """Wake newly arrived groups onto the least-crowded cores.
+
+        Mirrors OS wake-time placement: prefer completely idle physical
+        cores (fastest first), then idle virtual cores, then the least
+        loaded virtual cores.  The scheduler takes over from the next
+        quantum boundary.
+        """
+        arrivals = [
+            g
+            for g in self.groups
+            if not g.placed and g.arrival_s <= self.time_s
+        ]
+        if not arrivals:
+            return
+        occupied: dict[int, int] = {}
+        for t in self.threads:
+            if t.vcore >= 0 and not t.finished:
+                occupied[t.vcore] = occupied.get(t.vcore, 0) + 1
+        phys_load = np.zeros(self.topology.n_physical_cores, dtype=np.int64)
+        for v, n in occupied.items():
+            phys_load[self.topology.vcore_physical[v]] += n
+
+        def placement_key(vc) -> tuple:
+            return (
+                occupied.get(vc.vcore_id, 0),            # idle vcores first
+                phys_load[vc.physical_id],               # idle phys cores first
+                -vc.freq_hz,                             # fastest first
+                vc.vcore_id,
+            )
+
+        for g in arrivals:
+            for t in g.threads:
+                target = min(self.topology.vcores, key=placement_key)
+                t.vcore = target.vcore_id
+                occupied[target.vcore_id] = occupied.get(target.vcore_id, 0) + 1
+                phys_load[target.physical_id] += 1
+            g.placed = True
+
+    # ------------------------------------------------------------- main loop
+
+    def run(self) -> RunResult:
+        """Execute the simulation to completion and return the result."""
+        self.scheduler.prepare(self._make_context())
+        self._apply_initial_placement()
+
+        for g in self.groups:
+            if g.arrival_s <= 0.0:
+                g.placed = True
+
+        while not all(g.finished for g in self.groups):
+            if self.time_s >= self.max_time_s:
+                self.truncated = True
+                break
+            qlen = float(self.scheduler.quantum_length_s())
+            require(qlen > 0.0, f"scheduler returned non-positive quantum {qlen}")
+            counters = self._execute_quantum(qlen)
+            for g in self.groups:
+                g.release_ready_barriers()
+            # Groups whose arrival time passed during the quantum wake now,
+            # before the scheduler decides, so it sees them placed.
+            self._place_arrivals()
+            placement = {
+                t.tid: t.vcore
+                for g in self.groups
+                if g.arrival_s <= self.time_s
+                for t in g.threads
+                if not t.finished
+            }
+            if placement:
+                actions = self.scheduler.decide(counters, placement)
+                self._apply_actions(actions, placement)
+
+        return self._build_result()
+
+    def _execute_quantum(self, qlen: float) -> QuantumCounters:
+        arrived_groups = [g for g in self.groups if g.arrival_s <= self.time_s]
+        live = [t for g in arrived_groups for t in g.threads if not t.finished]
+        runnable = [
+            t for t in live if t.runnable and t.tid not in self._suspended
+        ]
+
+        samples: list[ThreadSample] = []
+        core_bw = np.zeros(self.topology.n_vcores, dtype=np.float64)
+
+        if runnable:
+            n = len(runnable)
+            vcore_of = np.array([t.vcore for t in runnable], dtype=np.int64)
+            cpi = np.empty(n)
+            api = np.empty(n)
+            miss_ratio = np.empty(n)
+            warmup_left = np.empty(n)
+            for i, t in enumerate(runnable):
+                seg = t.current_segment()
+                cpi[i] = seg.cpi
+                api[i] = seg.api
+                miss_ratio[i] = seg.miss_ratio
+                warmup_left[i] = t.warmup_work_left
+
+            # Memory-stall fraction at the uncontended stall cost, used by
+            # the SMT model (a stalled sibling frees issue slots).
+            base_stall = self.memory.config.base_miss_stall_cycles
+            mpi0 = api * miss_ratio
+            stall_frac = (mpi0 * base_stall) / (cpi + mpi0 * base_stall)
+            cycle_rate = smt_cycle_rates(
+                vcore_of,
+                self.topology.vcore_physical,
+                self.topology.vcore_freq_hz,
+                self.smt_efficiency,
+                stall_fraction=stall_frac,
+            )
+
+            # Post-migration cache warm-up: the miss-ratio inflation only
+            # covers `warmup_work` instructions, so scale it by the warm-up
+            # fraction of this quantum's expected work (estimated at the
+            # uncontended rate) — a thread mid-warm-up pays fully, a thread
+            # with a sliver left pays a sliver.
+            if warmup_left.any():
+                expected = (
+                    cycle_rate
+                    / (cpi + api * miss_ratio * base_stall)
+                    * qlen
+                )
+                frac = np.clip(warmup_left / np.maximum(expected, 1.0), 0.0, 1.0)
+                scale = 1.0 + (self.migration.warmup_miss_scale - 1.0) * frac
+                miss_ratio = np.minimum(miss_ratio * scale, 1.0)
+            mpi = api * miss_ratio
+            socket_of = self.topology.vcore_socket[vcore_of]
+            access_rate, ips = self.memory.solve(cycle_rate, cpi, mpi, socket_of)
+
+            penalties = np.array(
+                [t.pending_migration_penalty for t in runnable], dtype=np.float64
+            )
+            eff_time = np.clip(qlen - penalties, 0.0, None)
+            work = ips * eff_time
+
+            end_time = self.time_s + qlen
+            for i, t in enumerate(runnable):
+                # Sub-quantum-accurate finish stamp: if this quantum's work
+                # overshoots the remaining work, interpolate the finish time.
+                remaining = t.remaining_work
+                if work[i] >= remaining > 0.0 and ips[i] > 0.0:
+                    barrier_at = t.next_barrier_work
+                    if barrier_at >= t.total_work:
+                        finish_at = (
+                            self.time_s + penalties[i] + remaining / ips[i]
+                        )
+                        t.advance(work[i], finish_at)
+                    else:
+                        t.advance(work[i], end_time)
+                else:
+                    t.advance(work[i], end_time)
+                t.consume_quantum(qlen, work[i])
+
+                rate = float(access_rate[i])
+                core_bw[t.vcore] += rate
+                noise = self._sample_noise()
+                samples.append(
+                    ThreadSample(
+                        tid=t.tid,
+                        vcore=t.vcore,
+                        instructions=float(work[i]),
+                        llc_accesses=float(api[i] * work[i]),
+                        llc_misses=float(rate * eff_time[i] * noise),
+                        runtime_s=float(eff_time[i]) if eff_time[i] > 0 else qlen,
+                    )
+                )
+
+        # Barrier-waiting and suspended threads appear in the sample with
+        # zero activity — a real perf window would show them idle, and
+        # schedulers must cope.
+        for t in live:
+            if (t.runnable and t.tid not in self._suspended) or t.finished:
+                continue
+            samples.append(
+                ThreadSample(
+                    tid=t.tid,
+                    vcore=t.vcore,
+                    instructions=0.0,
+                    llc_accesses=0.0,
+                    llc_misses=0.0,
+                    runtime_s=qlen,
+                )
+            )
+
+        # Tick down suspensions at the quantum boundary.
+        for tid in list(self._suspended):
+            self._suspended[tid] -= 1
+            if self._suspended[tid] <= 0:
+                del self._suspended[tid]
+
+        self.time_s += qlen
+        counters = QuantumCounters(
+            quantum_index=self.quantum_index,
+            time_s=self.time_s,
+            quantum_length_s=qlen,
+            samples=tuple(samples),
+            core_bandwidth=core_bw,
+        )
+        self.trace.record_quantum(
+            self.time_s,
+            qlen,
+            self.memory.last_utilization,
+            counters.access_rates(),
+            {t.tid: t.vcore for t in live},
+        )
+        self.quantum_index += 1
+        return counters
+
+    def _sample_noise(self) -> float:
+        if self.counter_noise <= 0.0:
+            return 1.0
+        return float(
+            np.clip(self._noise_rng.normal(1.0, self.counter_noise), 0.5, 1.5)
+        )
+
+    # --------------------------------------------------------------- actions
+
+    def _apply_actions(
+        self, actions: Sequence[Action], placement: dict[int, int]
+    ) -> None:
+        by_tid = {t.tid: t for t in self.threads}
+        touched: set[int] = set()
+        for action in actions:
+            if isinstance(action, Swap):
+                ta = by_tid.get(action.tid_a)
+                tb = by_tid.get(action.tid_b)
+                require(
+                    ta is not None and tb is not None,
+                    f"swap references unknown thread: {action}",
+                )
+                assert ta is not None and tb is not None
+                require(
+                    not ta.finished and not tb.finished,
+                    f"swap references finished thread: {action}",
+                )
+                require(
+                    ta.tid not in touched and tb.tid not in touched,
+                    f"thread migrated twice in one quantum: {action}",
+                )
+                va, vb = ta.vcore, tb.vcore
+                ta.migrate_to(
+                    vb, self.migration.swap_overhead_s, self.migration.warmup_work
+                )
+                tb.migrate_to(
+                    va, self.migration.swap_overhead_s, self.migration.warmup_work
+                )
+                touched.update((ta.tid, tb.tid))
+                self.migration_count += 2
+                self.swap_count += 1
+                self.trace.record_swap(
+                    SwapEvent(
+                        time_s=self.time_s,
+                        quantum_index=self.quantum_index - 1,
+                        tid_a=ta.tid,
+                        tid_b=tb.tid,
+                        vcore_a=ta.vcore,
+                        vcore_b=tb.vcore,
+                    )
+                )
+            elif isinstance(action, Move):
+                t = by_tid.get(action.tid)
+                require(t is not None, f"move references unknown thread: {action}")
+                assert t is not None
+                require(not t.finished, f"move references finished thread: {action}")
+                require(
+                    0 <= action.vcore < self.topology.n_vcores,
+                    f"move to invalid vcore: {action}",
+                )
+                require(
+                    t.tid not in touched,
+                    f"thread migrated twice in one quantum: {action}",
+                )
+                if action.vcore != t.vcore:
+                    t.migrate_to(
+                        action.vcore,
+                        self.migration.swap_overhead_s,
+                        self.migration.warmup_work,
+                    )
+                    touched.add(t.tid)
+                    self.migration_count += 1
+            elif isinstance(action, Suspend):
+                t = by_tid.get(action.tid)
+                require(t is not None, f"suspend references unknown thread: {action}")
+                assert t is not None
+                require(
+                    not t.finished, f"suspend references finished thread: {action}"
+                )
+                self._suspended[t.tid] = max(
+                    self._suspended.get(t.tid, 0), action.quanta
+                )
+                self.suspension_count += 1
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown action type: {action!r}")
+
+    # ---------------------------------------------------------------- result
+
+    def _build_result(self) -> RunResult:
+        benchmarks = []
+        for g in self.groups:
+            finish = tuple(
+                t.finish_time if t.finished else float("inf") for t in g.threads
+            )
+            benchmarks.append(
+                BenchmarkResult(
+                    group_id=g.group_id,
+                    benchmark=g.benchmark,
+                    thread_finish_times=finish,
+                    n_migrations=sum(t.n_migrations for t in g.threads),
+                    arrival_s=g.arrival_s,
+                )
+            )
+        makespan = max(
+            (b.finish_time for b in benchmarks), default=float("nan")
+        )
+        info = dict(self.scheduler.describe())
+        info["truncated"] = self.truncated
+        info["suspension_count"] = self.suspension_count
+        info["smt_efficiency"] = self.smt_efficiency
+        return RunResult(
+            workload_name=self.workload_name,
+            policy_name=self.scheduler.name,
+            seed=self.seed,
+            makespan_s=float(makespan),
+            n_quanta=self.quantum_index,
+            benchmarks=tuple(benchmarks),
+            swap_count=self.swap_count,
+            migration_count=self.migration_count,
+            predictions=self.scheduler.drain_prediction_records(),
+            trace=self.trace,
+            info=info,
+        )

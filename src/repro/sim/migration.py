@@ -1,0 +1,57 @@
+"""Thread-migration cost model.
+
+The paper attributes two costs to a migration (``swapOH`` in Eqn. 2):
+
+* a **context-switch penalty** — wall time during which the migrating
+  thread makes no progress (kernel bookkeeping, run-queue hops, the brief
+  interval where one core hosts two threads while the other is idle);
+* a **cold-cache warm-up** — after landing on the new core the thread's
+  working set is not in that core's private caches or local LLC slice, so
+  its miss ratio is temporarily elevated.
+
+Both are parameterised here so the ablation benches can vary them.  The
+default ``swap_overhead_s`` of 5 ms matches the order of magnitude of Linux
+cross-socket migration costs the paper's overhead term is built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["MigrationModel"]
+
+
+@dataclass(frozen=True)
+class MigrationModel:
+    """Cost constants applied by the engine when a scheduler migrates a thread.
+
+    Parameters
+    ----------
+    swap_overhead_s:
+        Seconds of lost execution per migration (the paper's ``swapOH``).
+    warmup_work:
+        Instructions executed with a degraded cache after a migration.
+    warmup_miss_scale:
+        Multiplier on the phase's miss ratio while warm-up work remains
+        (clamped to a miss ratio of 1.0 by the engine).
+    """
+
+    swap_overhead_s: float = 0.010
+    warmup_work: float = 2.5e8
+    warmup_miss_scale: float = 1.7
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.swap_overhead_s, "swap_overhead_s")
+        check_non_negative(self.warmup_work, "warmup_work")
+        check_positive(self.warmup_miss_scale, "warmup_miss_scale")
+
+    def scaled(self, factor: float) -> "MigrationModel":
+        """A copy with all costs scaled by ``factor`` (for ablations)."""
+        check_non_negative(factor, "factor")
+        return MigrationModel(
+            swap_overhead_s=self.swap_overhead_s * factor,
+            warmup_work=self.warmup_work * factor,
+            warmup_miss_scale=1.0 + (self.warmup_miss_scale - 1.0) * factor,
+        )

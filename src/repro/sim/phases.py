@@ -1,0 +1,242 @@
+"""Work-indexed phase traces describing a thread's execution behaviour.
+
+A thread's demand on the machine is modelled as a sequence of
+:class:`PhaseSegment` objects.  Each segment covers a contiguous span of
+*work* (retired instructions) during which the thread's microarchitectural
+behaviour is constant:
+
+``cpi``
+    compute cycles per instruction (excluding memory stalls),
+``api``
+    last-level-cache accesses per instruction,
+``miss_ratio``
+    fraction of LLC accesses that miss and travel to main memory.
+
+From these the engine derives the two counters the paper's schedulers read:
+the **LLC miss rate** (``miss_ratio``, the classification signal — > 10 %
+means memory-intensive) and the **memory access rate**
+(``api * miss_ratio * ips`` in misses/second, the contention signal).
+
+Phases are indexed by work, not time, so a thread that is slowed down by
+contention stays in its memory-intensive phase *longer* — exactly the
+coupling that makes contention-aware scheduling matter.
+
+The generator functions at the bottom build the characteristic shapes the
+paper describes: a memory-intensive warm-up prologue ("many benchmarks have
+a memory intensive phase in the beginning to fetch data and instructions"),
+steady streaming behaviour (UM workloads are "simpler to estimate as threads
+are accessing memory in steady rate"), and bursty compute behaviour ("short
+periods of intensive memory access and then long periods with few memory
+accesses" — the cause of Dike's higher prediction error on UC workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_fraction, check_positive, require
+
+__all__ = [
+    "PhaseSegment",
+    "PhaseTrace",
+    "steady_trace",
+    "warmup_trace",
+    "bursty_trace",
+    "perturbed",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """Constant-behaviour span of ``work`` instructions."""
+
+    work: float
+    cpi: float
+    api: float
+    miss_ratio: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.work, "work")
+        check_positive(self.cpi, "cpi")
+        require(self.api >= 0.0, f"api must be >= 0, got {self.api}")
+        check_fraction(self.miss_ratio, "miss_ratio")
+
+    @property
+    def mpi(self) -> float:
+        """Main-memory accesses (LLC misses) per instruction."""
+        return self.api * self.miss_ratio
+
+
+class PhaseTrace:
+    """An immutable sequence of segments with O(log n) lookup by work index.
+
+    The trace's total work is the thread's total instruction count; the last
+    segment is implicitly extended if a caller queries past the end (this
+    only happens through floating-point slack at completion).
+    """
+
+    def __init__(self, segments: list[PhaseSegment] | tuple[PhaseSegment, ...]) -> None:
+        segments = tuple(segments)
+        require(len(segments) >= 1, "a trace needs at least one segment")
+        self._segments = segments
+        bounds = np.cumsum([s.work for s in segments])
+        self._bounds = bounds
+        self._bounds.setflags(write=False)
+
+    @property
+    def segments(self) -> tuple[PhaseSegment, ...]:
+        return self._segments
+
+    @property
+    def total_work(self) -> float:
+        """Total instructions in the trace."""
+        return float(self._bounds[-1])
+
+    @property
+    def n_segments(self) -> int:
+        return len(self._segments)
+
+    def segment_index_at(self, work: float) -> int:
+        """Index of the segment covering work position ``work``."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        idx = int(np.searchsorted(self._bounds, work, side="right"))
+        return min(idx, len(self._segments) - 1)
+
+    def segment_at(self, work: float) -> PhaseSegment:
+        """Segment covering work position ``work``."""
+        return self._segments[self.segment_index_at(work)]
+
+    def work_to_segment_end(self, work: float) -> float:
+        """Instructions remaining until the current segment's boundary."""
+        idx = self.segment_index_at(work)
+        return max(float(self._bounds[idx]) - work, 0.0)
+
+    def mean_mpi(self) -> float:
+        """Work-weighted mean misses per instruction (rough intensity)."""
+        weights = np.array([s.work for s in self._segments])
+        mpis = np.array([s.mpi for s in self._segments])
+        return float((weights * mpis).sum() / weights.sum())
+
+    def mean_miss_ratio(self) -> float:
+        """Work-weighted mean LLC miss ratio (classification signal)."""
+        weights = np.array([s.work for s in self._segments])
+        ratios = np.array([s.miss_ratio for s in self._segments])
+        return float((weights * ratios).sum() / weights.sum())
+
+    def __repr__(self) -> str:
+        return (
+            f"PhaseTrace(n_segments={self.n_segments}, "
+            f"total_work={self.total_work:.3g})"
+        )
+
+
+def steady_trace(
+    total_work: float,
+    cpi: float,
+    api: float,
+    miss_ratio: float,
+) -> PhaseTrace:
+    """A single-segment trace with constant behaviour."""
+    return PhaseTrace([PhaseSegment(total_work, cpi, api, miss_ratio)])
+
+
+def warmup_trace(
+    total_work: float,
+    cpi: float,
+    api: float,
+    miss_ratio: float,
+    warmup_fraction: float = 0.06,
+    warmup_miss_ratio: float = 0.5,
+    warmup_api_scale: float = 1.5,
+) -> PhaseTrace:
+    """A memory-intensive prologue followed by steady behaviour.
+
+    Models the data/instruction fetch phase the paper observes at benchmark
+    start: for the first ``warmup_fraction`` of the work, the LLC miss ratio
+    is ``warmup_miss_ratio`` and the access rate is inflated.
+    """
+    check_fraction(warmup_fraction, "warmup_fraction")
+    require(0.0 < warmup_fraction < 1.0, "warmup_fraction must be in (0, 1)")
+    w_warm = total_work * warmup_fraction
+    w_rest = total_work - w_warm
+    return PhaseTrace(
+        [
+            PhaseSegment(w_warm, cpi, api * warmup_api_scale, warmup_miss_ratio),
+            PhaseSegment(w_rest, cpi, api, miss_ratio),
+        ]
+    )
+
+
+def bursty_trace(
+    total_work: float,
+    cpi: float,
+    api: float,
+    quiet_miss_ratio: float,
+    burst_miss_ratio: float,
+    burst_fraction: float = 0.2,
+    n_cycles: int = 12,
+    burst_api_scale: float = 1.8,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.3,
+) -> PhaseTrace:
+    """Alternating quiet/burst segments — compute apps with memory bursts.
+
+    ``n_cycles`` quiet/burst pairs partition the work; in each cycle a
+    ``burst_fraction`` slice runs with ``burst_miss_ratio`` and an inflated
+    access rate.  With ``rng`` the cycle lengths are jittered by up to
+    ``jitter`` relative so the bursts of sibling threads do not align
+    perfectly (which would make prediction unrealistically easy).
+    """
+    require(n_cycles >= 1, "n_cycles must be >= 1")
+    check_fraction(burst_fraction, "burst_fraction")
+    require(0.0 < burst_fraction < 1.0, "burst_fraction must be in (0, 1)")
+    cycle_work = np.full(n_cycles, total_work / n_cycles)
+    if rng is not None and jitter > 0.0:
+        factors = 1.0 + rng.uniform(-jitter, jitter, size=n_cycles)
+        cycle_work = cycle_work * factors
+        cycle_work *= total_work / cycle_work.sum()
+    segments: list[PhaseSegment] = []
+    for w in cycle_work:
+        w_quiet = float(w) * (1.0 - burst_fraction)
+        w_burst = float(w) * burst_fraction
+        segments.append(PhaseSegment(w_quiet, cpi, api, quiet_miss_ratio))
+        segments.append(
+            PhaseSegment(w_burst, cpi, api * burst_api_scale, burst_miss_ratio)
+        )
+    return PhaseTrace(segments)
+
+
+def perturbed(
+    trace: PhaseTrace,
+    rng: np.random.Generator,
+    work_jitter: float = 0.02,
+    rate_jitter: float = 0.05,
+) -> PhaseTrace:
+    """A per-thread copy of ``trace`` with small multiplicative noise.
+
+    Homogeneous threads of one benchmark are *almost* identical; this jitter
+    keeps them from being bit-identical, so fairness metrics exercise real
+    dispersion rather than exact ties.
+    """
+    check_fraction(work_jitter, "work_jitter")
+    check_fraction(rate_jitter, "rate_jitter")
+    segments = []
+    for seg in trace.segments:
+        segments.append(
+            PhaseSegment(
+                work=seg.work * float(1.0 + rng.uniform(-work_jitter, work_jitter)),
+                cpi=seg.cpi * float(1.0 + rng.uniform(-rate_jitter, rate_jitter)),
+                api=seg.api * float(1.0 + rng.uniform(-rate_jitter, rate_jitter)),
+                miss_ratio=float(
+                    np.clip(
+                        seg.miss_ratio * (1.0 + rng.uniform(-rate_jitter, rate_jitter)),
+                        0.0,
+                        1.0,
+                    )
+                ),
+            )
+        )
+    return PhaseTrace(segments)

@@ -1,0 +1,115 @@
+"""Run results: everything an experiment needs after a simulation finishes.
+
+A :class:`RunResult` is a pure data object — metrics (`repro.metrics`) are
+computed *from* it, never stored pre-baked, so one run can feed several
+figures.  The only derived values kept here are conveniences that every
+consumer wants (makespan, per-benchmark finish times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["BenchmarkResult", "PredictionRecord", "RunResult"]
+
+
+@dataclass(frozen=True)
+class BenchmarkResult:
+    """Outcome of one benchmark instance within a workload run."""
+
+    group_id: int
+    benchmark: str
+    thread_finish_times: tuple[float, ...]
+    n_migrations: int
+    #: simulation time at which the instance entered the system
+    arrival_s: float = 0.0
+
+    @property
+    def finish_time(self) -> float:
+        """Absolute completion time of the slowest thread."""
+        return max(self.thread_finish_times)
+
+    @property
+    def thread_runtimes(self) -> tuple[float, ...]:
+        """Per-thread runtime (finish - arrival) — what Eqn. 4 disperses."""
+        return tuple(t - self.arrival_s for t in self.thread_finish_times)
+
+    @property
+    def runtime(self) -> float:
+        """The instance's runtime: slowest thread's finish minus arrival."""
+        return self.finish_time - self.arrival_s
+
+    @property
+    def mean_thread_time(self) -> float:
+        return float(np.mean(self.thread_runtimes))
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One closed-loop prediction and its later ground truth.
+
+    The predictor estimates a thread's access rate for the next quantum at
+    swap-decision time; the engine (via the scheduler) back-fills the
+    observed value one quantum later.  ``relative_error`` follows the
+    paper's convention: positive = overestimate, negative = underestimate.
+    """
+
+    time_s: float
+    quantum_index: int
+    tid: int
+    predicted_rate: float
+    actual_rate: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual_rate <= 0.0:
+            return float("nan")
+        return (self.predicted_rate - self.actual_rate) / self.actual_rate
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Complete record of one ``(workload, policy, config)`` simulation."""
+
+    workload_name: str
+    policy_name: str
+    seed: int
+    makespan_s: float
+    n_quanta: int
+    benchmarks: tuple[BenchmarkResult, ...]
+    swap_count: int
+    migration_count: int
+    predictions: tuple[PredictionRecord, ...] = ()
+    trace: TraceRecorder | None = None
+    #: free-form scheduler/config metadata (quantaLength schedule etc.)
+    info: Mapping[str, object] = field(default_factory=dict)
+
+    def benchmark_named(self, name: str) -> BenchmarkResult:
+        for b in self.benchmarks:
+            if b.benchmark == name:
+                return b
+        raise KeyError(f"no benchmark named {name!r} in run")
+
+    def benchmark_finish_times(self, include: tuple[str, ...] | None = None) -> dict[str, float]:
+        """Map benchmark name -> finish time (first instance per name)."""
+        out: dict[str, float] = {}
+        for b in self.benchmarks:
+            if include is not None and b.benchmark not in include:
+                continue
+            out.setdefault(b.benchmark, b.finish_time)
+        return out
+
+    @property
+    def benchmark_names(self) -> tuple[str, ...]:
+        return tuple(b.benchmark for b in self.benchmarks)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.workload_name}, {self.policy_name}, "
+            f"makespan={self.makespan_s:.1f}s, swaps={self.swap_count})"
+        )

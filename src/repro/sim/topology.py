@@ -1,0 +1,246 @@
+"""Machine topology: sockets, physical cores, SMT virtual cores.
+
+The paper's testbed (Table I) is a two-socket Intel Xeon-E5 with 10 physical
+cores per socket and hyperthreading enabled, one socket pinned to maximum
+frequency (TurboBoost, 2.33 GHz) and the other to minimum (1.21 GHz) —
+40 *virtual* cores total forming a large-scale heterogeneous machine with a
+single shared memory controller.
+
+The simulator models exactly the pieces the schedulers can observe or that
+shape contention:
+
+* per-socket **frequency** (heterogeneity),
+* per-physical-core **SMT sharing** (two virtual cores contend for issue
+  capacity),
+* per-socket **interconnect bandwidth** and a global **memory-controller
+  bandwidth** (the two stages of memory contention).
+
+Topology objects are immutable; the engine indexes virtual cores by a dense
+integer id ``0 .. n_vcores-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.units import gbps_to_access_rate, ghz_to_hz
+from repro.util.validation import check_positive, require
+
+__all__ = [
+    "SocketSpec",
+    "VirtualCore",
+    "Topology",
+    "xeon_e5_heterogeneous",
+    "homogeneous",
+]
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """Static description of one socket.
+
+    Parameters
+    ----------
+    freq_ghz:
+        Clock frequency of every physical core on the socket.
+    n_physical_cores:
+        Number of physical cores.
+    smt:
+        Hardware threads per physical core (2 = hyperthreading, 1 = off).
+    interconnect_gbps:
+        Peak bandwidth of the on-chip interconnect linking this socket's
+        cores to the memory controller, in GB/s.
+    """
+
+    freq_ghz: float
+    n_physical_cores: int
+    smt: int = 2
+    interconnect_gbps: float = 28.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.freq_ghz, "freq_ghz")
+        require(self.n_physical_cores >= 1, "n_physical_cores must be >= 1")
+        require(self.smt in (1, 2, 4), f"smt must be 1, 2 or 4, got {self.smt}")
+        check_positive(self.interconnect_gbps, "interconnect_gbps")
+
+    @property
+    def n_vcores(self) -> int:
+        return self.n_physical_cores * self.smt
+
+
+@dataclass(frozen=True)
+class VirtualCore:
+    """One schedulable hardware context.
+
+    Attributes
+    ----------
+    vcore_id:
+        Dense global index.
+    socket_id / physical_id / smt_id:
+        Position in the hierarchy; ``physical_id`` is global across sockets.
+    freq_hz:
+        Clock rate in Hz (inherited from the socket).
+    """
+
+    vcore_id: int
+    socket_id: int
+    physical_id: int
+    smt_id: int
+    freq_hz: float
+
+
+class Topology:
+    """An immutable machine built from :class:`SocketSpec` objects.
+
+    In addition to the object view (:attr:`vcores`), the topology exposes
+    dense NumPy index arrays so the engine's per-quantum math can stay
+    vectorised: :attr:`vcore_socket`, :attr:`vcore_physical`,
+    :attr:`vcore_freq_hz`.
+    """
+
+    def __init__(
+        self,
+        sockets: tuple[SocketSpec, ...] | list[SocketSpec],
+        memory_controller_gbps: float = 38.0,
+    ) -> None:
+        sockets = tuple(sockets)
+        require(len(sockets) >= 1, "at least one socket is required")
+        self._sockets = sockets
+        self._mc_gbps = check_positive(memory_controller_gbps, "memory_controller_gbps")
+
+        vcores: list[VirtualCore] = []
+        vid = 0
+        phys = 0
+        for sid, spec in enumerate(sockets):
+            for _ in range(spec.n_physical_cores):
+                for smt in range(spec.smt):
+                    vcores.append(
+                        VirtualCore(
+                            vcore_id=vid,
+                            socket_id=sid,
+                            physical_id=phys,
+                            smt_id=smt,
+                            freq_hz=ghz_to_hz(spec.freq_ghz),
+                        )
+                    )
+                    vid += 1
+                phys += 1
+        self._vcores = tuple(vcores)
+        self.vcore_socket = np.array([v.socket_id for v in vcores], dtype=np.int64)
+        self.vcore_physical = np.array([v.physical_id for v in vcores], dtype=np.int64)
+        self.vcore_freq_hz = np.array([v.freq_hz for v in vcores], dtype=np.float64)
+        self.socket_interconnect_rate = np.array(
+            [gbps_to_access_rate(s.interconnect_gbps) for s in sockets], dtype=np.float64
+        )
+        self.vcore_socket.setflags(write=False)
+        self.vcore_physical.setflags(write=False)
+        self.vcore_freq_hz.setflags(write=False)
+        self.socket_interconnect_rate.setflags(write=False)
+
+    # -- structural accessors ------------------------------------------------
+
+    @property
+    def sockets(self) -> tuple[SocketSpec, ...]:
+        return self._sockets
+
+    @property
+    def n_sockets(self) -> int:
+        return len(self._sockets)
+
+    @property
+    def n_physical_cores(self) -> int:
+        return sum(s.n_physical_cores for s in self._sockets)
+
+    @property
+    def n_vcores(self) -> int:
+        return len(self._vcores)
+
+    @property
+    def vcores(self) -> tuple[VirtualCore, ...]:
+        return self._vcores
+
+    def vcore(self, vcore_id: int) -> VirtualCore:
+        return self._vcores[vcore_id]
+
+    @property
+    def memory_controller_rate(self) -> float:
+        """Memory-controller capacity in accesses/second."""
+        return gbps_to_access_rate(self._mc_gbps)
+
+    @property
+    def memory_controller_gbps(self) -> float:
+        return self._mc_gbps
+
+    def siblings(self, vcore_id: int) -> tuple[int, ...]:
+        """Other virtual cores sharing the same physical core."""
+        phys = self.vcore_physical[vcore_id]
+        return tuple(
+            int(v)
+            for v in np.flatnonzero(self.vcore_physical == phys)
+            if v != vcore_id
+        )
+
+    def vcores_on_socket(self, socket_id: int) -> tuple[int, ...]:
+        return tuple(int(v) for v in np.flatnonzero(self.vcore_socket == socket_id))
+
+    @property
+    def max_freq_hz(self) -> float:
+        return float(self.vcore_freq_hz.max())
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return bool(np.unique(self.vcore_freq_hz).size > 1)
+
+    def __repr__(self) -> str:
+        desc = " + ".join(
+            f"{s.n_physical_cores}x{s.smt}@{s.freq_ghz}GHz" for s in self._sockets
+        )
+        return f"Topology({desc}, mc={self._mc_gbps}GB/s)"
+
+
+def xeon_e5_heterogeneous(
+    fast_ghz: float = 2.33,
+    slow_ghz: float = 1.21,
+    cores_per_socket: int = 10,
+    smt: int = 2,
+    memory_controller_gbps: float = 34.0,
+    fast_interconnect_gbps: float = 24.0,
+    slow_interconnect_gbps: float = 6.0,
+) -> Topology:
+    """The paper's Table I machine: one fast socket + one slow socket.
+
+    Defaults mirror the published configuration: 10 cores at 2.33 GHz
+    (TurboBoost) and 10 cores at 1.21 GHz (minimum frequency), SMT enabled,
+    one memory controller shared by both sockets.  The controller is local
+    to the fast socket; the slow socket reaches it over a narrower
+    QPI-style link, so slow-socket threads are doubly disadvantaged
+    (frequency *and* bandwidth) — the heterogeneity Dike's core
+    identification discovers at runtime.
+    """
+    return Topology(
+        (
+            SocketSpec(fast_ghz, cores_per_socket, smt, fast_interconnect_gbps),
+            SocketSpec(slow_ghz, cores_per_socket, smt, slow_interconnect_gbps),
+        ),
+        memory_controller_gbps=memory_controller_gbps,
+    )
+
+
+def homogeneous(
+    freq_ghz: float = 2.33,
+    n_sockets: int = 2,
+    cores_per_socket: int = 10,
+    smt: int = 2,
+    memory_controller_gbps: float = 34.0,
+    interconnect_gbps: float = 20.0,
+) -> Topology:
+    """A homogeneous machine (used for Figure 1's homogeneous comparison)."""
+    return Topology(
+        tuple(
+            SocketSpec(freq_ghz, cores_per_socket, smt, interconnect_gbps)
+            for _ in range(n_sockets)
+        ),
+        memory_controller_gbps=memory_controller_gbps,
+    )

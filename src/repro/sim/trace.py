@@ -1,0 +1,91 @@
+"""Time-series recording of a simulation run.
+
+The :class:`TraceRecorder` captures what the paper's figures need:
+
+* per-quantum, per-thread **access rates** (Figure 8's prediction-error
+  series, Figure 1's slowdown accounting),
+* per-quantum **core assignments** (migration visualisation, debugging),
+* **swap events** with timestamps (Table III),
+* memory-controller **utilisation** (model diagnostics).
+
+Recording full traces is optional (the big parameter sweeps disable it);
+swap events are always kept because they are cheap and Table III needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SwapEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One pairwise migration performed by a scheduler."""
+
+    time_s: float
+    quantum_index: int
+    tid_a: int
+    tid_b: int
+    vcore_a: int  # destination of tid_a
+    vcore_b: int  # destination of tid_b
+
+
+class TraceRecorder:
+    """Accumulates per-quantum snapshots during a run."""
+
+    def __init__(self, record_timeseries: bool = True) -> None:
+        self.record_timeseries = record_timeseries
+        self.times: list[float] = []
+        self.quantum_lengths: list[float] = []
+        self.utilization: list[float] = []
+        #: per quantum: dict tid -> access rate
+        self.access_rates: list[dict[int, float]] = []
+        #: per quantum: dict tid -> vcore
+        self.assignments: list[dict[int, int]] = []
+        self.swap_events: list[SwapEvent] = []
+
+    def record_quantum(
+        self,
+        time_s: float,
+        quantum_length_s: float,
+        utilization: float,
+        access_rates: dict[int, float],
+        assignments: dict[int, int],
+    ) -> None:
+        if not self.record_timeseries:
+            return
+        self.times.append(time_s)
+        self.quantum_lengths.append(quantum_length_s)
+        self.utilization.append(utilization)
+        self.access_rates.append(dict(access_rates))
+        self.assignments.append(dict(assignments))
+
+    def record_swap(self, event: SwapEvent) -> None:
+        self.swap_events.append(event)
+
+    @property
+    def n_quanta_recorded(self) -> int:
+        return len(self.times)
+
+    @property
+    def n_swaps(self) -> int:
+        return len(self.swap_events)
+
+    def access_rate_series(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
+        """(times, access_rate) series for one thread; NaN when absent."""
+        t = np.asarray(self.times, dtype=np.float64)
+        v = np.array(
+            [q.get(tid, np.nan) for q in self.access_rates], dtype=np.float64
+        )
+        return t, v
+
+    def swaps_per_quantum(self, n_quanta: int) -> np.ndarray:
+        """Histogram of swap events over quantum indices."""
+        counts = np.zeros(n_quanta, dtype=np.int64)
+        for ev in self.swap_events:
+            if 0 <= ev.quantum_index < n_quanta:
+                counts[ev.quantum_index] += 1
+        return counts

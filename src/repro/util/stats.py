@@ -1,0 +1,184 @@
+"""Streaming and batch statistics used throughout the scheduler stack.
+
+The paper leans on three statistics:
+
+* the **coefficient of variation** (standard deviation over mean) — Dike's
+  runtime fairness signal and the final Fairness metric (Eqn. 4);
+* a **moving mean** of per-core bandwidth (``CoreBW``) consumed by the
+  closed-loop predictor;
+* the **geometric mean** used to aggregate improvements across workloads.
+
+All batch helpers accept anything convertible to a 1-D ``float64`` array and
+are safe for empty input (they return ``nan`` rather than raising), because
+the scheduler may legitimately observe zero running threads at workload
+boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "coefficient_of_variation",
+    "geometric_mean",
+    "MovingMean",
+    "ExponentialMean",
+    "summarize",
+]
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                     dtype=np.float64)
+    return np.ravel(arr)
+
+
+def coefficient_of_variation(values: Iterable[float]) -> float:
+    """Population standard deviation over mean.
+
+    Returns ``0.0`` for a single observation (no dispersion is observable)
+    and ``nan`` for empty input or a zero mean, matching how the paper's
+    fairness signal degenerates when no threads are running.
+    """
+    arr = _as_array(values)
+    if arr.size == 0:
+        return float("nan")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return 0.0
+    if mean == 0.0:
+        return float("nan")
+    return float(arr.std() / abs(mean))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values; ``nan`` if empty.
+
+    Raises
+    ------
+    ValueError
+        If any value is zero or negative (a geometric mean is undefined);
+        callers aggregating improvement *ratios* should pass ratios, never
+        signed percentage deltas.
+    """
+    arr = _as_array(values)
+    if arr.size == 0:
+        return float("nan")
+    if np.any(arr <= 0.0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+class MovingMean:
+    """Windowed moving mean, the paper's ``CoreBW`` estimator.
+
+    The observer stores, per core, the moving mean of achieved bandwidth and
+    updates it every quantum.  A bounded window keeps the estimate tracking
+    phase changes; ``window=None`` gives the cumulative mean.
+    """
+
+    __slots__ = ("_window", "_values", "_cum_sum", "_count")
+
+    def __init__(self, window: int | None = 8) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
+        self._window = window
+        self._values: deque[float] = deque()
+        #: running sum, only used in the unbounded (cumulative) mode where
+        #: values are never evicted so no cancellation error accumulates
+        self._cum_sum = 0.0
+        self._count = 0  # total updates ever, for diagnostics
+
+    @property
+    def window(self) -> int | None:
+        return self._window
+
+    @property
+    def n_updates(self) -> int:
+        """Total number of updates seen over the object's lifetime."""
+        return self._count
+
+    def update(self, value: float) -> float:
+        """Fold in a new observation and return the current mean."""
+        value = float(value)
+        if self._window is None:
+            self._cum_sum += value
+            self._count += 1
+            self._values.append(value)  # only len() is used in this mode
+            if len(self._values) > 1:
+                self._values.popleft()
+            return self.value
+        self._values.append(value)
+        if len(self._values) > self._window:
+            self._values.popleft()
+        self._count += 1
+        return self.value
+
+    @property
+    def value(self) -> float:
+        """Current mean, ``nan`` before the first update."""
+        if self._count == 0:
+            return float("nan")
+        if self._window is None:
+            return self._cum_sum / self._count
+        # Window is small (default 8): summing directly avoids the
+        # cancellation error of an incremental running sum.
+        return sum(self._values) / len(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+        self._cum_sum = 0.0
+        self._count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MovingMean(window={self._window}, value={self.value:.4g})"
+
+
+class ExponentialMean:
+    """Exponentially weighted moving mean (EWMA).
+
+    Used by the real-Linux platform backend where sampling jitter benefits
+    from exponential smoothing rather than a hard window.
+    """
+
+    __slots__ = ("_alpha", "_value")
+
+    def __init__(self, alpha: float = 0.25) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._value: float | None = None
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if self._value is None:
+            self._value = value
+        else:
+            self._value += self._alpha * (value - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float:
+        return float("nan") if self._value is None else self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Min / mean / max / std / cv summary used in experiment reports."""
+    arr = _as_array(values)
+    if arr.size == 0:
+        nan = float("nan")
+        return {"min": nan, "mean": nan, "max": nan, "std": nan, "cv": nan, "n": 0}
+    return {
+        "min": float(arr.min()),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+        "std": float(arr.std()),
+        "cv": coefficient_of_variation(arr),
+        "n": int(arr.size),
+    }

@@ -1,0 +1,203 @@
+"""Plain-text rendering of tables, heatmaps and bar charts.
+
+The benchmark harness regenerates every table and figure from the paper as
+terminal output; this module provides the shared formatting: aligned ASCII
+tables (Table III style), intensity heatmaps (Figure 4 style), contour-ish
+aggregated grids (Figure 5) and horizontal bar charts (Figure 6).
+
+Rendering is intentionally dependency-free (no matplotlib in this offline
+environment) and deterministic so output files diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "format_table",
+    "format_heatmap",
+    "format_bar_chart",
+    "format_series",
+]
+
+#: Ramp from low to high intensity for heatmaps.
+_HEAT_RAMP = " .:-=+*#%@"
+
+
+def _fmt_cell(value: object, floatfmt: str) -> str:
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned; column widths
+    are computed from the rendered content.
+    """
+    rendered = [[_fmt_cell(c, floatfmt) for c in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(rendered):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(ncols)
+    ]
+    numeric = [
+        all(isinstance(row[c], (int, float)) for row in rows) if rows else False
+        for c in range(ncols)
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in rendered)
+    return "\n".join(lines)
+
+
+def format_heatmap(
+    grid: np.ndarray,
+    row_labels: Sequence[object],
+    col_labels: Sequence[object],
+    title: str | None = None,
+    normalize: bool = True,
+) -> str:
+    """Render a 2-D array as a character-ramp heatmap plus numeric grid.
+
+    ``grid[i, j]`` maps to row ``row_labels[i]`` / column ``col_labels[j]``.
+    NaN cells render as ``.``/blank.  With ``normalize`` the ramp is scaled
+    to the finite min/max of the grid (the paper's Figure 4 normalises each
+    subplot to its best configuration).
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError(f"grid must be 2-D, got shape {grid.shape}")
+    if grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    finite = grid[np.isfinite(grid)]
+    if normalize and finite.size and finite.max() > finite.min():
+        lo, hi = float(finite.min()), float(finite.max())
+    else:
+        lo, hi = 0.0, 1.0
+
+    def ramp_char(v: float) -> str:
+        if not np.isfinite(v):
+            return "?"
+        t = 0.0 if hi == lo else (v - lo) / (hi - lo)
+        idx = min(int(t * len(_HEAT_RAMP)), len(_HEAT_RAMP) - 1)
+        return _HEAT_RAMP[idx]
+
+    label_w = max(len(str(r)) for r in row_labels)
+    cell_w = max(6, *(len(str(c)) for c in col_labels))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_w + 1) + " ".join(str(c).rjust(cell_w) for c in col_labels)
+    lines.append(header)
+    for i, rlabel in enumerate(row_labels):
+        cells = []
+        for j in range(len(col_labels)):
+            v = grid[i, j]
+            body = "nan" if not np.isfinite(v) else f"{v:.3f}"
+            cells.append(f"{ramp_char(v)}{body}".rjust(cell_w))
+        lines.append(str(rlabel).rjust(label_w) + " " + " ".join(cells))
+    lines.append(f"(ramp '{_HEAT_RAMP}' low->high, range [{lo:.3f}, {hi:.3f}])")
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    data: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Horizontal ASCII bar chart; negative values extend left of the axis."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines = []
+    if title:
+        lines.append(title)
+    if not data:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    values = list(data.values())
+    vmax = max(max(values, default=0.0), 0.0)
+    vmin = min(min(values, default=0.0), 0.0)
+    span = max(vmax - vmin, 1e-12)
+    zero = int(round(-vmin / span * width))
+    label_w = max(len(k) for k in data)
+    for key, value in data.items():
+        n = int(round(abs(value) / span * width))
+        if value >= 0:
+            bar = " " * zero + "|" + "#" * n
+        else:
+            bar = " " * (zero - n) + "#" * n + "|"
+        lines.append(f"{key.ljust(label_w)} {bar.ljust(width + 1)} {value:+.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    height: int = 12,
+    width: int = 72,
+    title: str | None = None,
+) -> str:
+    """Down-sample a time series into an ASCII line plot (Figure 8 style)."""
+    t = np.asarray(times, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.shape != v.shape:
+        raise ValueError("times and values must have the same shape")
+    lines = []
+    if title:
+        lines.append(title)
+    mask = np.isfinite(v)
+    if not mask.any():
+        lines.append("(no finite data)")
+        return "\n".join(lines)
+    t, v = t[mask], v[mask]
+    # Bucket into `width` columns by time, averaging values per bucket.
+    edges = np.linspace(t.min(), t.max() + 1e-12, width + 1)
+    idx = np.clip(np.searchsorted(edges, t, side="right") - 1, 0, width - 1)
+    col = np.full(width, np.nan)
+    for j in range(width):
+        sel = idx == j
+        if sel.any():
+            col[j] = v[sel].mean()
+    lo = float(np.nanmin(col))
+    hi = float(np.nanmax(col))
+    span = max(hi - lo, 1e-12)
+    canvas = [[" "] * width for _ in range(height)]
+    for j in range(width):
+        if np.isnan(col[j]):
+            continue
+        r = height - 1 - int((col[j] - lo) / span * (height - 1))
+        canvas[r][j] = "*"
+    for r, row in enumerate(canvas):
+        label = f"{hi - r * span / (height - 1):+.3f}" if r in (0, height - 1) else ""
+        lines.append("".join(row) + ("  " + label if label else ""))
+    lines.append(f"t: [{t.min():.1f}, {t.max():.1f}]")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Unit conversions and physical constants for the simulator.
+
+Internally the simulator works in SI base units: **seconds** for time,
+**hertz** (cycles/second) for clock rates, and **accesses/second** for
+memory traffic (one access = one last-level-cache miss = one cache line of
+:data:`CACHE_LINE_BYTES` fetched from DRAM).  The paper quotes milliseconds
+for quantum lengths and GB/s for bandwidth; this module holds the
+conversions so no magic factors leak into the models.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CACHE_LINE_BYTES",
+    "MS",
+    "GHZ",
+    "ms_to_s",
+    "s_to_ms",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "gbps_to_access_rate",
+    "access_rate_to_gbps",
+]
+
+#: Bytes transferred per LLC miss (one cache line on x86).
+CACHE_LINE_BYTES = 64
+
+#: One millisecond in seconds.
+MS = 1e-3
+
+#: One gigahertz in hertz.
+GHZ = 1e9
+
+
+def ms_to_s(ms: float) -> float:
+    """Milliseconds to seconds."""
+    return ms * MS
+
+
+def s_to_ms(s: float) -> float:
+    """Seconds to milliseconds."""
+    return s / MS
+
+
+def ghz_to_hz(ghz: float) -> float:
+    """Gigahertz to hertz."""
+    return ghz * GHZ
+
+
+def hz_to_ghz(hz: float) -> float:
+    """Hertz to gigahertz."""
+    return hz / GHZ
+
+
+def gbps_to_access_rate(gbps: float) -> float:
+    """Bandwidth in GB/s to LLC-miss accesses per second."""
+    return gbps * 1e9 / CACHE_LINE_BYTES
+
+
+def access_rate_to_gbps(rate: float) -> float:
+    """LLC-miss accesses per second to bandwidth in GB/s."""
+    return rate * CACHE_LINE_BYTES / 1e9

@@ -1,0 +1,80 @@
+"""Random workload generation beyond the fixed Table II suite.
+
+Used by property-based tests (schedulers must behave sanely on *any* mix)
+and by the extension experiments exploring workload-class boundaries the
+paper does not cover (e.g. 4M/0C, 0M/4C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import require
+from repro.workloads.rodinia import compute_apps, memory_apps
+from repro.workloads.suite import WorkloadSpec
+
+__all__ = ["random_workload", "workload_with_mix"]
+
+
+def workload_with_mix(
+    n_memory: int,
+    n_compute: int,
+    seed: int = 0,
+    name: str | None = None,
+    include_kmeans: bool = True,
+    threads_per_app: int = 8,
+) -> WorkloadSpec:
+    """A workload with exactly ``n_memory`` M apps and ``n_compute`` C apps.
+
+    Applications are drawn without replacement where possible; if the mix
+    asks for more apps of a class than exist, names repeat (multiple
+    instances of one application are legal — the simulator instantiates
+    independent process groups).
+    """
+    require(n_memory >= 0 and n_compute >= 0, "counts must be >= 0")
+    require(n_memory + n_compute >= 1, "workload needs at least one app")
+    rng = make_rng(seed, "generator", f"mix-{n_memory}-{n_compute}")
+    mem_pool = list(memory_apps())
+    cpu_pool = list(compute_apps())
+    chosen: list[str] = []
+    chosen.extend(_draw(rng, mem_pool, n_memory))
+    chosen.extend(_draw(rng, cpu_pool, n_compute))
+    rng.shuffle(chosen)
+    return WorkloadSpec(
+        name=name or f"gen-{n_memory}m{n_compute}c-s{seed}",
+        apps=tuple(chosen),
+        include_kmeans=include_kmeans,
+        threads_per_app=threads_per_app,
+    )
+
+
+def random_workload(
+    seed: int = 0,
+    n_apps: int = 4,
+    include_kmeans: bool = True,
+    threads_per_app: int = 8,
+) -> WorkloadSpec:
+    """A uniformly random mix of ``n_apps`` applications."""
+    require(n_apps >= 1, "n_apps must be >= 1")
+    rng = make_rng(seed, "generator", f"random-{n_apps}")
+    pool = list(memory_apps()) + list(compute_apps())
+    chosen = _draw(rng, pool, n_apps)
+    return WorkloadSpec(
+        name=f"rand-{n_apps}-s{seed}",
+        apps=tuple(chosen),
+        include_kmeans=include_kmeans,
+        threads_per_app=threads_per_app,
+    )
+
+
+def _draw(rng: np.random.Generator, pool: list[str], k: int) -> list[str]:
+    """Draw ``k`` names, without replacement until the pool is exhausted."""
+    out: list[str] = []
+    available = list(pool)
+    for _ in range(k):
+        if not available:
+            available = list(pool)
+        idx = int(rng.integers(len(available)))
+        out.append(available.pop(idx))
+    return out

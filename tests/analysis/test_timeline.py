@@ -1,0 +1,79 @@
+"""Tests for placement timeline rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timeline import placement_timeline, swap_activity_sparkline
+from repro.experiments.runner import run_workload
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.sim.topology import xeon_e5_heterogeneous
+from repro.workloads.suite import WorkloadSpec
+
+SMALL = WorkloadSpec(
+    name="small", apps=("jacobi", "srad"), include_kmeans=False, threads_per_app=2
+)
+TOPO = xeon_e5_heterogeneous()
+
+
+@pytest.fixture(scope="module")
+def static_run():
+    return run_workload(
+        SMALL, StaticScheduler(), work_scale=0.02,
+        topology=TOPO, record_timeseries=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def dio_run():
+    return run_workload(
+        SMALL, DIOScheduler(quantum_s=0.2), work_scale=0.02,
+        topology=TOPO, record_timeseries=True,
+    )
+
+
+class TestPlacementTimeline:
+    def test_one_row_per_thread(self, static_run):
+        out = placement_timeline(static_run, TOPO, width=40)
+        rows = [l for l in out.splitlines() if l.startswith("t0")]
+        assert len(rows) == 4
+
+    def test_static_rows_constant(self, static_run):
+        out = placement_timeline(static_run, TOPO, width=40)
+        for line in out.splitlines():
+            if not line.startswith("t0"):
+                continue
+            cells = set(line.split(" ", 1)[1].rstrip("."))
+            assert len(cells) == 1  # never moved tiers
+
+    def test_dio_rows_change_tier(self, dio_run):
+        out = placement_timeline(dio_run, TOPO, width=40)
+        moved = 0
+        for line in out.splitlines():
+            if not line.startswith("t0"):
+                continue
+            cells = set(line.split(" ", 1)[1].rstrip("."))
+            if len(cells) > 1:
+                moved += 1
+        assert moved >= 1  # churn crosses socket tiers
+
+    def test_max_threads_respected(self, static_run):
+        out = placement_timeline(static_run, TOPO, width=40, max_threads=2)
+        rows = [l for l in out.splitlines() if l.startswith("t0")]
+        assert len(rows) == 2
+
+    def test_requires_timeseries(self):
+        res = run_workload(SMALL, StaticScheduler(), work_scale=0.02,
+                           topology=TOPO, record_timeseries=False)
+        with pytest.raises(ValueError):
+            placement_timeline(res, TOPO)
+
+
+class TestSparkline:
+    def test_no_swaps(self, static_run):
+        assert swap_activity_sparkline(static_run) == "(no swaps)"
+
+    def test_counts_reported(self, dio_run):
+        out = swap_activity_sparkline(dio_run, width=30)
+        assert f"{dio_run.swap_count} swaps" in out

@@ -1,0 +1,83 @@
+"""Shared fixtures: small machines and workloads that run in milliseconds.
+
+Unit tests use the 8-vcore machine and 2-thread benchmarks; integration
+and shape tests use the full Table I machine at a reduced ``work_scale``.
+Everything is seeded, so assertions on dynamics are deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedulers.base import Scheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.topology import SocketSpec, Topology, xeon_e5_heterogeneous
+from repro.workloads.suite import WorkloadSpec
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> Topology:
+    """2 sockets x 2 physical cores x SMT2 = 8 vcores, fast + slow."""
+    return Topology(
+        (
+            SocketSpec(2.0, 2, 2, interconnect_gbps=8.0),
+            SocketSpec(1.0, 2, 2, interconnect_gbps=3.0),
+        ),
+        memory_controller_gbps=10.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_topology() -> Topology:
+    """The Table I machine."""
+    return xeon_e5_heterogeneous()
+
+
+@pytest.fixture(scope="session")
+def tiny_workload() -> WorkloadSpec:
+    """One memory + one compute app, 2 threads each, no kmeans."""
+    return WorkloadSpec(
+        name="tiny",
+        apps=("jacobi", "srad"),
+        include_kmeans=False,
+        threads_per_app=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> WorkloadSpec:
+    """Four apps x 2 threads + kmeans — a miniature Table II workload."""
+    return WorkloadSpec(
+        name="small",
+        apps=("jacobi", "streamcluster", "srad", "hotspot"),
+        include_kmeans=True,
+        threads_per_app=2,
+    )
+
+
+def quick_run(
+    spec: WorkloadSpec,
+    scheduler: Scheduler,
+    topology: Topology,
+    work_scale: float = 0.01,
+    seed: int = 7,
+    **kwargs,
+) -> RunResult:
+    """Run a workload on a topology in a few milliseconds of wall time."""
+    groups = spec.build(seed=seed, work_scale=work_scale)
+    engine = SimulationEngine(
+        topology=topology,
+        groups=groups,
+        scheduler=scheduler,
+        seed=seed,
+        workload_name=spec.name,
+        **kwargs,
+    )
+    return engine.run()
+
+
+@pytest.fixture
+def run_quickly():
+    """The `quick_run` helper as a fixture."""
+    return quick_run

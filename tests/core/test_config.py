@@ -1,0 +1,79 @@
+"""Tests for DikeConfig and the configuration space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    QUANTA_CHOICES_S,
+    SWAP_SIZE_CHOICES,
+    AdaptationGoal,
+    DikeConfig,
+    all_configurations,
+)
+
+
+class TestConfigurationSpace:
+    def test_quanta_choices_match_paper(self):
+        assert QUANTA_CHOICES_S == (0.1, 0.2, 0.5, 1.0)
+
+    def test_swap_choices_even_2_to_16(self):
+        assert SWAP_SIZE_CHOICES == (2, 4, 6, 8, 10, 12, 14, 16)
+
+    def test_32_configurations(self):
+        configs = all_configurations()
+        assert len(configs) == 32
+        assert len(set(configs)) == 32
+
+    def test_default_is_paper_default(self):
+        cfg = DikeConfig()
+        assert cfg.swap_size == 8
+        assert cfg.quanta_length_s == 0.5
+        assert cfg.fairness_threshold == 0.1
+
+
+class TestValidation:
+    def test_odd_swap_size_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            DikeConfig(swap_size=3)
+
+    def test_swap_size_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            DikeConfig(swap_size=0)
+
+    def test_negative_quanta_rejected(self):
+        with pytest.raises(ValueError):
+            DikeConfig(quanta_length_s=-0.1)
+
+    def test_adaptation_period_rejected(self):
+        with pytest.raises(ValueError):
+            DikeConfig(adaptation_period=0)
+
+    def test_classification_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            DikeConfig(classification_miss_threshold=1.5)
+
+
+class TestDerived:
+    def test_n_pairs(self):
+        assert DikeConfig(swap_size=8).n_pairs == 4
+        assert DikeConfig(swap_size=2).n_pairs == 1
+
+    def test_adaptive_flag(self):
+        assert not DikeConfig().adaptive
+        assert DikeConfig(goal=AdaptationGoal.FAIRNESS).adaptive
+        assert DikeConfig(goal=AdaptationGoal.PERFORMANCE).adaptive
+
+    def test_with_parameters_preserves_rest(self):
+        cfg = DikeConfig(fairness_threshold=0.2, goal=AdaptationGoal.FAIRNESS)
+        new = cfg.with_parameters(swap_size=10, quanta_length_s=0.2)
+        assert new.swap_size == 10
+        assert new.quanta_length_s == 0.2
+        assert new.fairness_threshold == 0.2
+        assert new.goal is AdaptationGoal.FAIRNESS
+
+    def test_describe_contains_key_params(self):
+        d = DikeConfig().describe()
+        assert d["swap_size"] == 8
+        assert d["quanta_length_s"] == 0.5
+        assert d["goal"] == "none"

@@ -1,0 +1,140 @@
+"""Tests for Dike's Optimizer (Algorithm 2) and workload classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdaptationGoal, DikeConfig
+from repro.core.observer import ObserverReport
+from repro.core.optimizer import Optimizer, classify_workload
+
+
+def report(n_m: int, n_c: int, fairness: float = 1.0) -> ObserverReport:
+    classification = {i: "M" for i in range(n_m)}
+    classification.update({n_m + i: "C" for i in range(n_c)})
+    return ObserverReport(
+        access_rate={t: 1e6 for t in classification},
+        miss_rate={t: 0.4 for t in classification},
+        classification=classification,
+        core_bw={},
+        high_bw_cores=frozenset(),
+        fairness=fairness,
+    )
+
+
+class TestClassifyWorkload:
+    def test_balanced(self):
+        assert classify_workload(10, 10) == "B"
+
+    def test_uc(self):
+        assert classify_workload(4, 12) == "UC"
+
+    def test_um(self):
+        assert classify_workload(12, 4) == "UM"
+
+    def test_tolerance_band(self):
+        # 11 vs 9 -> imbalance 0.1 within default tolerance 0.2 -> balanced
+        assert classify_workload(9, 11) == "B"
+
+    def test_empty_defaults_balanced(self):
+        assert classify_workload(0, 0) == "B"
+
+
+def adapt(goal: AdaptationGoal, n_m: int, n_c: int, steps: int = 1,
+          start: DikeConfig | None = None) -> DikeConfig:
+    cfg = start or DikeConfig(goal=goal, adaptation_period=1)
+    opt = Optimizer(cfg)
+    for _ in range(steps):
+        cfg = opt.maybe_update(report(n_m, n_c))
+    return cfg
+
+
+class TestFairnessRules:
+    def test_balanced_decreases_quanta(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 10, 10)
+        assert cfg.quanta_length_s == 0.2
+        assert cfg.swap_size == 8  # unchanged for B
+
+    def test_balanced_floor_100ms(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 10, 10, steps=6)
+        assert cfg.quanta_length_s == pytest.approx(0.1)
+
+    def test_uc_increases_swap_and_decreases_quanta(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 4, 16)
+        assert cfg.swap_size == 10
+        assert cfg.quanta_length_s == 0.2
+
+    def test_uc_quanta_floor_200ms(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 4, 16, steps=8)
+        assert cfg.quanta_length_s == pytest.approx(0.2)
+
+    def test_uc_swap_cap_16(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 4, 16, steps=8)
+        assert cfg.swap_size == 16
+
+    def test_um_quanta_floor_500ms(self):
+        cfg = adapt(AdaptationGoal.FAIRNESS, 16, 4, steps=8)
+        assert cfg.quanta_length_s == pytest.approx(0.5)
+        assert cfg.swap_size == 16
+
+
+class TestPerformanceRules:
+    def test_balanced_increases_quanta(self):
+        cfg = adapt(AdaptationGoal.PERFORMANCE, 10, 10)
+        assert cfg.quanta_length_s == 1.0
+        assert cfg.swap_size == 8
+
+    def test_quanta_cap_1000ms(self):
+        cfg = adapt(AdaptationGoal.PERFORMANCE, 10, 10, steps=5)
+        assert cfg.quanta_length_s == pytest.approx(1.0)
+
+    def test_uc_increases_both(self):
+        cfg = adapt(AdaptationGoal.PERFORMANCE, 4, 16)
+        assert cfg.swap_size == 10
+        assert cfg.quanta_length_s == 1.0
+
+    def test_um_increases_quanta_only(self):
+        cfg = adapt(AdaptationGoal.PERFORMANCE, 16, 4)
+        assert cfg.swap_size == 8
+        assert cfg.quanta_length_s == 1.0
+
+
+class TestGating:
+    def test_no_update_when_fair(self):
+        cfg0 = DikeConfig(goal=AdaptationGoal.FAIRNESS, adaptation_period=1)
+        opt = Optimizer(cfg0)
+        cfg = opt.maybe_update(report(10, 10, fairness=0.01))
+        assert cfg is cfg0
+
+    def test_no_update_for_non_adaptive(self):
+        cfg0 = DikeConfig()
+        opt = Optimizer(cfg0)
+        assert opt.maybe_update(report(10, 10)) is cfg0
+
+    def test_adaptation_period_respected(self):
+        cfg0 = DikeConfig(goal=AdaptationGoal.FAIRNESS, adaptation_period=3)
+        opt = Optimizer(cfg0)
+        assert opt.maybe_update(report(10, 10)) is cfg0
+        assert opt.maybe_update(report(10, 10)) is cfg0
+        cfg = opt.maybe_update(report(10, 10))
+        assert cfg is not cfg0
+
+    def test_one_step_per_invocation(self):
+        """Moving 100ms -> 1000ms requires three invocations (paper)."""
+        cfg = DikeConfig(
+            goal=AdaptationGoal.PERFORMANCE, adaptation_period=1,
+            quanta_length_s=0.1,
+        )
+        opt = Optimizer(cfg)
+        lengths = []
+        for _ in range(4):
+            cfg = opt.maybe_update(report(10, 10))
+            lengths.append(cfg.quanta_length_s)
+        assert lengths == [0.2, 0.5, 1.0, 1.0]
+
+    def test_reset_restarts_period(self):
+        cfg0 = DikeConfig(goal=AdaptationGoal.FAIRNESS, adaptation_period=2)
+        opt = Optimizer(cfg0)
+        opt.maybe_update(report(10, 10))
+        opt.reset()
+        assert opt.maybe_update(report(10, 10)) is cfg0

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_scale_and_seed_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "tab1", "--scale", "0.1", "--seed", "42"]
+        )
+        assert args.scale == 0.1
+        assert args.seed == 42
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "tab3" in out
+
+    def test_run_tab1(self, capsys):
+        assert main(["run", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_tab2(self, capsys):
+        assert main(["run", "tab2"]) == 0
+        assert "wl16" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "wl1", "--scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "dike-ap" in out and "fairness" in out
+
+    def test_run_fig8_small(self, capsys):
+        assert main(["run", "fig8", "--scale", "0.02"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "wl1", "dike", "--scale", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "Placement timeline" in out
+
+    def test_timeline_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["timeline", "wl1", "not-a-policy"])

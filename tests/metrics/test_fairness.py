@@ -1,0 +1,117 @@
+"""Tests for the Eqn. 4 fairness metric."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.fairness import benchmark_cv, fairness, fairness_improvement
+from repro.sim.results import BenchmarkResult, RunResult
+
+
+def make_result(benchmarks: dict[str, tuple[float, ...]], name="w") -> RunResult:
+    return RunResult(
+        workload_name=name,
+        policy_name="p",
+        seed=0,
+        makespan_s=max(max(t) for t in benchmarks.values()),
+        n_quanta=10,
+        benchmarks=tuple(
+            BenchmarkResult(i, b, times, 0)
+            for i, (b, times) in enumerate(benchmarks.items())
+        ),
+        swap_count=0,
+        migration_count=0,
+    )
+
+
+class TestFairness:
+    def test_perfectly_fair_is_one(self):
+        r = make_result({"a": (2.0, 2.0), "b": (5.0, 5.0)})
+        assert fairness(r) == pytest.approx(1.0)
+
+    def test_eqn4_known_value(self):
+        # benchmark a: cv([1,3]) = 0.5; benchmark b: cv = 0
+        r = make_result({"a": (1.0, 3.0), "b": (4.0, 4.0)})
+        assert fairness(r) == pytest.approx(1.0 - 0.25)
+
+    def test_dispersion_lowers_fairness(self):
+        fair = make_result({"a": (2.0, 2.0)})
+        unfair = make_result({"a": (1.0, 3.0)})
+        assert fairness(fair) > fairness(unfair)
+
+    def test_across_benchmark_differences_do_not_matter(self):
+        """Eqn. 4 scores within-benchmark dispersion only."""
+        r = make_result({"a": (1.0, 1.0), "b": (100.0, 100.0)})
+        assert fairness(r) == pytest.approx(1.0)
+
+    def test_kmeans_excluded_by_default(self):
+        r = make_result({"a": (2.0, 2.0), "kmeans": (1.0, 9.0)})
+        assert fairness(r) == pytest.approx(1.0)
+        assert fairness(r, exclude=()) < 1.0
+
+    def test_truncated_run_is_nan(self):
+        r = make_result({"a": (1.0, float("inf"))})
+        assert math.isnan(fairness(r))
+
+    def test_benchmark_cv_map(self):
+        r = make_result({"a": (1.0, 3.0), "kmeans": (1.0, 1.0)})
+        cvs = benchmark_cv(r)
+        assert set(cvs) == {"a"}
+        assert cvs["a"] == pytest.approx(0.5)
+
+
+class TestFairnessImprovement:
+    def test_zero_for_identical(self):
+        r = make_result({"a": (1.0, 3.0)})
+        assert fairness_improvement(r, r) == pytest.approx(0.0)
+
+    def test_positive_when_fairer(self):
+        better = make_result({"a": (2.0, 2.2)})
+        worse = make_result({"a": (1.0, 3.0)})
+        assert fairness_improvement(better, worse) > 0
+
+    def test_nan_baseline_propagates(self):
+        good = make_result({"a": (1.0, 1.0)})
+        bad = make_result({"a": (1.0, float("inf"))})
+        assert math.isnan(fairness_improvement(good, bad))
+
+
+class TestUnfairnessRatio:
+    """The related-work max/min metric and the paper's critique of it."""
+
+    def test_perfectly_fair_is_one(self):
+        from repro.metrics.fairness import unfairness_ratio
+
+        r = make_result({"a": (2.0, 2.0), "b": (3.0, 3.0)})
+        assert unfairness_ratio(r) == pytest.approx(1.0)
+
+    def test_worst_benchmark_dominates(self):
+        from repro.metrics.fairness import unfairness_ratio
+
+        r = make_result({"a": (1.0, 1.1), "b": (1.0, 3.0)})
+        assert unfairness_ratio(r) == pytest.approx(3.0)
+
+    def test_kmeans_excluded(self):
+        from repro.metrics.fairness import unfairness_ratio
+
+        r = make_result({"a": (1.0, 1.0), "kmeans": (1.0, 9.0)})
+        assert unfairness_ratio(r) == pytest.approx(1.0)
+
+    def test_truncated_is_nan(self):
+        from repro.metrics.fairness import unfairness_ratio
+
+        r = make_result({"a": (1.0, float("inf"))})
+        assert math.isnan(unfairness_ratio(r))
+
+    def test_papers_critique_ratio_blind_to_middle_dispersion(self):
+        """Two runtimes sets with identical max/min ratios but different
+        dispersion: the ratio metric cannot tell them apart, Eqn. 4 can —
+        exactly the paper's argument for the coefficient of variation."""
+        from repro.metrics.fairness import unfairness_ratio
+
+        tight = make_result({"a": (1.0, 1.0, 1.0, 2.0)})
+        loose = make_result({"a": (1.0, 2.0, 2.0, 2.0)})
+        assert unfairness_ratio(tight) == pytest.approx(unfairness_ratio(loose))
+        assert fairness(tight) != pytest.approx(fairness(loose))

@@ -1,0 +1,70 @@
+"""Tests for speedup metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics.performance import benchmark_speedups, makespan_speedup, speedup
+from repro.sim.results import BenchmarkResult, RunResult
+
+
+def make_result(times: dict[str, float], name="w") -> RunResult:
+    return RunResult(
+        workload_name=name,
+        policy_name="p",
+        seed=0,
+        makespan_s=max(times.values()),
+        n_quanta=10,
+        benchmarks=tuple(
+            BenchmarkResult(i, b, (t,), 0) for i, (b, t) in enumerate(times.items())
+        ),
+        swap_count=0,
+        migration_count=0,
+    )
+
+
+class TestBenchmarkSpeedups:
+    def test_identity(self):
+        r = make_result({"a": 10.0, "b": 5.0})
+        assert benchmark_speedups(r, r) == {"a": 1.0, "b": 1.0}
+
+    def test_faster_run_above_one(self):
+        fast = make_result({"a": 5.0})
+        slow = make_result({"a": 10.0})
+        assert benchmark_speedups(fast, slow)["a"] == pytest.approx(2.0)
+
+    def test_kmeans_excluded(self):
+        fast = make_result({"a": 5.0, "kmeans": 1.0})
+        slow = make_result({"a": 10.0, "kmeans": 99.0})
+        assert set(benchmark_speedups(fast, slow)) == {"a"}
+
+    def test_mismatched_workloads_rejected(self):
+        a = make_result({"a": 5.0})
+        b = make_result({"b": 5.0})
+        with pytest.raises(ValueError, match="same workload"):
+            benchmark_speedups(a, b)
+
+    def test_truncated_policy_run_nan(self):
+        trunc = make_result({"a": float("inf")})
+        base = make_result({"a": 10.0})
+        assert math.isnan(benchmark_speedups(trunc, base)["a"])
+
+
+class TestAggregates:
+    def test_geomean(self):
+        fast = make_result({"a": 5.0, "b": 20.0})
+        slow = make_result({"a": 10.0, "b": 10.0})
+        # speedups 2.0 and 0.5 -> geomean 1.0
+        assert speedup(fast, slow) == pytest.approx(1.0)
+
+    def test_makespan_speedup(self):
+        fast = make_result({"a": 5.0})
+        slow = make_result({"a": 10.0})
+        assert makespan_speedup(fast, slow) == pytest.approx(2.0)
+
+    def test_all_nan_gives_nan(self):
+        trunc = make_result({"a": float("inf")})
+        base = make_result({"a": 10.0})
+        assert math.isnan(speedup(trunc, base))

@@ -1,0 +1,62 @@
+"""Tests for the hardware-counter emulation objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.counters import QuantumCounters, ThreadSample
+
+
+def sample(tid=0, vcore=0, instr=1e8, acc=5e6, miss=2e6, rt=0.5) -> ThreadSample:
+    return ThreadSample(
+        tid=tid, vcore=vcore, instructions=instr,
+        llc_accesses=acc, llc_misses=miss, runtime_s=rt,
+    )
+
+
+class TestThreadSample:
+    def test_access_rate(self):
+        assert sample(miss=2e6, rt=0.5).access_rate == pytest.approx(4e6)
+
+    def test_miss_rate(self):
+        assert sample(acc=5e6, miss=2e6).miss_rate == pytest.approx(0.4)
+
+    def test_ips(self):
+        assert sample(instr=1e8, rt=0.5).ips == pytest.approx(2e8)
+
+    def test_zero_runtime_rates(self):
+        s = sample(rt=0.0)
+        assert s.access_rate == 0.0
+        assert s.ips == 0.0
+
+    def test_zero_accesses_miss_rate(self):
+        assert sample(acc=0.0, miss=0.0).miss_rate == 0.0
+
+
+class TestQuantumCounters:
+    def _counters(self) -> QuantumCounters:
+        return QuantumCounters(
+            quantum_index=3,
+            time_s=2.0,
+            quantum_length_s=0.5,
+            samples=(sample(tid=1), sample(tid=2, miss=1e6)),
+            core_bandwidth=np.zeros(4),
+        )
+
+    def test_sample_for(self):
+        c = self._counters()
+        assert c.sample_for(1).tid == 1
+        assert c.sample_for(99) is None
+
+    def test_tids(self):
+        assert self._counters().tids == (1, 2)
+
+    def test_access_rates_map(self):
+        rates = self._counters().access_rates()
+        assert set(rates) == {1, 2}
+        assert rates[1] == pytest.approx(4e6)
+
+    def test_miss_rates_map(self):
+        rates = self._counters().miss_rates()
+        assert rates[2] == pytest.approx(0.2)

@@ -1,0 +1,150 @@
+"""Tests for phase traces and their generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.phases import (
+    PhaseSegment,
+    PhaseTrace,
+    bursty_trace,
+    perturbed,
+    steady_trace,
+    warmup_trace,
+)
+from repro.util.rng import make_rng
+
+
+class TestPhaseSegment:
+    def test_mpi_is_api_times_miss_ratio(self):
+        seg = PhaseSegment(1e9, cpi=1.0, api=0.05, miss_ratio=0.4)
+        assert seg.mpi == pytest.approx(0.02)
+
+    def test_rejects_zero_work(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(0.0, 1.0, 0.01, 0.1)
+
+    def test_rejects_miss_ratio_above_one(self):
+        with pytest.raises(ValueError):
+            PhaseSegment(1e9, 1.0, 0.01, 1.5)
+
+
+class TestPhaseTrace:
+    def test_total_work_sums_segments(self):
+        trace = PhaseTrace(
+            [PhaseSegment(1e9, 1.0, 0.01, 0.1), PhaseSegment(2e9, 1.0, 0.01, 0.1)]
+        )
+        assert trace.total_work == pytest.approx(3e9)
+
+    def test_segment_lookup_by_work(self):
+        a = PhaseSegment(1e9, 1.0, 0.01, 0.1)
+        b = PhaseSegment(1e9, 2.0, 0.02, 0.2)
+        trace = PhaseTrace([a, b])
+        assert trace.segment_at(0.0) is a
+        assert trace.segment_at(0.5e9) is a
+        assert trace.segment_at(1.5e9) is b
+
+    def test_lookup_at_boundary_returns_next(self):
+        a = PhaseSegment(1e9, 1.0, 0.01, 0.1)
+        b = PhaseSegment(1e9, 2.0, 0.02, 0.2)
+        trace = PhaseTrace([a, b])
+        assert trace.segment_at(1e9) is b
+
+    def test_lookup_past_end_clamps(self):
+        a = PhaseSegment(1e9, 1.0, 0.01, 0.1)
+        trace = PhaseTrace([a])
+        assert trace.segment_at(5e9) is a
+
+    def test_negative_work_rejected(self):
+        trace = steady_trace(1e9, 1.0, 0.01, 0.1)
+        with pytest.raises(ValueError):
+            trace.segment_at(-1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseTrace([])
+
+    def test_work_to_segment_end(self):
+        trace = PhaseTrace(
+            [PhaseSegment(1e9, 1.0, 0.01, 0.1), PhaseSegment(1e9, 1.0, 0.01, 0.1)]
+        )
+        assert trace.work_to_segment_end(0.25e9) == pytest.approx(0.75e9)
+
+    def test_mean_mpi_work_weighted(self):
+        trace = PhaseTrace(
+            [
+                PhaseSegment(1e9, 1.0, api=0.1, miss_ratio=1.0),  # mpi 0.1
+                PhaseSegment(3e9, 1.0, api=0.0, miss_ratio=0.0),  # mpi 0
+            ]
+        )
+        assert trace.mean_mpi() == pytest.approx(0.025)
+
+
+class TestGenerators:
+    def test_steady_single_segment(self):
+        assert steady_trace(1e9, 1.0, 0.05, 0.3).n_segments == 1
+
+    def test_warmup_prologue_is_memory_intensive(self):
+        trace = warmup_trace(1e10, 1.0, 0.04, 0.2, warmup_fraction=0.1)
+        first, rest = trace.segments
+        assert first.miss_ratio > rest.miss_ratio
+        assert first.work == pytest.approx(1e9)
+
+    def test_warmup_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            warmup_trace(1e9, 1.0, 0.01, 0.1, warmup_fraction=0.0)
+
+    def test_bursty_alternates(self):
+        trace = bursty_trace(1e10, 0.8, 0.03, 0.05, 0.35, n_cycles=4)
+        ratios = [s.miss_ratio for s in trace.segments]
+        assert ratios == [0.05, 0.35] * 4
+
+    def test_bursty_preserves_total_work(self):
+        rng = make_rng(1, "t")
+        trace = bursty_trace(1e10, 0.8, 0.03, 0.05, 0.35, n_cycles=7, rng=rng)
+        assert trace.total_work == pytest.approx(1e10)
+
+    def test_bursty_jitter_varies_cycles(self):
+        rng = make_rng(2, "t")
+        trace = bursty_trace(1e10, 0.8, 0.03, 0.05, 0.35, n_cycles=5, rng=rng)
+        quiet_works = [s.work for s in trace.segments[::2]]
+        assert len(set(round(w) for w in quiet_works)) > 1
+
+    def test_bursty_validates_cycles(self):
+        with pytest.raises(ValueError):
+            bursty_trace(1e9, 1.0, 0.01, 0.05, 0.3, n_cycles=0)
+
+    @given(st.integers(1, 12), st.floats(0.05, 0.9))
+    def test_bursty_work_conservation_property(self, n_cycles, burst_fraction):
+        trace = bursty_trace(
+            1e9, 1.0, 0.02, 0.05, 0.3,
+            burst_fraction=burst_fraction, n_cycles=n_cycles,
+        )
+        assert trace.total_work == pytest.approx(1e9, rel=1e-9)
+
+
+class TestPerturbed:
+    def test_structure_preserved(self):
+        base = bursty_trace(1e10, 0.8, 0.03, 0.05, 0.35, n_cycles=3)
+        out = perturbed(base, make_rng(0, "p"))
+        assert out.n_segments == base.n_segments
+
+    def test_total_work_close(self):
+        base = steady_trace(1e10, 1.0, 0.05, 0.3)
+        out = perturbed(base, make_rng(0, "p"), work_jitter=0.02)
+        assert out.total_work == pytest.approx(1e10, rel=0.03)
+
+    def test_miss_ratio_stays_valid(self):
+        base = steady_trace(1e9, 1.0, 0.05, 0.99)
+        for i in range(20):
+            out = perturbed(base, make_rng(i, "p"), rate_jitter=0.1)
+            assert 0.0 <= out.segments[0].miss_ratio <= 1.0
+
+    def test_deterministic_per_rng(self):
+        base = steady_trace(1e9, 1.0, 0.05, 0.3)
+        a = perturbed(base, make_rng(5, "q"))
+        b = perturbed(base, make_rng(5, "q"))
+        assert a.segments == b.segments

@@ -1,0 +1,106 @@
+"""Documentation-vs-code consistency checks.
+
+DESIGN.md promises an experiment per figure/table and a bench per
+experiment; README names the CLI commands and policies.  These tests keep
+the documents honest as the code evolves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import STANDARD_POLICIES
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_md() -> str:
+    return (ROOT / "DESIGN.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def readme_md() -> str:
+    return (ROOT / "README.md").read_text()
+
+
+@pytest.fixture(scope="module")
+def experiments_md() -> str:
+    return (ROOT / "EXPERIMENTS.md").read_text()
+
+
+class TestDesignDoc:
+    def test_every_registered_experiment_in_index(self, design_md):
+        for exp_id in EXPERIMENTS:
+            assert exp_id in design_md, f"{exp_id} missing from DESIGN.md"
+
+    def test_every_figure_bench_exists(self):
+        for exp_id in EXPERIMENTS:
+            if exp_id in ("tab1", "tab2"):
+                bench = ROOT / "benchmarks" / "bench_tables12.py"
+            elif exp_id == "fig6":
+                bench = ROOT / "benchmarks" / "bench_fig6.py"
+            elif exp_id == "tab3":
+                bench = ROOT / "benchmarks" / "bench_table3.py"
+            else:
+                bench = ROOT / "benchmarks" / f"bench_{exp_id}.py"
+            assert bench.exists(), f"no bench for {exp_id}"
+
+    def test_paper_check_is_first(self, design_md):
+        assert "Paper check" in design_md.split("\n## ")[0]
+
+    def test_substitution_table_present(self, design_md):
+        assert "Substitution" in design_md
+        assert "repro.sim.topology" in design_md
+
+
+class TestReadme:
+    def test_cli_commands_documented_exist(self, readme_md):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions if a.dest == "command"
+        )
+        for cmd in ("list", "run", "compare", "report", "replicate"):
+            assert cmd in sub.choices
+        assert "python -m repro list" in readme_md
+        assert "python -m repro report" in readme_md
+
+    def test_policies_named(self, readme_md):
+        for policy in STANDARD_POLICIES:
+            assert policy.replace("dike-", "Dike-").replace("dike", "Dike") in (
+                readme_md
+            ) or policy in readme_md.lower()
+
+    def test_deliverable_paths_exist(self, readme_md):
+        for rel in (
+            "examples/quickstart.py",
+            "examples/custom_scheduler.py",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+        ):
+            assert (ROOT / rel).exists()
+
+
+class TestExperimentsDoc:
+    def test_every_experiment_discussed(self, experiments_md):
+        for heading in (
+            "Figure 6a", "Figure 6b", "Table III", "Figure 7",
+            "Figure 8", "Figure 1", "Figure 2", "Figure 4", "Figure 5",
+            "Tables I & II",
+        ):
+            assert heading in experiments_md, f"{heading} missing"
+
+    def test_deviations_acknowledged(self, experiments_md):
+        assert "deviation" in experiments_md.lower()
+        assert "Summary of calibration deviations" in experiments_md
+
+
+class TestExamplesListed:
+    def test_examples_readme_covers_all_scripts(self):
+        readme = (ROOT / "examples" / "README.md").read_text()
+        for script in sorted((ROOT / "examples").glob("*.py")):
+            assert script.name in readme, f"{script.name} not in examples/README.md"

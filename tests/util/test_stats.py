@@ -1,0 +1,165 @@
+"""Tests for cv, geometric mean and moving means."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    ExponentialMean,
+    MovingMean,
+    coefficient_of_variation,
+    geometric_mean,
+    summarize,
+)
+
+finite_positive = st.floats(
+    min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCoefficientOfVariation:
+    def test_identical_values_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # [1, 3]: mean 2, population std 1 -> cv 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(coefficient_of_variation([]))
+
+    def test_single_value_zero(self):
+        assert coefficient_of_variation([7.0]) == 0.0
+
+    def test_zero_mean_is_nan(self):
+        assert math.isnan(coefficient_of_variation([-1.0, 1.0]))
+
+    def test_scale_invariant(self):
+        a = coefficient_of_variation([1.0, 2.0, 3.0])
+        b = coefficient_of_variation([10.0, 20.0, 30.0])
+        assert a == pytest.approx(b)
+
+    def test_accepts_numpy_array(self):
+        assert coefficient_of_variation(np.array([2.0, 2.0])) == 0.0
+
+    @given(st.lists(finite_positive, min_size=2, max_size=30))
+    def test_non_negative_for_positive_data(self, values):
+        assert coefficient_of_variation(values) >= 0.0
+
+    @given(st.lists(finite_positive, min_size=2, max_size=30), finite_positive)
+    def test_scaling_property(self, values, k):
+        a = coefficient_of_variation(values)
+        b = coefficient_of_variation([v * k for v in values])
+        assert b == pytest.approx(a, rel=1e-6, abs=1e-9)
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geometric_mean([]))
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestMovingMean:
+    def test_nan_before_first_update(self):
+        assert math.isnan(MovingMean().value)
+
+    def test_cumulative_when_unbounded(self):
+        mm = MovingMean(window=None)
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            mm.update(v)
+        assert mm.value == pytest.approx(2.5)
+
+    def test_window_evicts_old_values(self):
+        mm = MovingMean(window=2)
+        mm.update(10.0)
+        mm.update(2.0)
+        mm.update(4.0)
+        assert mm.value == pytest.approx(3.0)
+
+    def test_update_returns_current_mean(self):
+        mm = MovingMean(window=4)
+        assert mm.update(6.0) == pytest.approx(6.0)
+
+    def test_reset(self):
+        mm = MovingMean(window=3)
+        mm.update(1.0)
+        mm.reset()
+        assert math.isnan(mm.value)
+
+    def test_n_updates_counts_lifetime(self):
+        mm = MovingMean(window=2)
+        for v in range(5):
+            mm.update(float(v))
+        assert mm.n_updates == 5
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MovingMean(window=0)
+
+    @given(st.lists(finite_positive, min_size=1, max_size=50), st.integers(1, 10))
+    def test_windowed_mean_matches_numpy(self, values, window):
+        mm = MovingMean(window=window)
+        for v in values:
+            mm.update(v)
+        expected = float(np.mean(values[-window:]))
+        assert mm.value == pytest.approx(expected, rel=1e-9)
+
+
+class TestExponentialMean:
+    def test_first_update_sets_value(self):
+        em = ExponentialMean(alpha=0.5)
+        assert em.update(4.0) == pytest.approx(4.0)
+
+    def test_smoothing(self):
+        em = ExponentialMean(alpha=0.5)
+        em.update(0.0)
+        assert em.update(10.0) == pytest.approx(5.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialMean(alpha=0.0)
+        with pytest.raises(ValueError):
+            ExponentialMean(alpha=1.5)
+
+    def test_reset(self):
+        em = ExponentialMean()
+        em.update(1.0)
+        em.reset()
+        assert math.isnan(em.value)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["n"] == 3
+
+    def test_empty(self):
+        s = summarize([])
+        assert s["n"] == 0
+        assert math.isnan(s["mean"])

@@ -1,0 +1,105 @@
+"""Tests for plain-text table/heatmap/bar/series rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.tables import (
+    format_bar_chart,
+    format_heatmap,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        out = format_table(["a", "b"], [["x", 1.5], ["y", 2.25]])
+        assert "a" in out and "b" in out
+        assert "x" in out and "2.250" in out
+
+    def test_title_rendered_first(self):
+        out = format_table(["c"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="row 0"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_nan_rendered(self):
+        out = format_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_float_format_respected(self):
+        out = format_table(["v"], [[1.23456]], floatfmt=".1f")
+        assert "1.2" in out and "1.23" not in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+    def test_numeric_columns_right_aligned(self):
+        out = format_table(["n"], [[1], [100]])
+        lines = out.splitlines()
+        assert lines[-1].index("100") <= lines[-2].index("1")
+
+
+class TestFormatHeatmap:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_heatmap(np.zeros((2, 2)), ["r"], ["c1", "c2"])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            format_heatmap(np.zeros(4), ["a"] * 4, ["b"])
+
+    def test_labels_present(self):
+        out = format_heatmap(
+            np.array([[0.0, 1.0]]), ["row0"], ["colA", "colB"], title="H"
+        )
+        assert "row0" in out and "colA" in out and out.startswith("H")
+
+    def test_nan_cells_marked(self):
+        out = format_heatmap(np.array([[np.nan]]), ["r"], ["c"])
+        assert "nan" in out
+
+    def test_extremes_use_ramp_ends(self):
+        out = format_heatmap(np.array([[0.0, 1.0]]), ["r"], ["a", "b"])
+        assert "@1.000" in out  # max maps to densest ramp char
+
+
+class TestFormatBarChart:
+    def test_values_rendered(self):
+        out = format_bar_chart({"x": 1.0, "y": -0.5})
+        assert "+1.000" in out and "-0.500" in out
+
+    def test_empty(self):
+        assert "(no data)" in format_bar_chart({})
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({"x": 1.0}, width=0)
+
+    def test_negative_bars_left_of_axis(self):
+        out = format_bar_chart({"neg": -1.0, "pos": 1.0}, width=10)
+        neg_line = [l for l in out.splitlines() if l.startswith("neg")][0]
+        pos_line = [l for l in out.splitlines() if l.startswith("pos")][0]
+        assert neg_line.index("#") < pos_line.index("#")
+
+
+class TestFormatSeries:
+    def test_basic_render(self):
+        t = np.linspace(0, 10, 50)
+        v = np.sin(t)
+        out = format_series(t, v, title="S")
+        assert out.startswith("S")
+        assert "*" in out
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([0.0, 1.0], [0.0])
+
+    def test_all_nan_handled(self):
+        out = format_series([0.0, 1.0], [np.nan, np.nan])
+        assert "no finite data" in out

@@ -1,0 +1,59 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    CACHE_LINE_BYTES,
+    access_rate_to_gbps,
+    gbps_to_access_rate,
+    ghz_to_hz,
+    hz_to_ghz,
+    ms_to_s,
+    s_to_ms,
+)
+
+positive = st.floats(min_value=1e-9, max_value=1e9, allow_nan=False)
+
+
+def test_cache_line_is_64_bytes():
+    assert CACHE_LINE_BYTES == 64
+
+
+def test_ms_to_s():
+    assert ms_to_s(500.0) == pytest.approx(0.5)
+
+
+def test_s_to_ms():
+    assert s_to_ms(0.1) == pytest.approx(100.0)
+
+
+def test_ghz_to_hz():
+    assert ghz_to_hz(2.33) == pytest.approx(2.33e9)
+
+
+def test_hz_to_ghz():
+    assert hz_to_ghz(1.21e9) == pytest.approx(1.21)
+
+
+def test_gbps_to_access_rate_known():
+    # 1 GB/s over 64-byte lines = 15,625,000 accesses/s
+    assert gbps_to_access_rate(1.0) == pytest.approx(1e9 / 64)
+
+
+@given(positive)
+def test_time_roundtrip(x):
+    assert s_to_ms(ms_to_s(x)) == pytest.approx(x)
+
+
+@given(positive)
+def test_freq_roundtrip(x):
+    assert hz_to_ghz(ghz_to_hz(x)) == pytest.approx(x)
+
+
+@given(positive)
+def test_bandwidth_roundtrip(x):
+    assert access_rate_to_gbps(gbps_to_access_rate(x)) == pytest.approx(x)

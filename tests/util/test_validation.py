@@ -1,0 +1,72 @@
+"""Tests for argument-validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+    require,
+)
+
+
+def test_require_passes():
+    require(True, "never raised")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValueError, match="boom"):
+        require(False, "boom")
+
+
+def test_check_positive_accepts():
+    assert check_positive(0.5, "x") == 0.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_check_positive_rejects(bad):
+    with pytest.raises(ValueError, match="x"):
+        check_positive(bad, "x")
+
+
+def test_check_non_negative_accepts_zero():
+    assert check_non_negative(0.0, "x") == 0.0
+
+
+def test_check_non_negative_rejects():
+    with pytest.raises(ValueError):
+        check_non_negative(-0.1, "x")
+
+
+def test_check_in_range_bounds_inclusive():
+    assert check_in_range(0.0, 0.0, 1.0, "x") == 0.0
+    assert check_in_range(1.0, 0.0, 1.0, "x") == 1.0
+
+
+def test_check_in_range_rejects_outside():
+    with pytest.raises(ValueError, match="y"):
+        check_in_range(1.5, 0.0, 1.0, "y")
+
+
+def test_check_fraction():
+    assert check_fraction(0.3, "f") == 0.3
+    with pytest.raises(ValueError):
+        check_fraction(-0.01, "f")
+
+
+def test_check_type_accepts():
+    assert check_type(3, int, "n") == 3
+    assert check_type("s", (int, str), "n") == "s"
+
+
+def test_check_type_rejects_with_names():
+    with pytest.raises(TypeError, match="int"):
+        check_type("s", int, "n")
+
+
+def test_values_coerced_to_float():
+    assert isinstance(check_positive(1, "x"), float)

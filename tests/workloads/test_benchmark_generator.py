@@ -1,0 +1,91 @@
+"""Tests for benchmark instantiation and random workload generation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.benchmark import BenchmarkSpec, instantiate
+from repro.workloads.generator import random_workload, workload_with_mix
+from repro.workloads.rodinia import app, memory_apps
+
+
+class TestInstantiate:
+    def test_tids_dense_from_start(self):
+        group = instantiate(app("jacobi"), group_id=2, tid_start=16, seed=0)
+        assert [t.tid for t in group.threads] == list(range(16, 24))
+
+    def test_group_metadata(self):
+        group = instantiate(app("srad"), group_id=1, tid_start=0, seed=0)
+        assert group.benchmark == "srad"
+        assert all(t.group == 1 for t in group.threads)
+        assert [t.member for t in group.threads] == list(range(8))
+
+    def test_barriers_propagate(self):
+        group = instantiate(app("kmeans"), group_id=0, tid_start=0, seed=0)
+        assert all(len(t.barrier_fractions) == 19 for t in group.threads)
+
+    def test_work_scale_validated(self):
+        with pytest.raises(ValueError):
+            instantiate(app("jacobi"), 0, 0, 0, work_scale=0.0)
+
+    def test_deterministic_per_seed(self):
+        a = instantiate(app("jacobi"), 0, 0, seed=9)
+        b = instantiate(app("jacobi"), 0, 0, seed=9)
+        for ta, tb in zip(a.threads, b.threads):
+            assert ta.trace.total_work == tb.trace.total_work
+
+
+class TestBenchmarkSpec:
+    def test_intensity_validated(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "Z", lambda rng, s: None)
+
+    def test_is_memory_intensive(self):
+        assert app("jacobi").is_memory_intensive
+        assert not app("srad").is_memory_intensive
+
+
+class TestGenerator:
+    def test_mix_counts_honoured(self):
+        spec = workload_with_mix(3, 1, seed=0)
+        assert spec.n_memory == 3 and spec.n_compute == 1
+
+    def test_mix_classification(self):
+        assert workload_with_mix(2, 2, seed=0).workload_class == "B"
+        assert workload_with_mix(1, 3, seed=0).workload_class == "UC"
+        assert workload_with_mix(3, 1, seed=0).workload_class == "UM"
+
+    def test_all_memory_mix_allowed(self):
+        spec = workload_with_mix(4, 0, seed=1)
+        assert spec.n_memory == 4
+
+    def test_repeats_when_pool_exhausted(self):
+        spec = workload_with_mix(7, 0, seed=2, include_kmeans=False)
+        assert len(spec.apps) == 7
+        assert set(spec.apps) <= set(memory_apps())
+
+    def test_zero_apps_rejected(self):
+        with pytest.raises(ValueError):
+            workload_with_mix(0, 0)
+
+    def test_random_workload_deterministic(self):
+        assert random_workload(seed=5).apps == random_workload(seed=5).apps
+
+    def test_random_workload_varies_with_seed(self):
+        apps = {random_workload(seed=s).apps for s in range(8)}
+        assert len(apps) > 1
+
+    @given(st.integers(0, 5), st.integers(0, 5), st.integers(0, 50))
+    @settings(max_examples=40)
+    def test_mix_property(self, n_m, n_c, seed):
+        if n_m + n_c == 0:
+            return
+        spec = workload_with_mix(n_m, n_c, seed=seed)
+        assert spec.n_memory == n_m
+        assert spec.n_compute == n_c
+        # buildable with dense tids
+        groups = spec.build(seed=seed, work_scale=0.001)
+        tids = sorted(t.tid for g in groups for t in g.threads)
+        assert tids == list(range(len(tids)))

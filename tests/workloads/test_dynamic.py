@@ -1,0 +1,119 @@
+"""Tests for open-system (dynamic-arrival) workloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.metrics.fairness import fairness
+from repro.schedulers.static import StaticScheduler
+from repro.core.dike import dike
+from repro.workloads.dynamic import (
+    DynamicWorkload,
+    phased_workload,
+    poisson_arrivals,
+)
+
+
+class TestDynamicWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicWorkload(name="x", entries=())
+        with pytest.raises(ValueError):
+            DynamicWorkload(name="x", entries=(("nonexistent", 0.0),))
+        with pytest.raises(ValueError):
+            DynamicWorkload(name="x", entries=(("jacobi", -1.0),))
+
+    def test_build_sets_arrivals(self):
+        wl = DynamicWorkload(
+            name="d", entries=(("jacobi", 0.0), ("srad", 10.0)), threads_per_app=2
+        )
+        groups = wl.build(seed=0, work_scale=0.5)
+        assert groups[0].arrival_s == 0.0
+        assert groups[1].arrival_s == pytest.approx(5.0)  # scaled
+
+    def test_build_dense_tids(self):
+        wl = phased_workload(threads_per_app=2)
+        groups = wl.build(seed=0, work_scale=0.1)
+        tids = sorted(t.tid for g in groups for t in g.threads)
+        assert tids == list(range(len(tids)))
+
+    def test_poisson_deterministic(self):
+        a = poisson_arrivals(seed=4)
+        b = poisson_arrivals(seed=4)
+        assert a.entries == b.entries
+
+    def test_poisson_arrivals_monotone(self):
+        wl = poisson_arrivals(n_instances=6, seed=1)
+        times = [t for _, t in wl.entries]
+        assert times == sorted(times)
+        assert times[0] == 0.0
+
+
+class TestDynamicExecution:
+    @pytest.fixture(scope="class")
+    def result(self):
+        wl = DynamicWorkload(
+            name="d",
+            entries=(("jacobi", 0.0), ("srad", 0.0), ("streamcluster", 8.0)),
+            threads_per_app=2,
+        )
+        return run_workload(wl, StaticScheduler(), work_scale=0.05)
+
+    def test_late_group_starts_after_arrival(self, result):
+        late = result.benchmark_named("streamcluster")
+        assert late.arrival_s > 0
+        assert min(late.thread_finish_times) > late.arrival_s
+
+    def test_runtimes_relative_to_arrival(self, result):
+        late = result.benchmark_named("streamcluster")
+        assert late.runtime == pytest.approx(
+            late.finish_time - late.arrival_s
+        )
+        assert all(r > 0 for r in late.thread_runtimes)
+
+    def test_all_finish(self, result):
+        assert all(
+            math.isfinite(t)
+            for b in result.benchmarks
+            for t in b.thread_finish_times
+        )
+
+    def test_fairness_computable(self, result):
+        assert math.isfinite(fairness(result))
+
+    def test_dike_handles_arrivals(self):
+        wl = DynamicWorkload(
+            name="d",
+            entries=(("jacobi", 0.0), ("srad", 0.0), ("stream_omp", 5.0)),
+            threads_per_app=2,
+        )
+        result = run_workload(wl, dike(), work_scale=0.05)
+        assert all(
+            math.isfinite(t)
+            for b in result.benchmarks
+            for t in b.thread_finish_times
+        )
+
+    def test_arrival_placement_prefers_idle_cores(self):
+        """A group arriving into a half-empty machine must not stack onto
+        occupied virtual cores."""
+        wl = DynamicWorkload(
+            name="d",
+            entries=(("jacobi", 0.0), ("srad", 3.0)),
+            threads_per_app=4,
+        )
+        result = run_workload(
+            wl, StaticScheduler(), work_scale=0.05, record_timeseries=True
+        )
+        # inspect the assignment snapshot right after srad's arrival
+        trace = result.trace
+        late_tids = {4, 5, 6, 7}
+        for q, assignments in enumerate(trace.assignments):
+            present = late_tids & set(assignments)
+            if present:
+                vcores = [assignments[t] for t in assignments]
+                assert len(vcores) == len(set(vcores))  # no stacking
+                break

@@ -1,0 +1,92 @@
+"""Tests for the Rodinia application models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import make_rng
+from repro.workloads.rodinia import (
+    APP_REGISTRY,
+    app,
+    compute_apps,
+    kmeans,
+    memory_apps,
+)
+
+
+class TestRegistry:
+    def test_ten_applications(self):
+        assert len(APP_REGISTRY) == 10
+
+    def test_lookup_by_name(self):
+        assert app("jacobi").name == "jacobi"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown application"):
+            app("doom")
+
+    def test_memory_apps_match_table2_bold(self):
+        assert set(memory_apps()) == {
+            "jacobi", "streamcluster", "stream_omp", "needle", "kmeans",
+        }
+
+    def test_compute_apps(self):
+        assert set(compute_apps()) == {
+            "lavaMD", "leukocyte", "srad", "hotspot", "heartwall",
+        }
+
+
+class TestTraceCharacteristics:
+    @pytest.mark.parametrize("name", ["jacobi", "streamcluster", "stream_omp", "needle"])
+    def test_memory_apps_exceed_classification_threshold(self, name):
+        """Steady-state miss ratio must classify as M (> 10%)."""
+        spec = app(name)
+        trace = spec.build_trace(make_rng(0, name), 1.0)
+        assert trace.mean_miss_ratio() > 0.10
+
+    @pytest.mark.parametrize("name", ["lavaMD", "leukocyte", "srad", "hotspot", "heartwall"])
+    def test_compute_apps_below_threshold_on_average(self, name):
+        spec = app(name)
+        trace = spec.build_trace(make_rng(0, name), 1.0)
+        assert trace.mean_miss_ratio() < 0.10
+
+    @pytest.mark.parametrize("name", ["lavaMD", "leukocyte", "srad", "hotspot", "heartwall"])
+    def test_compute_apps_have_memory_bursts(self, name):
+        """Bursts must cross the threshold so classification flips (the
+        phase-change behaviour behind the paper's UC prediction errors)."""
+        spec = app(name)
+        trace = spec.build_trace(make_rng(0, name), 1.0)
+        ratios = [s.miss_ratio for s in trace.segments]
+        assert max(ratios) > 0.10
+        assert min(ratios) < 0.10
+
+    @pytest.mark.parametrize("name", list(APP_REGISTRY))
+    def test_work_scale_scales_total_work(self, name):
+        spec = app(name)
+        full = spec.build_trace(make_rng(0, name), 1.0).total_work
+        half = spec.build_trace(make_rng(0, name), 0.5).total_work
+        assert half == pytest.approx(full * 0.5, rel=1e-6)
+
+    def test_stream_is_heaviest(self):
+        """stream_omp must have the highest per-instruction memory demand."""
+        def intensity(name: str) -> float:
+            return app(name).build_trace(make_rng(0, name), 1.0).mean_mpi()
+
+        stream = intensity("stream_omp")
+        assert all(stream >= intensity(n) for n in APP_REGISTRY)
+
+    def test_kmeans_has_barriers(self):
+        spec = kmeans()
+        assert len(spec.barrier_fractions) == 19
+        assert all(0 < f < 1 for f in spec.barrier_fractions)
+
+    def test_kmeans_barrier_count_configurable(self):
+        assert len(kmeans(n_barriers=5).barrier_fractions) == 5
+
+    def test_non_kmeans_apps_barrier_free(self):
+        for name in APP_REGISTRY:
+            if name != "kmeans":
+                assert app(name).barrier_fractions == ()
+
+    def test_default_eight_threads(self):
+        assert all(app(n).n_threads == 8 for n in APP_REGISTRY)

@@ -1,0 +1,99 @@
+"""Tests for the Table II workload suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.suite import (
+    WORKLOAD_TABLE,
+    WorkloadSpec,
+    all_workloads,
+    workload,
+    workloads_of_class,
+)
+
+
+class TestTableII:
+    def test_sixteen_workloads(self):
+        assert len(WORKLOAD_TABLE) == 16
+
+    def test_class_partition_6_5_5(self):
+        """Table II: 6 balanced, 5 UC, 5 UM workloads."""
+        assert len(workloads_of_class("B")) == 6
+        assert len(workloads_of_class("UC")) == 5
+        assert len(workloads_of_class("UM")) == 5
+
+    @pytest.mark.parametrize("name", list(WORKLOAD_TABLE))
+    def test_each_workload_has_four_apps(self, name):
+        assert len(workload(name).apps) == 4
+
+    def test_balanced_means_2m_2c(self):
+        for spec in workloads_of_class("B"):
+            assert spec.n_memory == 2 and spec.n_compute == 2
+
+    def test_uc_means_1m_3c(self):
+        for spec in workloads_of_class("UC"):
+            assert spec.n_memory == 1 and spec.n_compute == 3
+
+    def test_um_means_3m_1c(self):
+        for spec in workloads_of_class("UM"):
+            assert spec.n_memory == 3 and spec.n_compute == 1
+
+    def test_specific_rows(self):
+        assert workload("wl1").apps == ("jacobi", "needle", "leukocyte", "lavaMD")
+        assert workload("wl15").apps == (
+            "jacobi", "streamcluster", "stream_omp", "hotspot",
+        )
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload("wl99")
+
+    def test_all_workloads_order(self):
+        names = [w.name for w in all_workloads()]
+        assert names == [f"wl{i}" for i in range(1, 17)]
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ValueError):
+            workloads_of_class("XY")
+
+
+class TestWorkloadSpec:
+    def test_thread_count_includes_kmeans(self):
+        assert workload("wl1").n_threads == 40
+
+    def test_thread_count_without_kmeans(self):
+        assert workload("wl1", include_kmeans=False).n_threads == 32
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", apps=("nonexistent",))
+
+    def test_build_dense_tids(self):
+        groups = workload("wl1").build(seed=0, work_scale=0.01)
+        tids = sorted(t.tid for g in groups for t in g.threads)
+        assert tids == list(range(40))
+
+    def test_build_kmeans_group_present(self):
+        groups = workload("wl1").build(seed=0, work_scale=0.01)
+        assert groups[-1].benchmark == "kmeans"
+        assert len(groups) == 5
+
+    def test_build_respects_threads_per_app(self):
+        spec = WorkloadSpec(
+            name="t", apps=("jacobi",), include_kmeans=True, threads_per_app=3
+        )
+        groups = spec.build(seed=0, work_scale=0.01)
+        assert all(g.n_threads == 3 for g in groups)
+
+    def test_build_deterministic(self):
+        a = workload("wl2").build(seed=3, work_scale=0.01)
+        b = workload("wl2").build(seed=3, work_scale=0.01)
+        for ga, gb in zip(a, b):
+            for ta, tb in zip(ga.threads, gb.threads):
+                assert ta.trace.total_work == tb.trace.total_work
+
+    def test_thread_jitter_differs_across_members(self):
+        groups = workload("wl1").build(seed=0, work_scale=0.01)
+        works = [t.trace.total_work for t in groups[0].threads]
+        assert len(set(works)) == len(works)
