@@ -4,38 +4,70 @@ Each ablation disables or perturbs one Dike mechanism and checks the
 direction of the effect the paper's design rationale predicts.  Workloads:
 one per class (B/UC/UM) at a reduced scale; aggregates are means over the
 three.
+
+All runs are submitted through one module-level campaign, whose in-memory
+memo dedups the CFS baselines every ablation shares: each distinct
+(workload, migration-model) baseline simulates once per session instead of
+once per ablation.
 """
 
 from __future__ import annotations
+
+import dataclasses
 
 import numpy as np
 
 from conftest import run_once
 
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec
 from repro.core.config import DikeConfig
-from repro.core.dike import dike
-from repro.experiments.runner import run_workload
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
-from repro.schedulers.cfs import CFSScheduler
 from repro.sim.migration import MigrationModel
 from repro.workloads.suite import workload
 
 SCALE = 0.2
 WORKLOADS = ("wl2", "wl9", "wl14")
 
+#: Shared across every ablation in the session (baseline dedup).
+CAMPAIGN = Campaign.inline()
+
+
+def _dike_params(config: DikeConfig | None) -> dict:
+    """Non-default DikeConfig fields, as campaign policy parameters."""
+    if config is None:
+        return {}
+    default = DikeConfig()
+    return {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(config)
+        if f.name != "goal" and getattr(config, f.name) != getattr(default, f.name)
+    }
+
+
+def _sim_params(migration: MigrationModel | None) -> SimParams:
+    mig = (
+        (migration.swap_overhead_s, migration.warmup_work, migration.warmup_miss_scale)
+        if migration is not None
+        else None
+    )
+    return SimParams(work_scale=SCALE, migration=mig)
+
 
 def _evaluate(config: DikeConfig | None = None, migration=None):
     """Mean fairness / geomean speedup / mean swaps over the workload trio."""
-    fair, speed, swaps = [], [], []
+    sim = _sim_params(migration)
+    params = _dike_params(config)
+    tasks = []
     for name in WORKLOADS:
         spec = workload(name)
-        base = run_workload(
-            spec, CFSScheduler(), work_scale=SCALE, migration=migration
-        )
-        res = run_workload(
-            spec, dike(config), work_scale=SCALE, migration=migration
-        )
+        tasks.append(TaskSpec.for_workload(spec, "cfs", sim=sim))
+        tasks.append(TaskSpec.for_workload(spec, "dike", policy_params=params, sim=sim))
+    results = iter(CAMPAIGN.gather(tasks))
+    fair, speed, swaps = [], [], []
+    for _ in WORKLOADS:
+        base, res = next(results), next(results)
         fair.append(fairness(res))
         speed.append(speedup(res, base))
         swaps.append(res.swap_count)
@@ -113,10 +145,15 @@ def test_ablation_rotation_fallback(benchmark, save_artefact):
 
     def run():
         spec = workload("wl14")  # UM: deep saturation, rotation matters
-        base = run_workload(spec, CFSScheduler(), work_scale=SCALE)
-        with_rot = run_workload(spec, dike(), work_scale=SCALE)
-        without = run_workload(
-            spec, dike(DikeConfig(rotation_fallback=False)), work_scale=SCALE
+        sim = SimParams(work_scale=SCALE)
+        base, with_rot, without = CAMPAIGN.gather(
+            [
+                TaskSpec.for_workload(spec, "cfs", sim=sim),
+                TaskSpec.for_workload(spec, "dike", sim=sim),
+                TaskSpec.for_workload(
+                    spec, "dike", policy_params={"rotation_fallback": False}, sim=sim
+                ),
+            ]
         )
         return (
             fairness(with_rot),

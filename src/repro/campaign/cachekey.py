@@ -1,0 +1,49 @@
+"""Content-addressed cache keys for simulation tasks.
+
+The key is a SHA-256 over the canonical JSON of the task's value —
+workload recipe, policy + parameters, seed, simulator parameters — plus
+the result-schema version (`SCHEMA_VERSION`): simulations are
+deterministic functions of exactly these inputs, so two tasks with equal
+keys produce bitwise-identical results and may share one cached artifact.
+
+Stability notes:
+
+* ``json.dumps(..., sort_keys=True)`` with explicit separators is the
+  canonical form; Python's shortest-repr float formatting is itself
+  deterministic, so float parameters serialise stably.
+* The schema version is hashed **into** the key (not just stored next to
+  the artifact) so a version bump orphans old entries outright — a cache
+  directory can safely outlive many code revisions.
+* ``record_timeseries`` is excluded: it toggles trace *recording* only
+  (never simulation dynamics) and traces are not cached, so both variants
+  of a task share one artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.campaign.spec import TaskSpec
+from repro.experiments.serialization import SCHEMA_VERSION
+
+__all__ = ["task_fingerprint", "cache_key"]
+
+
+def task_fingerprint(task: TaskSpec) -> dict:
+    """The exact dict whose canonical JSON is hashed."""
+    d = task.to_dict()
+    d["sim"] = {k: v for k, v in d["sim"].items() if k != "record_timeseries"}
+    d["schema_version"] = SCHEMA_VERSION
+    return d
+
+
+def cache_key(task: TaskSpec) -> str:
+    """Stable hex digest identifying a task's result."""
+    canonical = json.dumps(
+        task_fingerprint(task),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

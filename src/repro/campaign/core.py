@@ -1,0 +1,148 @@
+"""The campaign facade: cache-aware, parallel, order-preserving `gather`.
+
+A :class:`Campaign` ties the subsystem together: the planner's dedup, the
+content-addressed :class:`~repro.campaign.store.ResultStore`, the
+fault-tolerant executor and the telemetry stream.  Experiment modules
+build task lists and call :meth:`Campaign.gather`; everything else —
+dedup, cache lookup, parallel execution, persistence, resumability — is
+this class's concern.
+
+Resumability falls out of the design: a rerun of a partially completed
+campaign plans the same keys, finds the finished ones in the store, and
+executes only the remainder.
+
+``Campaign.inline()`` is the zero-infrastructure instance (serial, no
+disk cache, silent) that experiment runners default to, so every figure
+module keeps working stand-alone; an in-memory memo still dedups repeat
+tasks *within* the process (e.g. the CFS baselines the ablation benches
+share).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.campaign.cachekey import cache_key
+from repro.campaign.executor import ExecutorConfig, TaskFailure, run_tasks
+from repro.campaign.spec import TaskSpec
+from repro.campaign.store import ResultStore
+from repro.campaign.telemetry import Telemetry
+from repro.sim.results import RunResult
+
+__all__ = ["Campaign", "CampaignError"]
+
+
+class CampaignError(RuntimeError):
+    """Raised by strict gathers when tasks failed after all retries."""
+
+    def __init__(self, failures: Sequence[TaskFailure]) -> None:
+        self.failures = tuple(failures)
+        detail = "; ".join(
+            f"{f.label} [{f.kind} after {f.attempts} attempts]: {f.error}"
+            for f in self.failures[:5]
+        )
+        more = f" (+{len(self.failures) - 5} more)" if len(self.failures) > 5 else ""
+        super().__init__(f"{len(self.failures)} task(s) failed: {detail}{more}")
+
+
+class Campaign:
+    """Executes task specs through cache + pool; results come back in order."""
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        executor: ExecutorConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.store = store
+        self.executor = executor or ExecutorConfig()
+        self.telemetry = telemetry or Telemetry(stream=None)
+        #: in-process memo; also what makes cache hits repeat-stable when
+        #: no disk store is configured
+        self._memo: dict[str, RunResult] = {}
+
+    # ---------------------------------------------------------- factories
+
+    @classmethod
+    def inline(cls) -> "Campaign":
+        """Serial, memory-only, silent — the default for direct calls."""
+        return cls()
+
+    @classmethod
+    def at(
+        cls,
+        cache_dir: str | Path,
+        max_workers: int = 2,
+        timeout_s: float | None = None,
+        retries: int = 2,
+        telemetry: Telemetry | None = None,
+    ) -> "Campaign":
+        """A production campaign: disk cache under ``cache_dir`` + pool."""
+        return cls(
+            store=ResultStore(cache_dir),
+            executor=ExecutorConfig(
+                max_workers=max_workers, timeout_s=timeout_s, retries=retries
+            ),
+            telemetry=telemetry,
+        )
+
+    # ------------------------------------------------------------- gather
+
+    def gather(
+        self, tasks: Sequence[TaskSpec], strict: bool = True
+    ) -> list[RunResult | TaskFailure]:
+        """Resolve every task, in input order (duplicates share one run).
+
+        Cache hits (memo, then disk) never re-execute; misses run through
+        the executor and are persisted.  With ``strict`` (the default for
+        figure assembly) any terminal failure raises :class:`CampaignError`;
+        with ``strict=False`` failures come back as :class:`TaskFailure`
+        entries so a campaign sweep can report them and move on.
+        """
+        keys = [cache_key(t) for t in tasks]
+        unique: dict[str, TaskSpec] = {}
+        for key, task in zip(keys, tasks):
+            unique.setdefault(key, task)
+        self.telemetry.tasks_planned(len(tasks), len(unique))
+
+        resolved: dict[str, RunResult | TaskFailure] = {}
+        to_run: list[tuple[str, TaskSpec]] = []
+        for key, task in unique.items():
+            hit = self._lookup(key)
+            if hit is not None:
+                resolved[key] = hit
+                self.telemetry.cache_hit(key, task.label())
+            else:
+                to_run.append((key, task))
+
+        if to_run:
+            executed = run_tasks(
+                to_run, config=self.executor, telemetry=self.telemetry
+            )
+            for key, result in executed.items():
+                resolved[key] = result
+                if isinstance(result, RunResult):
+                    self._memo[key] = result
+                    if self.store is not None:
+                        self.store.put(key, result, unique[key])
+
+        if strict:
+            failures = [r for r in resolved.values() if isinstance(r, TaskFailure)]
+            if failures:
+                raise CampaignError(failures)
+        return [resolved[key] for key in keys]
+
+    def run(self, task: TaskSpec) -> RunResult:
+        """Resolve a single task (strict)."""
+        return self.gather([task])[0]
+
+    # ------------------------------------------------------------ private
+
+    def _lookup(self, key: str) -> RunResult | None:
+        hit = self._memo.get(key)
+        if hit is None and self.store is not None:
+            hit = self.store.get(key)
+            if hit is not None:
+                self._memo[key] = hit
+        return hit

@@ -1,0 +1,122 @@
+"""Campaign specs and planning: grids in, deduplicated task lists out.
+
+A :class:`CampaignSpec` names a policy × workload × seed grid (optionally
+crossed with the 32-point ⟨swapSize, quantaLength⟩ configuration space)
+and :func:`plan` expands it into a :class:`CampaignPlan` whose tasks are
+**unique by cache key** — the CFS baseline a dozen figures share appears
+exactly once, which is both the dedup guarantee and the DAG: every task
+is independent (metrics that *relate* runs, like speedup-over-baseline,
+are computed by the consumer after gather), so the plan is a single
+parallel wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.cachekey import cache_key
+from repro.campaign.spec import SimParams, TaskSpec
+from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
+from repro.experiments.runner import STANDARD_POLICIES
+from repro.util.rng import DEFAULT_SEED
+from repro.util.validation import require
+from repro.workloads.suite import WORKLOAD_TABLE, workload
+
+__all__ = ["CampaignSpec", "CampaignPlan", "plan", "dedupe"]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative experiment grid (the CLI's ``repro campaign`` unit).
+
+    Defaults reproduce the Figure 6 grid: the five standard policies on
+    all 16 workloads at one seed.  ``sweep=True`` additionally crosses
+    every workload with non-adaptive Dike's 32 configurations (the raw
+    data of Figures 2/4/5).
+    """
+
+    name: str = "fig6-grid"
+    workloads: tuple[str, ...] = tuple(WORKLOAD_TABLE)
+    policies: tuple[str, ...] = tuple(STANDARD_POLICIES)
+    seeds: tuple[int, ...] = (DEFAULT_SEED,)
+    work_scale: float = 1.0
+    sweep: bool = False
+
+    def __post_init__(self) -> None:
+        require(len(self.workloads) >= 1, "a campaign needs >= 1 workload")
+        require(len(self.seeds) >= 1, "a campaign needs >= 1 seed")
+        for w in self.workloads:
+            require(w in WORKLOAD_TABLE, f"unknown workload {w!r}")
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Deduplicated tasks plus bookkeeping for the dry-run report."""
+
+    spec: CampaignSpec
+    tasks: tuple[TaskSpec, ...]
+    keys: tuple[str, ...]
+    n_requested: int
+    #: keys already present in the cache at planning time (dry-run info)
+    cached: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_to_run(self) -> int:
+        return sum(1 for k in self.keys if k not in self.cached)
+
+    def describe(self) -> str:
+        lines = [
+            f"campaign {self.spec.name!r}: "
+            f"{len(self.spec.workloads)} workloads x "
+            f"{len(self.spec.policies)} policies x "
+            f"{len(self.spec.seeds)} seeds"
+            + (" + config sweep" if self.spec.sweep else ""),
+            f"  requested {self.n_requested} runs, {self.n_unique} unique "
+            f"({self.n_requested - self.n_unique} deduplicated)",
+            f"  cached {self.n_unique - self.n_to_run}, to run {self.n_to_run}",
+        ]
+        return "\n".join(lines)
+
+
+def dedupe(tasks: list[TaskSpec]) -> tuple[tuple[TaskSpec, ...], tuple[str, ...]]:
+    """Order-preserving dedup by cache key; returns (tasks, keys) aligned."""
+    seen: dict[str, TaskSpec] = {}
+    for t in tasks:
+        seen.setdefault(cache_key(t), t)
+    return tuple(seen.values()), tuple(seen.keys())
+
+
+def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
+    """Expand a campaign spec into its deduplicated task list."""
+    sim = SimParams(work_scale=spec.work_scale)
+    requested: list[TaskSpec] = []
+    for wl_name in spec.workloads:
+        wl = workload(wl_name)
+        for seed in spec.seeds:
+            for policy in spec.policies:
+                requested.append(TaskSpec.for_workload(wl, policy, seed, sim=sim))
+            if spec.sweep:
+                # The sweep's speedups need the CFS baseline — shared, by
+                # dedup, with the policy grid above.
+                requested.append(TaskSpec.for_workload(wl, "cfs", seed, sim=sim))
+                for q in QUANTA_CHOICES_S:
+                    for s in SWAP_SIZE_CHOICES:
+                        requested.append(
+                            TaskSpec.for_workload(
+                                wl, "dike", seed,
+                                {"quanta_length_s": q, "swap_size": s},
+                                sim=sim,
+                            )
+                        )
+    tasks, keys = dedupe(requested)
+    return CampaignPlan(
+        spec=spec,
+        tasks=tasks,
+        keys=keys,
+        n_requested=len(requested),
+        cached=frozenset(k for k in keys if k in (cached_keys or frozenset())),
+    )

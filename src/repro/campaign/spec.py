@@ -1,0 +1,245 @@
+"""Declarative simulation tasks: everything a worker process needs.
+
+A :class:`TaskSpec` is a frozen, picklable, JSON-able description of one
+``run_workload`` invocation — workload, policy, policy parameters, seed
+and simulator parameters — with **no live objects** (schedulers are
+stateful, topologies carry NumPy arrays).  Workers rebuild the live
+objects from the spec via :func:`execute_task`, which is the *only*
+execution path of the campaign subsystem; the spec's canonical dict
+(:meth:`TaskSpec.to_dict`) is what the cache key hashes.
+
+Policies are referenced by name (the ``STANDARD_POLICIES`` names plus
+``"static"`` for pinned standalone runs); parameters are passed as a
+sorted tuple of ``(key, value)`` pairs so equal parameterisations compare
+and hash equal regardless of construction order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.config import DikeConfig
+from repro.core.dike import dike, dike_af, dike_ap
+from repro.schedulers.base import Scheduler
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.sim.migration import MigrationModel
+from repro.sim.results import RunResult
+from repro.sim.topology import Topology, homogeneous, xeon_e5_heterogeneous
+from repro.util.rng import DEFAULT_SEED
+from repro.util.validation import require
+from repro.workloads.suite import WorkloadSpec
+
+__all__ = [
+    "WorkloadRef",
+    "SimParams",
+    "TaskSpec",
+    "KNOWN_POLICIES",
+    "TOPOLOGIES",
+    "build_scheduler",
+    "build_topology",
+    "execute_task",
+]
+
+#: Policy names the campaign layer can instantiate.
+KNOWN_POLICIES: tuple[str, ...] = (
+    "cfs", "dio", "dike", "dike-af", "dike-ap", "static",
+)
+
+#: Named topologies (tasks reference machines by name, never by object).
+TOPOLOGIES: dict[str, object] = {
+    "heterogeneous": xeon_e5_heterogeneous,
+    "homogeneous": homogeneous,
+}
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A workload by value: the four `WorkloadSpec` fields, nothing more.
+
+    Suite workloads (``wl1`` .. ``wl16``) and ad-hoc specs (standalone
+    runs, test workloads) serialise identically — the reference carries
+    the full recipe, so a worker process can rebuild the spec without any
+    registry lookup.
+    """
+
+    name: str
+    apps: tuple[str, ...]
+    include_kmeans: bool = True
+    threads_per_app: int = 8
+
+    @classmethod
+    def from_spec(cls, spec: WorkloadSpec) -> "WorkloadRef":
+        return cls(
+            name=spec.name,
+            apps=tuple(spec.apps),
+            include_kmeans=spec.include_kmeans,
+            threads_per_app=spec.threads_per_app,
+        )
+
+    def to_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(
+            name=self.name,
+            apps=self.apps,
+            include_kmeans=self.include_kmeans,
+            threads_per_app=self.threads_per_app,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "apps": list(self.apps),
+            "include_kmeans": self.include_kmeans,
+            "threads_per_app": self.threads_per_app,
+        }
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Simulator-side parameters of a task (everything `run_workload`
+    accepts beyond workload/scheduler/seed).
+
+    ``migration`` is the optional ``(swap_overhead_s, warmup_work,
+    warmup_miss_scale)`` triple of a non-default `MigrationModel` (the
+    ablation benches sweep it); ``None`` means the engine default.
+    """
+
+    work_scale: float = 1.0
+    topology: str = "heterogeneous"
+    counter_noise: float = 0.06
+    max_time_s: float = 36_000.0
+    record_timeseries: bool = False
+    migration: tuple[float, float, float] | None = None
+
+    def __post_init__(self) -> None:
+        require(
+            self.topology in TOPOLOGIES,
+            f"unknown topology {self.topology!r}; known: {sorted(TOPOLOGIES)}",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "work_scale": self.work_scale,
+            "topology": self.topology,
+            "counter_noise": self.counter_noise,
+            "max_time_s": self.max_time_s,
+            "record_timeseries": self.record_timeseries,
+            "migration": list(self.migration) if self.migration else None,
+        }
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One simulation: ``(workload, policy(+params), seed, sim params)``."""
+
+    workload: WorkloadRef
+    policy: str
+    seed: int = DEFAULT_SEED
+    policy_params: tuple[tuple[str, object], ...] = ()
+    sim: SimParams = field(default_factory=SimParams)
+
+    def __post_init__(self) -> None:
+        require(
+            self.policy in KNOWN_POLICIES,
+            f"unknown policy {self.policy!r}; known: {KNOWN_POLICIES}",
+        )
+        # Normalise parameter order so logically equal tasks hash equal.
+        object.__setattr__(
+            self, "policy_params", tuple(sorted(self.policy_params))
+        )
+
+    @classmethod
+    def for_workload(
+        cls,
+        spec: WorkloadSpec,
+        policy: str,
+        seed: int = DEFAULT_SEED,
+        policy_params: Mapping[str, object] | None = None,
+        sim: SimParams | None = None,
+    ) -> "TaskSpec":
+        """The usual constructor: from a live `WorkloadSpec`."""
+        return cls(
+            workload=WorkloadRef.from_spec(spec),
+            policy=policy,
+            seed=seed,
+            policy_params=tuple(sorted((policy_params or {}).items())),
+            sim=sim or SimParams(),
+        )
+
+    @property
+    def params(self) -> dict[str, object]:
+        return dict(self.policy_params)
+
+    def to_dict(self) -> dict:
+        """Canonical plain-dict form — the input of the cache key."""
+        return {
+            "workload": self.workload.to_dict(),
+            "policy": self.policy,
+            "policy_params": [[k, v] for k, v in self.policy_params],
+            "seed": self.seed,
+            "sim": self.sim.to_dict(),
+        }
+
+    def label(self) -> str:
+        """Short human-readable id for telemetry lines."""
+        extra = ""
+        if self.policy_params:
+            extra = "{" + ",".join(f"{k}={v}" for k, v in self.policy_params) + "}"
+        return f"{self.workload.name}/{self.policy}{extra}@s{self.seed}"
+
+
+def build_scheduler(policy: str, params: Mapping[str, object] | None = None) -> Scheduler:
+    """Instantiate a scheduler from its campaign name and parameters."""
+    params = dict(params or {})
+    if policy == "cfs":
+        return CFSScheduler(**params)
+    if policy == "dio":
+        return DIOScheduler(**params)
+    if policy == "static":
+        return StaticScheduler(**params)
+    config = DikeConfig(**params) if params else None
+    if policy == "dike":
+        return dike(config)
+    if policy == "dike-af":
+        return dike_af(config)
+    if policy == "dike-ap":
+        return dike_ap(config)
+    raise ValueError(f"unknown policy {policy!r}; known: {KNOWN_POLICIES}")
+
+
+def build_topology(name: str) -> Topology:
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
+        ) from None
+    return factory()
+
+
+def execute_task(task: TaskSpec) -> RunResult:
+    """Run one task to completion (the worker-process entry point).
+
+    Module-level (picklable) and dependent only on the spec's value, so
+    the same task executes identically in-process and in a pool worker.
+    """
+    # Imported here rather than at module top: experiments.runner is also
+    # imported *by* the experiment modules that import this package, and a
+    # late import keeps the package import-order agnostic.
+    from repro.experiments.runner import run_workload
+
+    sim = task.sim
+    migration = MigrationModel(*sim.migration) if sim.migration else None
+    return run_workload(
+        task.workload.to_spec(),
+        build_scheduler(task.policy, task.params),
+        seed=task.seed,
+        work_scale=sim.work_scale,
+        topology=build_topology(sim.topology),
+        migration=migration,
+        record_timeseries=sim.record_timeseries,
+        counter_noise=sim.counter_noise,
+        max_time_s=sim.max_time_s,
+    )

@@ -16,6 +16,13 @@ Subcommands
     ASCII placement timeline + swap-activity sparkline for one run.
 ``all [--scale S] [--seed N]``
     Regenerate every experiment (the full evaluation; slow at scale 1.0).
+``campaign [--workloads ...] [--policies ...] [--sweep] [--workers N] ...``
+    Run an experiment grid through the campaign subsystem: parallel
+    workers, content-addressed result cache, retries, telemetry.  A rerun
+    resumes from the cache (``--dry-run`` shows the plan without running).
+
+``run``, ``report`` and ``all`` also accept ``--workers``/``--cache-dir``
+to route their simulations through a shared campaign.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 from repro.experiments.runner import run_policies
@@ -30,9 +38,12 @@ from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
-from repro.workloads.suite import workload
+from repro.workloads.suite import WORKLOAD_TABLE, workload
 
 __all__ = ["main", "build_parser"]
+
+#: Default location of the on-disk campaign cache.
+DEFAULT_CACHE_DIR = ".campaign"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="regenerate one experiment")
     p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     _add_common(p_run)
+    _add_campaign_backend(p_run)
 
     p_cmp = sub.add_parser("compare", help="compare policies on one workload")
     p_cmp.add_argument("workload", help="wl1 .. wl16")
@@ -61,6 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="average the evaluation over this many seeds",
     )
     _add_common(p_rep)
+    _add_campaign_backend(p_rep)
 
     p_repl = sub.add_parser("replicate", help="multi-seed robustness check")
     p_repl.add_argument("workload", help="wl1 .. wl16")
@@ -76,6 +89,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser("all", help="regenerate every experiment")
     _add_common(p_all)
+    _add_campaign_backend(p_all)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="parallel, cached, fault-tolerant experiment grids",
+    )
+    p_camp.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: all 16)",
+    )
+    p_camp.add_argument(
+        "--policies", default=None,
+        help="comma-separated policy names (default: the paper's five)",
+    )
+    p_camp.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of seeds per grid cell (seed, seed+1, ...)",
+    )
+    p_camp.add_argument(
+        "--sweep", action="store_true",
+        help="also cross every workload with the 32-point config sweep",
+    )
+    p_camp.add_argument(
+        "--dry-run", action="store_true",
+        help="print the plan (task counts, dedup, cache state) and exit",
+    )
+    p_camp.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (still dedups in memory)",
+    )
+    p_camp.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (default: none)",
+    )
+    p_camp.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failing task (default: 2)",
+    )
+    p_camp.add_argument(
+        "--events", default=None,
+        help="events JSONL path (default: <cache-dir>/events.jsonl)",
+    )
+    p_camp.add_argument(
+        "--verbose", action="store_true",
+        help="one progress line per task instead of ~1/second",
+    )
+    _add_common(p_camp)
+    _add_campaign_backend(p_camp, default_workers=2)
     return parser
 
 
@@ -95,14 +156,56 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
 
 
+def _add_campaign_backend(
+    p: argparse.ArgumentParser, default_workers: int = 1
+) -> None:
+    p.add_argument(
+        "--workers", type=int, default=default_workers,
+        help="parallel simulation workers (1 = in-process serial)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help=f"result-cache directory (campaign verb default: {DEFAULT_CACHE_DIR})",
+    )
+
+
+def _make_campaign(args: argparse.Namespace):
+    """Build a Campaign from CLI flags, or None for the plain inline path."""
+    from repro.campaign import Campaign, ExecutorConfig, ResultStore, Telemetry
+
+    cache_dir = args.cache_dir
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    elif cache_dir is None and args.command == "campaign":
+        cache_dir = DEFAULT_CACHE_DIR
+    if cache_dir is None and args.workers <= 1 and args.command != "campaign":
+        return None
+    events = getattr(args, "events", None)
+    if events is None and cache_dir is not None:
+        events = f"{cache_dir}/events.jsonl"
+    return Campaign(
+        store=ResultStore(cache_dir) if cache_dir else None,
+        executor=ExecutorConfig(
+            max_workers=args.workers,
+            timeout_s=getattr(args, "timeout", None),
+            retries=getattr(args, "retries", 2),
+        ),
+        telemetry=Telemetry(
+            events_path=events,
+            stream=sys.stderr,
+            verbose=getattr(args, "verbose", False),
+        ),
+    )
+
+
 def _cmd_list() -> int:
     print(format_table(["id", "title"], list_experiments()))
     return 0
 
 
-def _cmd_run(exp_id: str, scale: float, seed: int) -> int:
+def _cmd_run(exp_id: str, scale: float, seed: int, campaign=None) -> int:
     t0 = time.perf_counter()
-    result = run_experiment(exp_id, seed=seed, work_scale=scale)
+    result = run_experiment(exp_id, seed=seed, work_scale=scale, campaign=campaign)
     print(result.render())
     print(f"\n[{exp_id} regenerated in {time.perf_counter() - t0:.1f}s "
           f"at work_scale={scale}]")
@@ -134,12 +237,12 @@ def _cmd_compare(wl_name: str, scale: float, seed: int) -> int:
     return 0
 
 
-def _cmd_report(scale: float, seed: int, n_seeds: int = 1) -> int:
+def _cmd_report(scale: float, seed: int, n_seeds: int = 1, campaign=None) -> int:
     from repro.analysis.report import build_report
     from repro.experiments.fig6 import run_fig6
 
     seeds = tuple(seed + i for i in range(n_seeds)) if n_seeds > 1 else None
-    fig6 = run_fig6(seed=seed, work_scale=scale, seeds=seeds)
+    fig6 = run_fig6(seed=seed, work_scale=scale, seeds=seeds, campaign=campaign)
     report = build_report(fig6)
     print(report.render())
     return 0 if report.all_hold else 1
@@ -192,11 +295,110 @@ def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
     return 0
 
 
-def _cmd_all(scale: float, seed: int) -> int:
+def _cmd_all(scale: float, seed: int, campaign=None) -> int:
     for exp_id in EXPERIMENTS:
-        _cmd_run(exp_id, scale, seed)
+        _cmd_run(exp_id, scale, seed, campaign=campaign)
         print()
     return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignSpec, TaskFailure, plan
+    from repro.experiments.runner import STANDARD_POLICIES
+    from repro.util.stats import geometric_mean
+
+    workloads = (
+        tuple(args.workloads.split(",")) if args.workloads
+        else tuple(WORKLOAD_TABLE)
+    )
+    policies = (
+        tuple(args.policies.split(",")) if args.policies
+        else tuple(STANDARD_POLICIES)
+    )
+    try:
+        spec = CampaignSpec(
+            name="sweep-grid" if args.sweep else "fig6-grid",
+            workloads=workloads,
+            policies=policies,
+            seeds=tuple(args.seed + i for i in range(args.seeds)),
+            work_scale=args.scale,
+            sweep=args.sweep,
+        )
+        campaign = _make_campaign(args)
+        the_plan = plan(spec)
+    except ValueError as exc:  # bad workload/policy/seed flags, not a crash
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if campaign.store is not None:
+        the_plan = replace(
+            the_plan,
+            cached=frozenset(k for k in the_plan.keys if k in campaign.store),
+        )
+    print(the_plan.describe())
+    if args.dry_run:
+        return 0
+
+    results = campaign.gather(list(the_plan.tasks), strict=False)
+    by_key = dict(zip(the_plan.keys, results))
+    failures = [r for r in results if isinstance(r, TaskFailure)]
+    campaign.telemetry.close()
+
+    # Aggregate policy summary (over cells whose runs all succeeded).
+    if "cfs" in policies:
+        rows = []
+        for p in policies:
+            fair_vals, speed_vals = [], []
+            for wl in workloads:
+                for s in spec.seeds:
+                    run = _cell(by_key, spec, wl, p, s)
+                    base = _cell(by_key, spec, wl, "cfs", s)
+                    if isinstance(run, TaskFailure) or isinstance(base, TaskFailure):
+                        continue
+                    fair_vals.append(fairness(run))
+                    speed_vals.append(speedup(run, base))
+            if fair_vals:
+                rows.append([
+                    p,
+                    float(sum(fair_vals) / len(fair_vals)),
+                    geometric_mean(speed_vals),
+                    len(fair_vals),
+                ])
+        print(
+            format_table(
+                ["policy", "mean fairness", "geomean speedup", "cells"],
+                rows,
+                title=f"campaign {spec.name!r}: policy aggregate "
+                      f"({len(workloads)} workloads x {len(spec.seeds)} seeds)",
+            )
+        )
+    print(f"\n[campaign] {campaign.telemetry.render_summary()}")
+    if failures:
+        print(f"[campaign] {len(failures)} task(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f.label} [{f.kind} x{f.attempts}]: {f.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cell(by_key: dict, spec, wl_name: str, policy: str, seed: int):
+    from repro.campaign import SimParams, TaskSpec, cache_key
+
+    task = TaskSpec.for_workload(
+        workload(wl_name), policy, seed,
+        sim=SimParams(work_scale=spec.work_scale),
+    )
+    return by_key.get(cache_key(task))
+
+
+def _with_campaign(args: argparse.Namespace, run) -> int:
+    """Run a command with its (optional) campaign, closing telemetry after
+    so cache-backed invocations end with the executed/hits summary line."""
+    campaign = _make_campaign(args)
+    try:
+        return run(campaign)
+    finally:
+        if campaign is not None:
+            campaign.telemetry.close()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -210,17 +412,25 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.scale, args.seed)
+        return _with_campaign(
+            args, lambda c: _cmd_run(args.experiment, args.scale, args.seed, c)
+        )
     if args.command == "compare":
         return _cmd_compare(args.workload, args.scale, args.seed)
     if args.command == "report":
-        return _cmd_report(args.scale, args.seed, args.seeds)
+        return _with_campaign(
+            args, lambda c: _cmd_report(args.scale, args.seed, args.seeds, c)
+        )
     if args.command == "replicate":
         return _cmd_replicate(args.workload, args.seeds, args.scale, args.seed)
     if args.command == "timeline":
         return _cmd_timeline(args.workload, args.policy, args.scale, args.seed)
     if args.command == "all":
-        return _cmd_all(args.scale, args.seed)
+        return _with_campaign(
+            args, lambda c: _cmd_all(args.scale, args.seed, c)
+        )
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_standalone, run_workload
-from repro.schedulers.cfs import CFSScheduler
-from repro.sim.topology import homogeneous, xeon_e5_heterogeneous
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec, WorkloadRef
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
-from repro.workloads.suite import workload
+from repro.workloads.suite import WorkloadSpec, workload
 
 __all__ = ["Fig1Row", "Fig1Result", "run_fig1"]
 
@@ -74,51 +73,56 @@ class Fig1Result:
         )
 
 
+def _standalone_ref(spec: WorkloadSpec, benchmark: str) -> WorkloadRef:
+    """The solo workload of `run_standalone`, as a campaign reference."""
+    return WorkloadRef(
+        name=f"{spec.name}:{benchmark}:standalone",
+        apps=(benchmark,),
+        include_kmeans=False,
+        threads_per_app=spec.threads_per_app,
+    )
+
+
 def run_fig1(
     cases: tuple[tuple[str, str], ...] = DEFAULT_CASES,
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
+    campaign: Campaign | None = None,
 ) -> Fig1Result:
     """Regenerate Figure 1's slowdown comparison.
 
     Standalone runs pin the benchmark's threads to the fastest cores of the
     heterogeneous machine; concurrent runs execute the full workload under
-    CFS on the homogeneous and heterogeneous machines.
+    CFS on the homogeneous and heterogeneous machines.  All runs are
+    campaign tasks, so the per-workload CFS runs are shared across cases
+    (and, through a persistent cache, with Figure 6's baselines).
     """
-    topo_het = xeon_e5_heterogeneous()
-    topo_hom = homogeneous()
-    rows: list[Fig1Row] = []
-    cache: dict[tuple[str, str], dict[str, float]] = {}
+    camp = campaign or Campaign.inline()
+    sim_het = SimParams(work_scale=work_scale, topology="heterogeneous")
+    sim_hom = SimParams(work_scale=work_scale, topology="homogeneous")
+    tasks: list[TaskSpec] = []
     for wl_name, bench in cases:
         spec = workload(wl_name)
-        key_het = (wl_name, "het")
-        key_hom = (wl_name, "hom")
-        if key_het not in cache:
-            res = run_workload(
-                spec, CFSScheduler(), seed=seed, work_scale=work_scale,
-                topology=topo_het,
+        wl = WorkloadRef.from_spec(spec)
+        tasks.append(TaskSpec(wl, "cfs", seed, sim=sim_het))
+        tasks.append(TaskSpec(wl, "cfs", seed, sim=sim_hom))
+        tasks.append(
+            TaskSpec(
+                _standalone_ref(spec, bench), "static", seed,
+                (("fastest_first", True),), sim=sim_het,
             )
-            cache[key_het] = {
-                b.benchmark: b.mean_thread_time for b in res.benchmarks
-            }
-        if key_hom not in cache:
-            res = run_workload(
-                spec, CFSScheduler(), seed=seed, work_scale=work_scale,
-                topology=topo_hom,
-            )
-            cache[key_hom] = {
-                b.benchmark: b.mean_thread_time for b in res.benchmarks
-            }
-        solo = run_standalone(
-            spec, bench, seed=seed, work_scale=work_scale, topology=topo_het
         )
+    results = iter(camp.gather(tasks))
+    rows: list[Fig1Row] = []
+    for wl_name, bench in cases:
+        het, hom, solo = next(results), next(results), next(results)
         rows.append(
             Fig1Row(
                 workload=wl_name,
                 benchmark=bench,
                 standalone_s=solo.benchmark_named(bench).mean_thread_time,
-                concurrent_homogeneous_s=cache[key_hom][bench],
-                concurrent_heterogeneous_s=cache[key_het][bench],
+                concurrent_homogeneous_s=hom.benchmark_named(bench).mean_thread_time,
+                concurrent_heterogeneous_s=het.benchmark_named(bench).mean_thread_time,
             )
         )
     return Fig1Result(rows=tuple(rows))

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.core import Campaign
 from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
@@ -77,13 +78,17 @@ def run_fig2(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
+    campaign: Campaign | None = None,
 ) -> Fig2Result:
     """Regenerate Figure 2 from full configuration sweeps."""
+    campaign = campaign or Campaign.inline()
     rows: list[Fig2Row] = []
     sweeps: list[ConfigSweepResult] = []
     for wl_name in workloads:
         spec = workload(wl_name)
-        sweep = sweep_configurations(spec, seed=seed, work_scale=work_scale)
+        sweep = sweep_configurations(
+            spec, seed=seed, work_scale=work_scale, campaign=campaign
+        )
         sweeps.append(sweep)
         for metric in ("fairness", "performance"):
             s_best, q_best, v_best = sweep.best_config(metric)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.campaign.core import Campaign
 from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_heatmap
@@ -58,10 +59,14 @@ def run_fig4(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
+    campaign: Campaign | None = None,
 ) -> Fig4Result:
     """Regenerate Figure 4's heatmaps."""
+    campaign = campaign or Campaign.inline()
     sweeps = tuple(
-        sweep_configurations(workload(w), seed=seed, work_scale=work_scale)
+        sweep_configurations(
+            workload(w), seed=seed, work_scale=work_scale, campaign=campaign
+        )
         for w in workloads
     )
     return Fig4Result(sweeps=sweeps)

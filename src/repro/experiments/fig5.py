@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign.core import Campaign
 from repro.experiments.sweep import ConfigSweepResult, sweep_configurations
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_heatmap
@@ -95,12 +96,14 @@ def run_fig5(
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
     workloads_per_class: int | None = None,
+    campaign: Campaign | None = None,
 ) -> Fig5Result:
     """Regenerate Figure 5 by sweeping every workload of every class.
 
     ``workloads_per_class`` limits how many of each class's workloads are
     swept (the benchmark harness uses a reduced count; ``None`` = all).
     """
+    campaign = campaign or Campaign.inline()
     classes = ("B", "UC", "UM")
     grids: dict[tuple[str, str], np.ndarray] = {}
     sweeps: list[ConfigSweepResult] = []
@@ -112,7 +115,9 @@ def run_fig5(
             specs = specs[:workloads_per_class]
         per_metric: dict[str, list[np.ndarray]] = {"fairness": [], "performance": []}
         for spec in specs:
-            sweep = sweep_configurations(spec, seed=seed, work_scale=work_scale)
+            sweep = sweep_configurations(
+                spec, seed=seed, work_scale=work_scale, campaign=campaign
+            )
             sweeps.append(sweep)
             quanta, swaps = sweep.quanta_choices, sweep.swap_choices
             for metric in per_metric:

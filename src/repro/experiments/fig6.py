@@ -14,7 +14,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.runner import STANDARD_POLICIES, run_policies
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec
+from repro.experiments.runner import STANDARD_POLICIES
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
 from repro.sim.results import RunResult
@@ -97,17 +99,37 @@ def run_fig6(
     work_scale: float = 1.0,
     workload_names: tuple[str, ...] | None = None,
     seeds: tuple[int, ...] | None = None,
+    campaign: Campaign | None = None,
 ) -> Fig6Result:
     """Regenerate Figure 6 (and the raw data behind Table III).
 
     With ``seeds`` the per-workload metrics are means over several seeded
     runs (baselines are paired per seed); ``results`` then holds the last
     seed's raw runs.  Without it, a single run per cell at ``seed``.
+
+    The whole policy × workload × seed grid is submitted as one campaign
+    batch, so a parallel campaign runs every cell concurrently and a
+    cached one skips finished cells entirely.
     """
+    camp = campaign or Campaign.inline()
     specs = all_workloads()
     if workload_names is not None:
         specs = [s for s in specs if s.name in workload_names]
     seed_list = tuple(seeds) if seeds else (seed,)
+    sim = SimParams(work_scale=work_scale)
+    cells = [
+        (spec, s, policy)
+        for spec in specs
+        for s in seed_list
+        for policy in STANDARD_POLICIES
+    ]
+    gathered = camp.gather(
+        [TaskSpec.for_workload(spec, policy, s, sim=sim) for spec, s, policy in cells]
+    )
+    by_cell: dict[tuple[str, int, str], RunResult] = {
+        (spec.name, s, policy): res
+        for (spec, s, policy), res in zip(cells, gathered)
+    }
     rows: list[Fig6Row] = []
     results: dict[str, dict[str, RunResult]] = {p: {} for p in STANDARD_POLICIES}
     for spec in specs:
@@ -116,7 +138,9 @@ def run_fig6(
         acc_swaps: dict[str, list[int]] = {p: [] for p in POLICY_ORDER}
         base_fair: list[float] = []
         for s in seed_list:
-            by_policy = run_policies(spec, seed=s, work_scale=work_scale)
+            by_policy = {
+                p: by_cell[(spec.name, s, p)] for p in STANDARD_POLICIES
+            }
             base = by_policy["cfs"]
             base_fair.append(fairness(base))
             for p in POLICY_ORDER:

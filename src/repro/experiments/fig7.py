@@ -12,8 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.dike import dike
-from repro.experiments.runner import run_workload
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec
 from repro.metrics.prediction import error_summary
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
@@ -71,15 +71,20 @@ def run_fig7(
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
     workload_names: tuple[str, ...] | None = None,
+    campaign: Campaign | None = None,
 ) -> Fig7Result:
     """Regenerate Figure 7 by running Dike on every workload."""
+    camp = campaign or Campaign.inline()
     specs = all_workloads()
     if workload_names is not None:
         specs = [s for s in specs if s.name in workload_names]
+    sim = SimParams(work_scale=work_scale)
+    results = camp.gather(
+        [TaskSpec.for_workload(spec, "dike", seed, sim=sim) for spec in specs]
+    )
     summaries: dict[str, dict[str, float]] = {}
     classes: dict[str, str] = {}
-    for spec in specs:
-        result = run_workload(spec, dike(), seed=seed, work_scale=work_scale)
+    for spec, result in zip(specs, results):
         summaries[spec.name] = error_summary(result)
         classes[spec.name] = spec.workload_class
     return Fig7Result(summaries=summaries, classes=classes)

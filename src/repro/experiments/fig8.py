@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.dike import dike
-from repro.experiments.runner import run_workload
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec
 from repro.metrics.prediction import error_series
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_series
@@ -76,14 +76,24 @@ def run_fig8(
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
     bucket_s: float = 1.0,
+    campaign: Campaign | None = None,
 ) -> Fig8Result:
-    """Regenerate Figure 8's error-over-time series."""
+    """Regenerate Figure 8's error-over-time series.
+
+    The series is derived from the run's prediction records (which every
+    Dike run keeps), not the per-quantum trace, so these tasks are plain
+    cacheable campaign runs — cache keys shared with Figure 7's.
+    """
+    camp = campaign or Campaign.inline()
+    sim = SimParams(work_scale=work_scale)
+    results = camp.gather(
+        [
+            TaskSpec.for_workload(workload(w), "dike", seed, sim=sim)
+            for w in workloads
+        ]
+    )
     series: list[Fig8Series] = []
-    for wl_name in workloads:
-        spec = workload(wl_name)
-        result = run_workload(
-            spec, dike(), seed=seed, work_scale=work_scale, record_timeseries=True
-        )
+    for wl_name, result in zip(workloads, results):
         times, errors = error_series(result, bucket_s=bucket_s)
         series.append(
             Fig8Series(

@@ -65,8 +65,13 @@ def list_experiments() -> list[tuple[str, str]]:
     return [(e.id, e.title) for e in EXPERIMENTS.values()]
 
 
-def run_experiment(exp_id: str, **kwargs: Any) -> Any:
-    """Run one experiment by id; returns its result object (has .render())."""
+def run_experiment(exp_id: str, campaign: Any = None, **kwargs: Any) -> Any:
+    """Run one experiment by id; returns its result object (has .render()).
+
+    ``campaign`` (a `repro.campaign.Campaign`) is forwarded to parametric
+    experiments so several experiments can share one cache/executor —
+    e.g. ``repro all`` resolves Figures 2/4/5's overlapping sweeps once.
+    """
     try:
         exp = EXPERIMENTS[exp_id]
     except KeyError:
@@ -75,4 +80,6 @@ def run_experiment(exp_id: str, **kwargs: Any) -> Any:
         ) from None
     if not exp.parametric:
         return exp.run()
+    if campaign is not None:
+        kwargs["campaign"] = campaign
     return exp.run(**kwargs)

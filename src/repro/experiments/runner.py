@@ -4,6 +4,13 @@ Everything the figure/table modules need funnels through
 :func:`run_workload`, so simulator wiring (topology defaults, migration
 model, noise) lives in exactly one place.  Policies are passed as
 zero-argument *factories* because scheduler objects are stateful.
+
+This is the low-level, eager entry point; batch consumers (the figure
+modules, the benches) describe runs declaratively as
+`repro.campaign.TaskSpec`s instead and gather them through a
+`repro.campaign.Campaign`, which adds deduplication, disk caching,
+parallel execution and retries on top of exactly this function
+(`repro.campaign.spec.execute_task` calls back into it).
 """
 
 from __future__ import annotations

@@ -6,20 +6,49 @@ outputs can be archived, diffed, or post-processed outside Python
 (`json.dumps(run_result_to_dict(result))`).  Traces are summarised, not
 dumped (a full per-quantum trace can be tens of MB — callers who need it
 keep the live object).
+
+Two flavours exist:
+
+* **summary** (:func:`run_result_to_dict`) — human-oriented, includes
+  derived metrics, drops raw prediction records; not invertible.
+* **full** (:func:`run_result_to_full_dict` / :func:`run_result_from_dict`)
+  — lossless modulo the trace, carries a ``schema_version`` field, and
+  round-trips to a `RunResult` whose serialised form is byte-identical to
+  the original's.  This is the wire format of the campaign result cache
+  (`repro.campaign.store`); bump :data:`SCHEMA_VERSION` whenever the
+  simulator or these structures change meaning, and every stale cache
+  entry is automatically invalidated (the cache key hashes the version).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Iterable
 
 import numpy as np
 
 from repro.metrics.fairness import benchmark_cv, fairness
 from repro.metrics.prediction import error_summary
-from repro.sim.results import RunResult
+from repro.sim.results import BenchmarkResult, PredictionRecord, RunResult
 
-__all__ = ["run_result_to_dict", "run_result_to_json"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "run_result_to_dict",
+    "run_result_to_json",
+    "run_result_to_full_dict",
+    "run_result_to_full_json",
+    "run_result_from_dict",
+    "run_result_from_json",
+    "sweep_result_to_dict",
+    "sweep_result_to_json",
+    "sweep_result_from_dict",
+    "sweep_result_from_json",
+]
+
+#: Version of the full (round-trippable) result schema.  Incorporated into
+#: campaign cache keys, so bumping it orphans — rather than corrupts —
+#: every previously cached artifact.
+SCHEMA_VERSION = 1
 
 
 def _clean(value: Any) -> Any:
@@ -75,3 +104,180 @@ def run_result_to_dict(result: RunResult, include_metrics: bool = True) -> dict:
 def run_result_to_json(result: RunResult, **kwargs: Any) -> str:
     """JSON string of :func:`run_result_to_dict` (stable key order)."""
     return json.dumps(run_result_to_dict(result, **kwargs), sort_keys=True)
+
+
+# --------------------------------------------------------------------------
+# Full (lossless, schema-versioned) round trip — the campaign cache format.
+# --------------------------------------------------------------------------
+
+def _enc(value: float) -> float | None:
+    """Encode one float: non-finite becomes None (strict-JSON safe)."""
+    v = float(value)
+    return v if np.isfinite(v) else None
+
+
+def _dec(value: float | None) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def _enc_seq(values: Iterable[float]) -> list[float | None]:
+    return [_enc(v) for v in values]
+
+
+def _dec_seq(values: Iterable[float | None]) -> tuple[float, ...]:
+    return tuple(_dec(v) for v in values)
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively turn JSON lists back into tuples (``info`` values)."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _freeze(v) for k, v in value.items()}
+    return value
+
+
+def run_result_to_full_dict(result: RunResult) -> dict:
+    """Lossless dict of a run result (minus the trace, which is never
+    serialised — rerun with ``record_timeseries=True`` if you need one)."""
+    preds = result.predictions
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": result.workload_name,
+        "policy": result.policy_name,
+        "seed": result.seed,
+        "makespan_s": _enc(result.makespan_s),
+        "n_quanta": result.n_quanta,
+        "swap_count": result.swap_count,
+        "migration_count": result.migration_count,
+        "benchmarks": [
+            {
+                "group_id": b.group_id,
+                "benchmark": b.benchmark,
+                "thread_finish_times": _enc_seq(b.thread_finish_times),
+                "n_migrations": b.n_migrations,
+                "arrival_s": _enc(b.arrival_s),
+            }
+            for b in result.benchmarks
+        ],
+        # Columnar layout: thousands of records, five scalars each.
+        "predictions": {
+            "time_s": _enc_seq(p.time_s for p in preds),
+            "quantum_index": [p.quantum_index for p in preds],
+            "tid": [p.tid for p in preds],
+            "predicted_rate": _enc_seq(p.predicted_rate for p in preds),
+            "actual_rate": _enc_seq(p.actual_rate for p in preds),
+        },
+        "info": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in result.info.items()
+        },
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_full_dict`.
+
+    Raises ``ValueError`` on a schema-version mismatch so callers (the
+    cache) treat stale artifacts as misses instead of decoding garbage.
+    """
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"result schema version {version!r} != expected {SCHEMA_VERSION}"
+        )
+    p = data["predictions"]
+    predictions = tuple(
+        PredictionRecord(
+            time_s=_dec(t),
+            quantum_index=int(q),
+            tid=int(tid),
+            predicted_rate=_dec(pr),
+            actual_rate=_dec(ar),
+        )
+        for t, q, tid, pr, ar in zip(
+            p["time_s"], p["quantum_index"], p["tid"],
+            p["predicted_rate"], p["actual_rate"],
+        )
+    )
+    benchmarks = tuple(
+        BenchmarkResult(
+            group_id=int(b["group_id"]),
+            benchmark=b["benchmark"],
+            thread_finish_times=_dec_seq(b["thread_finish_times"]),
+            n_migrations=int(b["n_migrations"]),
+            arrival_s=_dec(b["arrival_s"]),
+        )
+        for b in data["benchmarks"]
+    )
+    return RunResult(
+        workload_name=data["workload"],
+        policy_name=data["policy"],
+        seed=int(data["seed"]),
+        makespan_s=_dec(data["makespan_s"]),
+        n_quanta=int(data["n_quanta"]),
+        benchmarks=benchmarks,
+        swap_count=int(data["swap_count"]),
+        migration_count=int(data["migration_count"]),
+        predictions=predictions,
+        trace=None,
+        info={k: _freeze(v) for k, v in data["info"].items()},
+    )
+
+
+def run_result_to_full_json(result: RunResult) -> str:
+    """Strict-JSON string of the full dict (stable key order, no NaN)."""
+    return json.dumps(
+        run_result_to_full_dict(result), sort_keys=True, allow_nan=False
+    )
+
+
+def run_result_from_json(text: str) -> RunResult:
+    return run_result_from_dict(json.loads(text))
+
+
+def sweep_result_to_dict(sweep: "ConfigSweepResult") -> dict:
+    """Lossless dict of a configuration-sweep result."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "workload": sweep.workload,
+        "workload_class": sweep.workload_class,
+        "quanta_choices": list(sweep.quanta_choices),
+        "swap_choices": list(sweep.swap_choices),
+        "fairness_grid": [_enc_seq(row) for row in sweep.fairness_grid],
+        "speedup_grid": [_enc_seq(row) for row in sweep.speedup_grid],
+        "swap_count_grid": [_enc_seq(row) for row in sweep.swap_count_grid],
+    }
+
+
+def sweep_result_from_dict(data: dict) -> "ConfigSweepResult":
+    """Inverse of :func:`sweep_result_to_dict` (same version contract as
+    :func:`run_result_from_dict`)."""
+    from repro.experiments.sweep import ConfigSweepResult
+
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"sweep schema version {version!r} != expected {SCHEMA_VERSION}"
+        )
+
+    def grid(rows: list) -> np.ndarray:
+        return np.array([[_dec(v) for v in row] for row in rows], dtype=np.float64)
+
+    return ConfigSweepResult(
+        workload=data["workload"],
+        workload_class=data["workload_class"],
+        quanta_choices=tuple(float(q) for q in data["quanta_choices"]),
+        swap_choices=tuple(int(s) for s in data["swap_choices"]),
+        fairness_grid=grid(data["fairness_grid"]),
+        speedup_grid=grid(data["speedup_grid"]),
+        swap_count_grid=grid(data["swap_count_grid"]),
+    )
+
+
+def sweep_result_to_json(sweep: "ConfigSweepResult") -> str:
+    return json.dumps(sweep_result_to_dict(sweep), sort_keys=True, allow_nan=False)
+
+
+def sweep_result_from_json(text: str) -> "ConfigSweepResult":
+    return sweep_result_from_dict(json.loads(text))

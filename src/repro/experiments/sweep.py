@@ -1,9 +1,11 @@
 """Configuration-space sweeps over Dike's 32 ⟨swapSize, quantaLength⟩ points.
 
 Figures 2, 4 and 5 all consume the same raw data: fairness and performance
-of every configuration on a set of workloads.  This module runs the sweep
-once per workload (against a shared CFS baseline run for speedups) and
-returns a dense grid.
+of every configuration on a set of workloads.  This module submits the
+sweep through the campaign API — one CFS baseline task (shared, via the
+campaign cache, with every other experiment that baselines the same
+workload, e.g. Figure 1 and Figure 6) plus one non-adaptive Dike task per
+grid point — and assembles the dense grids from the gathered results.
 """
 
 from __future__ import annotations
@@ -12,12 +14,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES, DikeConfig
-from repro.core.dike import dike
-from repro.experiments.runner import run_workload
+from repro.campaign.core import Campaign
+from repro.campaign.spec import SimParams, TaskSpec
+from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
-from repro.schedulers.cfs import CFSScheduler
 from repro.util.rng import DEFAULT_SEED
 from repro.workloads.suite import WorkloadSpec
 
@@ -91,24 +92,30 @@ def sweep_configurations(
     work_scale: float = 1.0,
     quanta_choices: tuple[float, ...] = QUANTA_CHOICES_S,
     swap_choices: tuple[int, ...] = SWAP_SIZE_CHOICES,
+    campaign: Campaign | None = None,
 ) -> ConfigSweepResult:
     """Run non-adaptive Dike at every configuration of one workload."""
-    baseline = run_workload(
-        spec, CFSScheduler(), seed=seed, work_scale=work_scale
-    )
+    camp = campaign or Campaign.inline()
+    sim = SimParams(work_scale=work_scale)
+    tasks = [TaskSpec.for_workload(spec, "cfs", seed, sim=sim)]
+    grid_points = [(q, s) for q in quanta_choices for s in swap_choices]
+    tasks += [
+        TaskSpec.for_workload(
+            spec, "dike", seed,
+            {"quanta_length_s": q, "swap_size": s}, sim=sim,
+        )
+        for q, s in grid_points
+    ]
+    baseline, *runs = camp.gather(tasks)
     nq, ns = len(quanta_choices), len(swap_choices)
     fair = np.full((nq, ns), np.nan)
     perf = np.full((nq, ns), np.nan)
     swaps = np.full((nq, ns), np.nan)
-    for i, q in enumerate(quanta_choices):
-        for j, s in enumerate(swap_choices):
-            cfg = DikeConfig(quanta_length_s=q, swap_size=s)
-            result = run_workload(
-                spec, dike(cfg), seed=seed, work_scale=work_scale
-            )
-            fair[i, j] = fairness(result)
-            perf[i, j] = speedup(result, baseline)
-            swaps[i, j] = result.swap_count
+    for (q, s), result in zip(grid_points, runs):
+        i, j = quanta_choices.index(q), swap_choices.index(s)
+        fair[i, j] = fairness(result)
+        perf[i, j] = speedup(result, baseline)
+        swaps[i, j] = result.swap_count
     return ConfigSweepResult(
         workload=spec.name,
         workload_class=spec.workload_class,

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.campaign.core import Campaign
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
@@ -52,10 +53,13 @@ def run_table3(
     work_scale: float = 1.0,
     fig6: Fig6Result | None = None,
     workload_names: tuple[str, ...] | None = None,
+    campaign: Campaign | None = None,
 ) -> Table3Result:
-    """Regenerate Table III (reusing a Figure 6 run when provided)."""
+    """Regenerate Table III (reusing a Figure 6 run when provided — and,
+    with a caching campaign, reusing Figure 6's cached grid for free)."""
     result = fig6 or run_fig6(
-        seed=seed, work_scale=work_scale, workload_names=workload_names
+        seed=seed, work_scale=work_scale, workload_names=workload_names,
+        campaign=campaign,
     )
     workloads = tuple(r.workload for r in result.rows)
     swaps = {

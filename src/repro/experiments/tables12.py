@@ -4,6 +4,11 @@ These "experiments" are consistency renders: Table I is the simulator's
 default topology (which must mirror the paper's machine), Table II the
 workload suite (which must mirror the paper's benchmark mixes).  Rendering
 them from the live objects keeps documentation and code from drifting.
+
+Unlike every other experiment these run **no simulations**, so they sit
+outside the campaign pipeline (`repro.campaign`): there is nothing to
+cache, parallelise or retry.  The registry accordingly marks them
+non-parametric and never forwards a campaign to them.
 """
 
 from __future__ import annotations

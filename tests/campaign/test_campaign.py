@@ -1,0 +1,138 @@
+"""End-to-end campaign behaviour: determinism, caching, resume, sharing.
+
+The load-bearing guarantee is that every execution path — in-process
+serial, process-pool parallel, and cache replay — yields a `RunResult`
+whose *full serialised form is byte-identical*.  Everything the campaign
+subsystem does (dedup, parallel fan-out, disk persistence, resume) is
+only sound because of that.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.cachekey import cache_key
+from repro.campaign.core import Campaign, CampaignError
+from repro.campaign.executor import ExecutorConfig, TaskFailure
+from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.store import ResultStore
+from repro.campaign.telemetry import Telemetry
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.serialization import run_result_to_full_json
+from repro.experiments.sweep import sweep_configurations
+from repro.workloads.suite import WorkloadSpec, workload
+
+TINY = WorkloadSpec(
+    name="tiny", apps=("jacobi", "srad"), include_kmeans=False, threads_per_app=2
+)
+SIM = SimParams(work_scale=0.02)
+
+
+def _tasks() -> list[TaskSpec]:
+    return [
+        TaskSpec.for_workload(TINY, policy, seed=7, sim=SIM)
+        for policy in ("cfs", "dike", "dio")
+    ]
+
+
+class TestDeterminism:
+    def test_parallel_results_are_bitwise_identical_to_serial(self):
+        serial = Campaign.inline().gather(_tasks())
+        parallel = Campaign(
+            executor=ExecutorConfig(max_workers=2)
+        ).gather(_tasks())
+        for s, p in zip(serial, parallel):
+            assert run_result_to_full_json(s) == run_result_to_full_json(p)
+
+    def test_cached_results_are_bitwise_identical_to_fresh(self, tmp_path):
+        fresh = Campaign.at(tmp_path, max_workers=1).gather(_tasks())
+        replay = Campaign.at(tmp_path, max_workers=1).gather(_tasks())
+        for f, r in zip(fresh, replay):
+            assert run_result_to_full_json(f) == run_result_to_full_json(r)
+
+    def test_duplicate_tasks_share_one_run(self):
+        t = TaskSpec.for_workload(TINY, "cfs", seed=7, sim=SIM)
+        res = Campaign.inline().gather([t, _tasks()[1], t])
+        assert res[0] is res[2]
+
+
+class TestCachingAndResume:
+    def test_second_campaign_is_all_cache_hits(self, tmp_path):
+        Campaign.at(tmp_path).gather(_tasks())
+        telemetry = Telemetry(stream=None)
+        camp = Campaign(store=ResultStore(tmp_path), telemetry=telemetry)
+        camp.gather(_tasks())
+        assert telemetry.cache_hits == 3
+        assert telemetry.done == 0  # zero re-execution
+
+    def test_resume_executes_only_the_missing_tasks(self, tmp_path):
+        Campaign.at(tmp_path).gather(_tasks()[:2])
+        telemetry = Telemetry(stream=None)
+        camp = Campaign(store=ResultStore(tmp_path), telemetry=telemetry)
+        camp.gather(_tasks())
+        assert telemetry.cache_hits == 2
+        assert telemetry.done == 1
+
+    def test_corrupt_artifact_degrades_to_recomputation(self, tmp_path):
+        task = _tasks()[0]
+        store = ResultStore(tmp_path)
+        Campaign(store=store).gather([task])
+        store._object_path(cache_key(task)).write_text("{not json")
+        telemetry = Telemetry(stream=None)
+        out = Campaign(store=ResultStore(tmp_path), telemetry=telemetry).gather([task])
+        assert telemetry.cache_hits == 0
+        assert telemetry.done == 1
+        assert out[0].n_quanta > 0
+
+    def test_store_index_describes_every_artifact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Campaign(store=store).gather(_tasks())
+        assert len(store) == 3
+        entries = [
+            json.loads(line)
+            for line in store.index_path.read_text().splitlines()
+        ]
+        assert {e["policy"] for e in entries} == {"cfs", "dike", "dio"}
+        assert set(store.keys()) == {e["key"] for e in entries}
+
+
+class TestFailurePolicy:
+    def test_strict_gather_raises_campaign_error(self):
+        bad = TaskSpec.for_workload(
+            TINY, "dike", seed=7, policy_params={"no_such_field": 1}, sim=SIM
+        )
+        camp = Campaign(executor=ExecutorConfig(retries=0))
+        with pytest.raises(CampaignError) as err:
+            camp.gather([bad])
+        assert err.value.failures[0].kind == "error"
+
+    def test_lenient_gather_returns_failure_records_in_order(self):
+        bad = TaskSpec.for_workload(
+            TINY, "dike", seed=7, policy_params={"no_such_field": 1}, sim=SIM
+        )
+        good = _tasks()[0]
+        out = Campaign(executor=ExecutorConfig(retries=0)).gather(
+            [good, bad], strict=False
+        )
+        assert out[0].n_quanta > 0
+        assert isinstance(out[1], TaskFailure)
+
+
+class TestCrossExperimentSharing:
+    def test_fig1_and_sweep_share_the_cfs_baseline(self, tmp_path):
+        """The duplicated CFS baseline the figures used to each recompute
+        is now one cached task: whoever runs second gets a cache hit."""
+        telemetry = Telemetry(stream=None)
+        camp = Campaign(store=ResultStore(tmp_path), telemetry=telemetry)
+        spec = workload("wl2")
+        sweep_configurations(
+            spec, work_scale=0.02,
+            quanta_choices=(0.5,), swap_choices=(4,), campaign=camp,
+        )
+        assert telemetry.cache_hits == 0
+        run_fig1(
+            cases=(("wl2", "jacobi"),), work_scale=0.02, campaign=camp
+        )
+        assert telemetry.cache_hits == 1  # wl2 CFS@heterogeneous reused

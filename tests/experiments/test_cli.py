@@ -56,3 +56,41 @@ class TestCommands:
     def test_timeline_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             main(["timeline", "wl1", "not-a-policy"])
+
+
+class TestCampaignCommand:
+    def test_dry_run_prints_the_plan_and_runs_nothing(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "--dry-run", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "16 workloads x 5 policies x 1 seeds" in out
+        assert "to run 80" in out
+        assert not (tmp_path / "cache" / "index.jsonl").exists()
+
+    def test_small_grid_then_resume_from_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        argv = [
+            "campaign", "--workloads", "wl1", "--policies", "cfs,dike",
+            "--scale", "0.01", "--cache-dir", cache,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "cached 0, to run 2" in first.out
+        assert "| cfs" in first.out and "| dike" in first.out
+
+        assert main(argv) == 0  # resumed run: everything from cache
+        second = capsys.readouterr()
+        assert "cached 2, to run 0" in second.out
+        assert "2 cache hits" in second.err
+        assert "0 executed" in second.err
+
+    def test_no_cache_skips_the_store(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        argv = [
+            "campaign", "--workloads", "wl1", "--policies", "cfs",
+            "--scale", "0.01", "--no-cache",
+        ]
+        assert main(argv) == 0
+        assert not (tmp_path / ".campaign").exists()
