@@ -126,7 +126,11 @@ def _record_success(
     p: _Pending, result: object, telemetry: Telemetry, out: dict[str, object]
 ) -> None:
     out[p.key] = result
-    telemetry.task_done(p.key, p.task.label(), getattr(result, "n_quanta", 0))
+    info = getattr(result, "info", None)
+    metrics = info.get("metrics") if isinstance(info, dict) else None
+    telemetry.task_done(
+        p.key, p.task.label(), getattr(result, "n_quanta", 0), metrics=metrics
+    )
 
 
 def _record_failure(

@@ -98,11 +98,30 @@ class Telemetry:
         self.emit("task_retried", key=key, task=label, attempt=attempt, error=error)
         self._narrate(f"retry #{attempt} {label}: {error}", force=True)
 
-    def task_done(self, key: str, label: str, n_quanta: int) -> None:
+    def task_done(
+        self,
+        key: str,
+        label: str,
+        n_quanta: int,
+        metrics: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a completed task.
+
+        ``metrics`` is an optional `repro.obs.MetricsRegistry` snapshot
+        taken from the run (``RunResult.info["metrics"]``, present when
+        the run carried an event bus with metrics); it is attached to the
+        JSONL event so per-stage wall times survive into campaign logs.
+        """
         self.running -= 1
         self.done += 1
         self.sim_quanta += n_quanta
-        self.emit("task_done", key=key, task=label, n_quanta=n_quanta)
+        if metrics:
+            self.emit(
+                "task_done", key=key, task=label, n_quanta=n_quanta,
+                metrics=metrics,
+            )
+        else:
+            self.emit("task_done", key=key, task=label, n_quanta=n_quanta)
         self._narrate(f"done {label}")
 
     def task_failed(self, key: str, label: str, kind: str, error: str) -> None:

@@ -20,6 +20,13 @@ Subcommands
     Run an experiment grid through the campaign subsystem: parallel
     workers, content-addressed result cache, retries, telemetry.  A rerun
     resumes from the cache (``--dry-run`` shows the plan without running).
+``trace <workload> [--policy P] [--out T.jsonl] [--chrome T.json] ...``
+    Run one workload with full observability: structured JSONL event
+    trace, Chrome ``trace_event`` export (open in chrome://tracing), live
+    invariant checking and a metrics summary.
+``trace-diff <a.jsonl> <b.jsonl>``
+    Align two traces quantum-by-quantum and report the first divergent
+    decision (exit 1 on divergence) — the determinism debugging tool.
 
 ``run``, ``report`` and ``all`` also accept ``--workers``/``--cache-dir``
 to route their simulations through a shared campaign.
@@ -90,6 +97,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_all = sub.add_parser("all", help="regenerate every experiment")
     _add_common(p_all)
     _add_campaign_backend(p_all)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one workload with full observability"
+    )
+    p_trace.add_argument("workload", help="wl1 .. wl16")
+    p_trace.add_argument(
+        "--policy", choices=sorted(_policy_choices()), default="dike",
+        help="scheduling policy (default: dike)",
+    )
+    p_trace.add_argument(
+        "--out", default="trace.jsonl",
+        help="JSONL event trace output path (default: trace.jsonl)",
+    )
+    p_trace.add_argument(
+        "--chrome", default=None,
+        help="also export a Chrome trace_event JSON to this path",
+    )
+    p_trace.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="rotate the JSONL file beyond this size (default: never)",
+    )
+    p_trace.add_argument(
+        "--no-invariants", action="store_true",
+        help="skip runtime invariant checking",
+    )
+    p_trace.add_argument(
+        "--strict", action="store_true",
+        help="abort on the first invariant violation",
+    )
+    _add_common(p_trace)
+
+    p_td = sub.add_parser(
+        "trace-diff", help="first divergent decision between two traces"
+    )
+    p_td.add_argument("trace_a", help="first JSONL trace")
+    p_td.add_argument("trace_b", help="second JSONL trace")
+    p_td.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
 
     p_camp = sub.add_parser(
         "campaign",
@@ -295,6 +342,106 @@ def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from collections import Counter as TallyCounter
+
+    from repro.experiments.runner import run_workload
+    from repro.obs import (
+        ChromeTraceSink,
+        EventBus,
+        InvariantSink,
+        JsonlSink,
+        MetricsRegistry,
+    )
+
+    spec = workload(args.workload)
+    factory = _policy_choices()[args.policy]
+    scheduler = factory()
+
+    bus = EventBus(metrics=MetricsRegistry())
+    jsonl = bus.attach(JsonlSink(args.out, max_bytes=args.max_bytes))
+    chrome = (
+        bus.attach(ChromeTraceSink(args.chrome)) if args.chrome else None
+    )
+    tally: TallyCounter = TallyCounter()
+    bus.attach(_KindTally(tally))
+    invariants = None
+    if not args.no_invariants and args.policy.startswith("dike"):
+        # The checker encodes Dike's contract (cooldown, swap budget, no
+        # third core); DIO/CFS break it by design, so it stays off there.
+        invariants = bus.attach(
+            InvariantSink(
+                swap_size=scheduler.config.swap_size, strict=args.strict
+            )
+        )
+
+    t0 = time.perf_counter()
+    result = run_workload(
+        spec, scheduler, seed=args.seed, work_scale=args.scale,
+        record_timeseries=False, bus=bus,
+    )
+    bus.close()
+
+    print(f"{spec.name}/{args.policy}@s{args.seed}: "
+          f"makespan={result.makespan_s:.1f}s quanta={result.n_quanta} "
+          f"swaps={result.swap_count}")
+    rows = [[kind, n] for kind, n in sorted(tally.items())]
+    print(format_table(["event", "count"], rows,
+                       title=f"{jsonl.n_events} events -> {args.out}"))
+    metrics = result.info.get("metrics", {})
+    if metrics:
+        mrows = []
+        for name, snap in metrics.items():
+            if isinstance(snap, dict):
+                if not snap.get("count"):
+                    continue
+                mrows.append([name, snap["count"],
+                              f"{snap['mean']:.3g}", f"{snap['max']:.3g}"])
+            else:
+                mrows.append([name, snap, "", ""])
+        print(format_table(["metric", "count/value", "mean", "max"], mrows,
+                           title="metrics"))
+    if chrome is not None:
+        print(f"chrome trace -> {args.chrome} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+    print(f"[traced in {time.perf_counter() - t0:.1f}s "
+          f"at work_scale={args.scale}]")
+    if invariants is not None:
+        if invariants.ok:
+            print(f"invariants: OK ({invariants.n_events} events checked)")
+        else:
+            print(f"invariants: {len(invariants.violations)} violation(s):",
+                  file=sys.stderr)
+            for v in invariants.violations[:20]:
+                print(f"  {v}", file=sys.stderr)
+            return 1
+    return 0
+
+
+class _KindTally:
+    """Tiny sink counting events by kind for the trace summary table."""
+
+    def __init__(self, tally) -> None:
+        self._tally = tally
+
+    def accept(self, event) -> None:
+        self._tally[event.kind] += 1
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_traces, load_events, render_diff
+
+    try:
+        events_a = load_events(args.trace_a, validate=not args.no_validate)
+        events_b = load_events(args.trace_b, validate=not args.no_validate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_traces(events_a, events_b)
+    print(render_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
+    return 0 if diff.identical else 1
+
+
 def _cmd_all(scale: float, seed: int, campaign=None) -> int:
     for exp_id in EXPERIMENTS:
         _cmd_run(exp_id, scale, seed, campaign=campaign)
@@ -431,6 +578,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "trace-diff":
+        return _cmd_trace_diff(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

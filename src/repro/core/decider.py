@@ -17,20 +17,31 @@ from __future__ import annotations
 
 from repro.core.config import DikeConfig
 from repro.core.predictor import PairPrediction
+from repro.obs.events import NULL_BUS, PairVetoed
 
 __all__ = ["Decider"]
 
 
 class Decider:
-    """Stateful filter tracking recent migrations for the cooldown rule."""
+    """Stateful filter tracking recent migrations for the cooldown rule.
+
+    Each rejection is observable: ``last_vetoes`` holds this quantum's
+    ``(prediction, reason)`` pairs, a ``PairVetoed`` event is emitted per
+    rejection, and the bus metrics count ``dike.veto.<reason>``.  Reasons
+    are ``"cooldown"``, ``"claimed"`` and ``"negative_profit"``.
+    """
 
     def __init__(self, config: DikeConfig) -> None:
         self.config = config
+        self.bus = NULL_BUS
         #: tid -> (quantum index, time) of that thread's most recent migration
         self._last_swap: dict[int, tuple[int, float]] = {}
+        #: (prediction, reason) rejections from the most recent decide()
+        self.last_vetoes: list[tuple[PairPrediction, str]] = []
 
     def reset(self) -> None:
         self._last_swap.clear()
+        self.last_vetoes = []
 
     def decide(
         self,
@@ -45,15 +56,19 @@ class Decider:
         while ``index - q <= cooldown_quanta`` or ``time - t < cooldown_s``.
         """
         accepted: list[PairPrediction] = []
+        self.last_vetoes = []
         claimed: set[int] = set()
         for pred in predictions:
             pair = pred.pair
             if self._in_cooldown(pair.t_l, quantum_index, time_s) or self._in_cooldown(
                 pair.t_h, quantum_index, time_s
             ):
+                self._veto(pred, "cooldown")
                 continue
             if pair.t_l in claimed or pair.t_h in claimed:
-                continue  # a thread can move at most once per quantum
+                # A thread can move at most once per quantum.
+                self._veto(pred, "claimed")
+                continue
             if self.config.require_positive_profit and pred.total_profit < 0.0:
                 # A swap must "benefit fairness or performance": negative
                 # profit is acceptable only when the swap is predicted to
@@ -62,6 +77,7 @@ class Decider:
                 # between near-equivalent cores land here.
                 tolerance = 0.1 * (pred.current_rate_l + pred.current_rate_h)
                 if not (pred.fairness_benefit and pred.total_profit >= -tolerance):
+                    self._veto(pred, "negative_profit")
                     continue
             accepted.append(pred)
             claimed.update((pair.t_l, pair.t_h))
@@ -69,6 +85,20 @@ class Decider:
             self._last_swap[pred.pair.t_l] = (quantum_index, time_s)
             self._last_swap[pred.pair.t_h] = (quantum_index, time_s)
         return accepted
+
+    def _veto(self, pred: PairPrediction, reason: str) -> None:
+        self.last_vetoes.append((pred, reason))
+        if self.bus.enabled:
+            self.bus.emit(
+                PairVetoed(
+                    *self.bus.now,
+                    t_l=pred.pair.t_l,
+                    t_h=pred.pair.t_h,
+                    reason=reason,
+                )
+            )
+        if self.bus.metrics is not None:
+            self.bus.metrics.counter(f"dike.veto.{reason}").inc()
 
     def _in_cooldown(self, tid: int, quantum_index: int, time_s: float) -> bool:
         last = self._last_swap.get(tid)

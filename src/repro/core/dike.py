@@ -25,11 +25,28 @@ from repro.core.observer import Observer
 from repro.core.optimizer import Optimizer
 from repro.core.predictor import Predictor
 from repro.core.selector import Selector
+from repro.obs.events import NULL_BUS
 from repro.schedulers.base import Action, Scheduler, SchedulingContext
 from repro.sim.counters import QuantumCounters
 from repro.sim.results import PredictionRecord
 
 __all__ = ["DikeScheduler", "dike", "dike_af", "dike_ap"]
+
+
+class _NullTimer:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def _maybe_timer(metrics, name: str):
+    """A stage wall-time timer, or a no-op when metrics are off."""
+    return _NULL_TIMER if metrics is None else metrics.timer(name)
 
 
 class DikeScheduler(Scheduler):
@@ -59,6 +76,14 @@ class DikeScheduler(Scheduler):
         self.decider = Decider(self.config)
         self.migrator = Migrator()
         self.optimizer = Optimizer(self.config)
+        # Observability: every stage shares the run's event bus + metrics.
+        self.bus = context.bus
+        self.metrics = context.bus.metrics
+        for stage in (
+            self.observer, self.selector, self.predictor,
+            self.decider, self.migrator, self.optimizer,
+        ):
+            stage.bus = context.bus
         #: tid -> (quantum_index_of_prediction, time_s, predicted_rate)
         self._pending: dict[int, tuple[int, float, float]] = {}
         self._records: list[PredictionRecord] = []
@@ -75,10 +100,15 @@ class DikeScheduler(Scheduler):
     def decide(
         self, counters: QuantumCounters, placement: dict[int, int]
     ) -> Sequence[Action]:
-        report = self.observer.update(counters)
+        # Anchor this decision cycle's events to the quantum whose
+        # counters drive it; stages stamp their events from `bus.now`.
+        self.bus.at(counters.quantum_index, counters.time_s)
+        with _maybe_timer(self.metrics, "dike.observer_s"):
+            report = self.observer.update(counters)
         self._backfill_predictions(counters, report)
 
-        new_cfg = self.optimizer.maybe_update(report)
+        with _maybe_timer(self.metrics, "dike.optimizer_s"):
+            new_cfg = self.optimizer.maybe_update(report)
         if new_cfg is not self.config:
             self._set_config(new_cfg, counters.quantum_index)
 
@@ -87,12 +117,16 @@ class DikeScheduler(Scheduler):
             if tid not in placement:
                 self.decider.forget_thread(tid)
 
-        pairs = self.selector.select(report, placement)
-        predictions = self.predictor.predict(pairs, report, placement)
-        accepted = self.decider.decide(
-            predictions, counters.quantum_index, counters.time_s
-        )
-        actions = self.migrator.build_actions(accepted)
+        with _maybe_timer(self.metrics, "dike.selector_s"):
+            pairs = self.selector.select(report, placement)
+        with _maybe_timer(self.metrics, "dike.predictor_s"):
+            predictions = self.predictor.predict(pairs, report, placement)
+        with _maybe_timer(self.metrics, "dike.decider_s"):
+            accepted = self.decider.decide(
+                predictions, counters.quantum_index, counters.time_s
+            )
+        with _maybe_timer(self.metrics, "dike.migrator_s"):
+            actions = self.migrator.build_actions(accepted)
 
         # Register next-quantum predictions for every live thread — the
         # quantity Figures 7/8 score.  The closed-loop model's stay-case is
@@ -157,6 +191,10 @@ class DikeScheduler(Scheduler):
                         actual_rate=actual,
                     )
                 )
+                if self.metrics is not None:
+                    self.metrics.histogram("dike.prediction_abs_rel_error").observe(
+                        abs(predicted - actual) / actual
+                    )
             done.append(tid)
         for tid in done:
             self._pending.pop(tid, None)

@@ -11,16 +11,28 @@ between decision and enforcement.
 from __future__ import annotations
 
 from repro.core.predictor import PairPrediction
+from repro.obs.events import NULL_BUS
 from repro.schedulers.base import Swap
 
 __all__ = ["Migrator"]
 
 
 class Migrator:
-    """Stateless translation of accepted predictions into engine actions."""
+    """Stateless translation of accepted predictions into engine actions.
+
+    The actual execution event (``SwapExecuted``, with destination cores)
+    is emitted by the engine when it applies the action; the Migrator
+    only counts what it hands over (``dike.actions_built``).
+    """
+
+    def __init__(self) -> None:
+        self.bus = NULL_BUS
 
     def build_actions(self, accepted: list[PairPrediction]) -> list[Swap]:
         """One :class:`Swap` per accepted pair, in decision order."""
-        return [
+        actions = [
             Swap(tid_a=pred.pair.t_l, tid_b=pred.pair.t_h) for pred in accepted
         ]
+        if self.bus.metrics is not None and actions:
+            self.bus.metrics.counter("dike.actions_built").inc(len(actions))
+        return actions

@@ -46,10 +46,28 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import DikeConfig
+from repro.obs.events import (
+    NULL_BUS,
+    ClassificationChanged,
+    FairnessComputed,
+    ObserverSample,
+)
 from repro.sim.counters import QuantumCounters
 from repro.util.stats import MovingMean, coefficient_of_variation
 
-__all__ = ["ObserverReport", "Observer"]
+__all__ = ["classify", "ObserverReport", "Observer"]
+
+
+def classify(miss_rate: float, threshold: float) -> str:
+    """The paper's C/M rule, pinned in one place: ``"M"`` iff the LLC
+    miss rate *strictly exceeds* the threshold (10 % per Xie & Loh).
+
+    The boundary matters: a thread at exactly ``miss_rate == threshold``
+    is compute-intensive (``"C"``) — the paper says "miss rate > 10 %",
+    not ">=".  Every classification site (Observer, ablations, tests)
+    must call this function rather than re-spelling the comparison.
+    """
+    return "M" if miss_rate > threshold else "C"
 
 
 @dataclass(frozen=True)
@@ -115,6 +133,7 @@ class Observer:
         self.config = config
         self.n_vcores = n_vcores
         self.groups = dict(groups) if groups else None
+        self.bus = NULL_BUS
         self._core_bw = [
             MovingMean(window=config.corebw_window) for _ in range(n_vcores)
         ]
@@ -122,12 +141,15 @@ class Observer:
         #: tid -> decaying peak of observed access rate (the thread's
         #: *demand*: what it would consume given an uncontended fast core)
         self._demand: dict[int, float] = {}
+        #: tid -> previous quantum's classification (for change events)
+        self._prev_class: dict[int, str] = {}
 
     def reset(self) -> None:
         for mm in self._core_bw:
             mm.reset()
         self._best_probe = float("nan")
         self._demand.clear()
+        self._prev_class.clear()
 
     # ------------------------------------------------------------------ API
 
@@ -143,7 +165,7 @@ class Observer:
         for s in counters.samples:
             access_rate[s.tid] = s.ips if use_ipc else s.access_rate
             miss_rate[s.tid] = s.miss_rate
-            classification[s.tid] = "M" if s.miss_rate > threshold else "C"
+            classification[s.tid] = classify(s.miss_rate, threshold)
             if s.instructions > 0.0:  # barrier-idle threads don't define fairness
                 active.append((s.tid, access_rate[s.tid]))
                 prev = self._demand.get(s.tid, 0.0)
@@ -162,6 +184,36 @@ class Observer:
         core_bw = {v: self.core_bw_value(v) for v in range(self.n_vcores)}
         high = self._identify_high_bw(core_bw)
         fairness = self._system_fairness(active)
+        if self.bus.enabled:
+            now = self.bus.now
+            self.bus.emit(
+                ObserverSample(
+                    *now,
+                    access_rate=dict(access_rate),
+                    miss_rate=dict(miss_rate),
+                    classification=dict(classification),
+                    core_bw=dict(core_bw),
+                    high_bw_cores=tuple(sorted(high)),
+                )
+            )
+            for tid, cls in classification.items():
+                old = self._prev_class.get(tid)
+                if old is not None and old != cls:
+                    self.bus.emit(
+                        ClassificationChanged(*now, tid=tid, old=old, new=cls)
+                    )
+            self.bus.emit(
+                FairnessComputed(
+                    *now,
+                    value=float(fairness),
+                    threshold=self.config.fairness_threshold,
+                    fair=bool(
+                        np.isnan(fairness)
+                        or fairness < self.config.fairness_threshold
+                    ),
+                )
+            )
+        self._prev_class = classification
         return ObserverReport(
             access_rate=access_rate,
             miss_rate=miss_rate,

@@ -30,6 +30,7 @@ from repro.core.config import (
     DikeConfig,
 )
 from repro.core.observer import ObserverReport
+from repro.obs.events import NULL_BUS, OptimizerStep
 
 __all__ = ["Optimizer", "classify_workload"]
 
@@ -58,6 +59,7 @@ class Optimizer:
 
     def __init__(self, config: DikeConfig) -> None:
         self.config = config
+        self.bus = NULL_BUS
         self._quanta_since_update = 0
 
     def reset(self) -> None:
@@ -107,6 +109,19 @@ class Optimizer:
             return cfg
         new_cfg = cfg.with_parameters(swap_size=swap, quanta_length_s=qlen)
         self.config = new_cfg
+        if self.bus.enabled:
+            self.bus.emit(
+                OptimizerStep(
+                    *self.bus.now,
+                    workload_class=wl_class,
+                    old_swap_size=cfg.swap_size,
+                    new_swap_size=swap,
+                    old_quanta_s=cfg.quanta_length_s,
+                    new_quanta_s=qlen,
+                )
+            )
+        if self.bus.metrics is not None:
+            self.bus.metrics.counter("dike.optimizer_steps").inc()
         return new_cfg
 
 

@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.config import DikeConfig
 from repro.core.observer import ObserverReport
 from repro.core.selector import ThreadPair
+from repro.obs.events import NULL_BUS, ProfitEvaluated
 
 __all__ = ["PairPrediction", "Predictor"]
 
@@ -74,6 +75,7 @@ class Predictor:
 
     def __init__(self, config: DikeConfig) -> None:
         self.config = config
+        self.bus = NULL_BUS
 
     def overhead(self, access_rate: float) -> float:
         """Eqn. 2: context-switch discount for one thread."""
@@ -107,15 +109,31 @@ class Predictor:
                 bw_of_core_l = rate_h
             oh_l = self.overhead(rate_l)
             oh_h = self.overhead(rate_h)
-            out.append(
-                PairPrediction(
-                    pair=pair,
-                    profit_l=bw_of_core_h - rate_l - oh_l,
-                    profit_h=bw_of_core_l - rate_h - oh_h,
-                    predicted_rate_l=max(bw_of_core_h - oh_l, 0.0),
-                    predicted_rate_h=max(bw_of_core_l - oh_h, 0.0),
-                    current_rate_l=rate_l,
-                    current_rate_h=rate_h,
-                )
+            prediction = PairPrediction(
+                pair=pair,
+                profit_l=bw_of_core_h - rate_l - oh_l,
+                profit_h=bw_of_core_l - rate_h - oh_h,
+                predicted_rate_l=max(bw_of_core_h - oh_l, 0.0),
+                predicted_rate_h=max(bw_of_core_l - oh_h, 0.0),
+                current_rate_l=rate_l,
+                current_rate_h=rate_h,
             )
+            out.append(prediction)
+            if self.bus.enabled:
+                self.bus.emit(
+                    ProfitEvaluated(
+                        *self.bus.now,
+                        t_l=pair.t_l,
+                        t_h=pair.t_h,
+                        rate_l=rate_l,
+                        rate_h=rate_h,
+                        bw_dest_l=bw_of_core_h,
+                        bw_dest_h=bw_of_core_l,
+                        overhead_l=oh_l,
+                        overhead_h=oh_h,
+                        profit_l=prediction.profit_l,
+                        profit_h=prediction.profit_h,
+                        total_profit=prediction.total_profit,
+                    )
+                )
         return out

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.core.config import DikeConfig
 from repro.core.observer import ObserverReport
+from repro.obs.events import NULL_BUS, PairProposed
 from repro.util.stats import coefficient_of_variation
 
 __all__ = ["ThreadPair", "Selector"]
@@ -44,8 +45,22 @@ class Selector:
 
     def __init__(self, config: DikeConfig) -> None:
         self.config = config
+        self.bus = NULL_BUS
 
     def select(
+        self, report: ObserverReport, placement: dict[int, int]
+    ) -> list[ThreadPair]:
+        """Form violator pairs (see :meth:`_select`), emitting one
+        ``PairProposed`` event per pair when observability is on."""
+        pairs = self._select(report, placement)
+        if self.bus.enabled:
+            for pair in pairs:
+                self.bus.emit(
+                    PairProposed(*self.bus.now, t_l=pair.t_l, t_h=pair.t_h)
+                )
+        return pairs
+
+    def _select(
         self, report: ObserverReport, placement: dict[int, int]
     ) -> list[ThreadPair]:
         """Form up to ``swap_size / 2`` violator pairs for this quantum.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from repro.core.dike import dike, dike_af, dike_ap
+from repro.obs.events import EventBus
 from repro.schedulers.base import Scheduler
 from repro.schedulers.cfs import CFSScheduler
 from repro.schedulers.dio import DIOScheduler
@@ -62,8 +63,13 @@ def run_workload(
     record_timeseries: bool = False,
     counter_noise: float = 0.06,
     max_time_s: float = 36_000.0,
+    bus: EventBus | None = None,
 ) -> RunResult:
-    """Simulate one workload under one scheduler and return the result."""
+    """Simulate one workload under one scheduler and return the result.
+
+    ``bus`` is an optional observability event bus (`repro.obs`): attach
+    sinks to it to capture the run's structured event trace.
+    """
     topo = topology or xeon_e5_heterogeneous()
     groups = spec.build(seed=seed, work_scale=work_scale)
     engine = SimulationEngine(
@@ -77,6 +83,7 @@ def run_workload(
         max_time_s=max_time_s,
         record_timeseries=record_timeseries,
         workload_name=spec.name,
+        bus=bus,
     )
     return engine.run()
 

@@ -1,0 +1,67 @@
+"""Observability: structured event tracing, metrics, runtime invariants.
+
+The simulator and the Dike pipeline emit typed, schema-versioned events
+(`repro.obs.events`) through an :class:`~repro.obs.events.EventBus` to
+pluggable sinks (`repro.obs.sinks`): a JSONL file, a bounded in-memory
+ring buffer, a Chrome/Perfetto ``trace_event`` exporter, and a runtime
+invariant checker (`repro.obs.invariants`) that validates the paper's
+scheduling rules per quantum.  `repro.obs.metrics` is a process-local
+registry of counters/gauges/histograms snapshotted into ``RunResult``;
+`repro.obs.diff` aligns two JSONL traces quantum-by-quantum and reports
+the first divergent decision.
+
+With no sinks attached the bus is a cheap no-op — emission sites guard on
+``bus.enabled`` and never build event objects, so a plain ``repro run``
+pays nothing for the instrumentation.
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    ArrivalPlaced,
+    ClassificationChanged,
+    Event,
+    EventBus,
+    FairnessComputed,
+    NULL_BUS,
+    ObserverSample,
+    OptimizerStep,
+    PairProposed,
+    PairVetoed,
+    ProfitEvaluated,
+    QuantumEnd,
+    QuantumStart,
+    SwapExecuted,
+    event_from_dict,
+    validate_event_dict,
+)
+from repro.obs.invariants import InvariantError, InvariantSink, InvariantViolation
+from repro.obs.metrics import MetricsRegistry, timed
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "EventBus",
+    "NULL_BUS",
+    "QuantumStart",
+    "QuantumEnd",
+    "ObserverSample",
+    "ClassificationChanged",
+    "FairnessComputed",
+    "PairProposed",
+    "ProfitEvaluated",
+    "PairVetoed",
+    "SwapExecuted",
+    "OptimizerStep",
+    "ArrivalPlaced",
+    "event_from_dict",
+    "validate_event_dict",
+    "JsonlSink",
+    "RingBufferSink",
+    "ChromeTraceSink",
+    "InvariantSink",
+    "InvariantViolation",
+    "InvariantError",
+    "MetricsRegistry",
+    "timed",
+]

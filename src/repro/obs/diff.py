@@ -1,0 +1,142 @@
+"""Align two JSONL event traces and find the first divergent decision.
+
+Determinism is a load-bearing property of this reproduction: a run is a
+pure function of ``(workload, policy, config, seed, work_scale)``, which
+is what lets the campaign cache replay results.  When two runs that
+*should* be identical are not, aggregate results only say "different" —
+:func:`diff_traces` says **where**: it groups both event streams by
+quantum, compares them event-by-event in emission order, and reports the
+first divergent quantum together with the two events that disagree
+(or the one that exists on only one side).
+
+Events are compared on their full serialised payload, so a divergence in
+an intermediate decision (a proposed pair, a profit term, a veto) is
+caught even when the executed actions happen to match for a while.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.events import validate_event_dict
+
+__all__ = ["TraceDiff", "Divergence", "load_events", "diff_traces", "render_diff"]
+
+
+def load_events(
+    path: str | Path, validate: bool = True
+) -> list[dict[str, Any]]:
+    """Read a JSONL trace; optionally validate each line's schema.
+
+    Raises ``ValueError`` (with the offending line number) on malformed
+    JSON or schema mismatches — the check the CI trace-smoke job runs.
+    """
+    events: list[dict[str, Any]] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from None
+            if validate:
+                try:
+                    validate_event_dict(record)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+            events.append(record)
+    return events
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two traces disagree."""
+
+    quantum: int
+    index: int  # event index within the quantum's group
+    a: dict[str, Any] | None  # None = event missing on this side
+    b: dict[str, Any] | None
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of aligning two traces."""
+
+    n_events_a: int
+    n_events_b: int
+    n_quanta_compared: int
+    divergence: Divergence | None
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+
+def _by_quantum(events: Iterable[dict[str, Any]]) -> dict[int, list[dict[str, Any]]]:
+    groups: dict[int, list[dict[str, Any]]] = {}
+    for ev in events:
+        groups.setdefault(int(ev.get("quantum", -1)), []).append(ev)
+    return groups
+
+
+def diff_traces(
+    events_a: list[dict[str, Any]], events_b: list[dict[str, Any]]
+) -> TraceDiff:
+    """Compare two event streams quantum-by-quantum, in emission order."""
+    groups_a = _by_quantum(events_a)
+    groups_b = _by_quantum(events_b)
+    quanta = sorted(set(groups_a) | set(groups_b))
+    divergence: Divergence | None = None
+    compared = 0
+    for q in quanta:
+        qa = groups_a.get(q, [])
+        qb = groups_b.get(q, [])
+        compared += 1
+        for i in range(max(len(qa), len(qb))):
+            a = qa[i] if i < len(qa) else None
+            b = qb[i] if i < len(qb) else None
+            if a != b:
+                divergence = Divergence(quantum=q, index=i, a=a, b=b)
+                break
+        if divergence is not None:
+            break
+    return TraceDiff(
+        n_events_a=len(events_a),
+        n_events_b=len(events_b),
+        n_quanta_compared=compared,
+        divergence=divergence,
+    )
+
+
+def _describe_event(record: dict[str, Any] | None) -> str:
+    if record is None:
+        return "(no event — stream ended / shorter quantum group)"
+    fields = {
+        k: v for k, v in sorted(record.items()) if k not in ("v", "kind")
+    }
+    body = ", ".join(f"{k}={v!r}" for k, v in fields.items())
+    return f"{record.get('kind', '?')}({body})"
+
+
+def render_diff(diff: TraceDiff, label_a: str = "a", label_b: str = "b") -> str:
+    """Human-readable report of a :class:`TraceDiff`."""
+    if diff.identical:
+        return (
+            f"traces identical: {diff.n_events_a} events over "
+            f"{diff.n_quanta_compared} quanta"
+        )
+    d = diff.divergence
+    assert d is not None
+    lines = [
+        f"traces diverge at quantum {d.quantum} (event #{d.index} "
+        "within the quantum):",
+        f"  {label_a}: {_describe_event(d.a)}",
+        f"  {label_b}: {_describe_event(d.b)}",
+        f"({diff.n_events_a} vs {diff.n_events_b} events total)",
+    ]
+    return "\n".join(lines)

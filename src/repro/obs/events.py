@@ -1,0 +1,362 @@
+"""Typed, schema-versioned observability events and the EventBus.
+
+Every intermediate decision of the simulator and the Dike pipeline is an
+:class:`Event` subclass: what the Observer measured, which pairs the
+Selector proposed, the Predictor's per-pair profit arithmetic (Eqns 1-3),
+why the Decider vetoed a pair, what the engine actually executed.  Events
+are frozen dataclasses with plain-scalar/JSON-able fields so a trace
+round-trips losslessly through JSONL (`repro.obs.sinks.JsonlSink`) and
+two same-seed runs produce byte-identical streams — the property
+`repro.obs.diff` and the campaign cache rely on.
+
+The :class:`EventBus` is the single emission point.  With no sinks
+attached ``bus.enabled`` is False and well-behaved emitters skip event
+construction entirely, so the instrumented hot paths cost one attribute
+read per site when observability is off.
+
+Schema evolution: ``SCHEMA_VERSION`` is stamped into every serialised
+event; :func:`validate_event_dict` checks version, kind and field names
+so CI can validate an emitted trace against the published schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, ClassVar
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Event",
+    "QuantumStart",
+    "QuantumEnd",
+    "ObserverSample",
+    "ClassificationChanged",
+    "FairnessComputed",
+    "PairProposed",
+    "ProfitEvaluated",
+    "PairVetoed",
+    "SwapExecuted",
+    "OptimizerStep",
+    "ArrivalPlaced",
+    "EVENT_TYPES",
+    "EventBus",
+    "NULL_BUS",
+    "event_from_dict",
+    "validate_event_dict",
+]
+
+#: Version stamped into every serialised event (bump on field changes).
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: every event is anchored to a scheduling quantum.
+
+    ``quantum`` is the index of the quantum the information belongs to —
+    decision events carry the index of the quantum whose counters drove
+    the decision.  ``time_s`` is *simulation* time (never wall clock, so
+    traces are deterministic).
+    """
+
+    kind: ClassVar[str] = "event"
+
+    quantum: int
+    time_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-able dict (dict keys coerced to str)."""
+        out: dict[str, Any] = {"v": SCHEMA_VERSION, "kind": self.kind}
+        for key, value in asdict(self).items():
+            if isinstance(value, dict):
+                value = {str(k): v for k, v in value.items()}
+            out[key] = value
+        return out
+
+
+@dataclass(frozen=True)
+class QuantumStart(Event):
+    """The engine begins executing a quantum of ``quantum_length_s``."""
+
+    kind: ClassVar[str] = "quantum_start"
+
+    quantum_length_s: float
+
+
+@dataclass(frozen=True)
+class QuantumEnd(Event):
+    """Physics for one quantum finished (before scheduling actions).
+
+    ``assignments`` is the tid -> vcore map of live threads at the end of
+    the quantum; ``access_rates`` the per-thread measured access rates —
+    together the placement ground truth the invariant checker and the
+    Chrome exporter reconstruct tracks from.
+    """
+
+    kind: ClassVar[str] = "quantum_end"
+
+    assignments: dict[int, int]
+    access_rates: dict[int, float]
+
+
+@dataclass(frozen=True)
+class ArrivalPlaced(Event):
+    """An open-system process group woke and was placed by the engine."""
+
+    kind: ClassVar[str] = "arrival_placed"
+
+    group: int
+    tids: tuple[int, ...]
+    vcores: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ObserverSample(Event):
+    """The Observer's per-quantum digest (§III-A)."""
+
+    kind: ClassVar[str] = "observer_sample"
+
+    access_rate: dict[int, float]
+    miss_rate: dict[int, float]
+    classification: dict[int, str]
+    core_bw: dict[int, float]
+    high_bw_cores: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ClassificationChanged(Event):
+    """A thread crossed the C/M boundary since the previous quantum."""
+
+    kind: ClassVar[str] = "classification_changed"
+
+    tid: int
+    old: str
+    new: str
+
+
+@dataclass(frozen=True)
+class FairnessComputed(Event):
+    """``getSystemFairness`` for the quantum, against the gate θ_f."""
+
+    kind: ClassVar[str] = "fairness_computed"
+
+    value: float
+    threshold: float
+    fair: bool
+
+
+@dataclass(frozen=True)
+class PairProposed(Event):
+    """The Selector proposed a candidate swap pair ⟨t_l, t_h⟩."""
+
+    kind: ClassVar[str] = "pair_proposed"
+
+    t_l: int
+    t_h: int
+
+
+@dataclass(frozen=True)
+class ProfitEvaluated(Event):
+    """The Predictor's full Eqn 1-3 arithmetic for one candidate pair.
+
+    Carries every term so the invariant checker can re-derive
+    ``profit = CoreBW(dest) − rate − overhead`` and
+    ``total_profit = profit_l + profit_h`` from the event alone.
+    """
+
+    kind: ClassVar[str] = "profit_evaluated"
+
+    t_l: int
+    t_h: int
+    rate_l: float
+    rate_h: float
+    bw_dest_l: float  # CoreBW of t_h's core (t_l's destination)
+    bw_dest_h: float  # CoreBW of t_l's core (t_h's destination)
+    overhead_l: float
+    overhead_h: float
+    profit_l: float
+    profit_h: float
+    total_profit: float
+
+
+@dataclass(frozen=True)
+class PairVetoed(Event):
+    """The Decider rejected a predicted pair, with the rule that fired.
+
+    ``reason`` is one of ``"cooldown"`` (a member migrated too recently),
+    ``"claimed"`` (a member already swaps this quantum) or
+    ``"negative_profit"`` (fails the profit/fairness-benefit test).
+    """
+
+    kind: ClassVar[str] = "pair_vetoed"
+
+    t_l: int
+    t_h: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class SwapExecuted(Event):
+    """The engine applied one pairwise migration.
+
+    ``vcore_a``/``vcore_b`` are the *destinations* of ``tid_a``/``tid_b``
+    — for a legal swap each is the other thread's previous core.
+    """
+
+    kind: ClassVar[str] = "swap_executed"
+
+    tid_a: int
+    tid_b: int
+    vcore_a: int
+    vcore_b: int
+
+
+@dataclass(frozen=True)
+class OptimizerStep(Event):
+    """The Optimizer re-tuned ⟨swapSize, quantaLength⟩ (Algorithm 2)."""
+
+    kind: ClassVar[str] = "optimizer_step"
+
+    workload_class: str
+    old_swap_size: int
+    new_swap_size: int
+    old_quanta_s: float
+    new_quanta_s: float
+
+
+#: kind string -> event class, for deserialisation and validation.
+EVENT_TYPES: dict[str, type[Event]] = {
+    cls.kind: cls
+    for cls in (
+        QuantumStart,
+        QuantumEnd,
+        ArrivalPlaced,
+        ObserverSample,
+        ClassificationChanged,
+        FairnessComputed,
+        PairProposed,
+        ProfitEvaluated,
+        PairVetoed,
+        SwapExecuted,
+        OptimizerStep,
+    )
+}
+
+#: dict-valued event fields keyed by int in memory (JSON coerces to str).
+_INT_KEYED = {"assignments", "access_rates", "access_rate", "miss_rate",
+              "classification", "core_bw"}
+
+
+def validate_event_dict(record: dict[str, Any]) -> type[Event]:
+    """Check one serialised event against the schema; return its class.
+
+    Raises ``ValueError`` on unknown kind, version mismatch, or missing /
+    unexpected fields — the checks the CI trace-smoke job runs on every
+    emitted line.
+    """
+    kind = record.get("kind")
+    cls = EVENT_TYPES.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r}")
+    version = record.get("v")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema version mismatch: trace has {version!r}, "
+            f"library speaks {SCHEMA_VERSION}"
+        )
+    expected = {f.name for f in fields(cls)}
+    got = set(record) - {"v", "kind"}
+    if got != expected:
+        missing, extra = expected - got, got - expected
+        raise ValueError(
+            f"{kind}: field mismatch (missing={sorted(missing)}, "
+            f"unexpected={sorted(extra)})"
+        )
+    return cls
+
+
+def event_from_dict(record: dict[str, Any]) -> Event:
+    """Rebuild a typed event from its serialised form (validating)."""
+    cls = validate_event_dict(record)
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        value = record[f.name]
+        if f.name in _INT_KEYED and isinstance(value, dict):
+            value = {int(k): v for k, v in value.items()}
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+class EventBus:
+    """Fan-out point for events, with a zero-overhead disabled mode.
+
+    Emitters follow the pattern::
+
+        if bus.enabled:
+            bus.emit(PairProposed(*bus.now, t_l=a, t_h=b))
+
+    so that with no sinks attached no event object is ever built.  The
+    bus also carries the current quantum coordinates (``bus.at(q, t)`` /
+    ``bus.now``) so deep pipeline stages (Selector, Decider, ...) need no
+    extra plumbing to stamp their events, and an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` shared by all emitters.
+    """
+
+    __slots__ = ("_sinks", "metrics", "_quantum", "_time_s")
+
+    def __init__(self, metrics: Any | None = None) -> None:
+        self._sinks: list[Any] = []
+        self.metrics = metrics
+        self._quantum = 0
+        self._time_s = 0.0
+
+    # ------------------------------------------------------------- sinks
+
+    def attach(self, sink: Any) -> Any:
+        """Attach a sink (any object with ``accept(event)``); returns it."""
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: Any) -> None:
+        self._sinks.remove(sink)
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one sink is attached."""
+        return bool(self._sinks)
+
+    @property
+    def sinks(self) -> tuple[Any, ...]:
+        return tuple(self._sinks)
+
+    # ---------------------------------------------------------- position
+
+    def at(self, quantum: int, time_s: float) -> None:
+        """Set the quantum coordinates stamped into subsequent events."""
+        self._quantum = quantum
+        self._time_s = time_s
+
+    @property
+    def now(self) -> tuple[int, float]:
+        """Current ``(quantum, time_s)`` position for event constructors."""
+        return (self._quantum, self._time_s)
+
+    # ---------------------------------------------------------- emission
+
+    def emit(self, event: Event) -> None:
+        for sink in self._sinks:
+            sink.accept(event)
+
+    def close(self) -> None:
+        """Close every sink that supports it (flushes files)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+#: Shared always-disabled bus — the default everywhere, so call sites
+#: never need a None check.  Do not attach sinks to it.
+NULL_BUS = EventBus()

@@ -1,0 +1,167 @@
+"""Process-local metrics: counters, gauges, histograms, stage timers.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments,
+created lazily on first touch (``registry.counter("dike.swaps").inc()``).
+It is deliberately tiny — no labels, no exposition format — because its
+jobs are (a) cheap always-on accounting inside one simulation run,
+snapshotted into ``RunResult.info["metrics"]``, and (b) per-stage
+wall-time attribution via :func:`timed` / :meth:`MetricsRegistry.timer`.
+
+Wall-clock timings are *observability only*: they never feed back into
+simulation state, so runs stay deterministic even though timer values
+differ between executions (the JSONL event trace carries no metrics).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Iterator
+from contextlib import contextmanager
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "timed"]
+
+
+class Counter:
+    """Monotone event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Streaming summary of a distribution (count/total/min/max/mean).
+
+    Constant memory — no buckets or reservoir — because the consumers
+    (campaign telemetry, run summaries) only report aggregates.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def snapshot(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Lazily-populated namespace of instruments.
+
+    A name belongs to exactly one instrument type for the registry's
+    lifetime; asking for it as a different type raises ``TypeError``.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = cls()
+        elif type(inst) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Record a wall-time observation (seconds) into histogram ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.histogram(name).observe(time.perf_counter() - t0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict snapshot of every instrument, sorted by name."""
+        return {
+            name: inst.snapshot()
+            for name, inst in sorted(self._instruments.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+
+def timed(name: str) -> Callable:
+    """Method decorator: time each call into ``self.metrics`` if present.
+
+    The decorated object may expose ``metrics`` as a
+    :class:`MetricsRegistry` or ``None``; with ``None`` (the default
+    everywhere observability is off) the only cost is one attribute read.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            registry = getattr(self, "metrics", None)
+            if registry is None:
+                return fn(self, *args, **kwargs)
+            with registry.timer(name):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -17,9 +17,10 @@ implemented against it would port to the real-platform backend.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.obs.events import NULL_BUS, EventBus
 from repro.sim.counters import QuantumCounters
 from repro.sim.results import PredictionRecord
 from repro.sim.topology import Topology
@@ -49,11 +50,17 @@ class ThreadInfo:
 
 @dataclass(frozen=True)
 class SchedulingContext:
-    """Everything handed to a scheduler before a run starts."""
+    """Everything handed to a scheduler before a run starts.
+
+    ``bus`` is the observability event bus (`repro.obs`) instrumented
+    schedulers emit their per-quantum decisions through; the default is
+    the shared no-op bus, so policies that ignore it cost nothing.
+    """
 
     topology: Topology
     threads: tuple[ThreadInfo, ...]
     seed: int = 0
+    bus: EventBus = field(default=NULL_BUS, compare=False, repr=False)
 
     @property
     def n_threads(self) -> int:

@@ -31,12 +31,24 @@ class ThreadSample:
     @property
     def access_rate(self) -> float:
         """Memory (LLC-miss) accesses per second — Dike's contention signal."""
-        return self.llc_misses / self.runtime_s if self.runtime_s > 0 else 0.0
+        if self.runtime_s <= 0:
+            return 0.0
+        return max(self.llc_misses, 0.0) / self.runtime_s
 
     @property
     def miss_rate(self) -> float:
-        """LLC miss ratio — the paper's C/M classification signal."""
-        return self.llc_misses / self.llc_accesses if self.llc_accesses > 0 else 0.0
+        """LLC miss ratio — the paper's C/M classification signal.
+
+        Clamped to ``[0, 1]``: measurement noise multiplies the reported
+        miss count, so raw ``misses / accesses`` can exceed 1 (a ratio no
+        real counter pair would report).  A zero-access window reads 0.
+        The C/M decision itself ("miss rate > 10 % ⇒ M", *strictly*
+        greater) lives in :func:`repro.core.observer.classify` — this
+        property only supplies the ratio.
+        """
+        if self.llc_accesses <= 0:
+            return 0.0
+        return min(max(self.llc_misses, 0.0) / self.llc_accesses, 1.0)
 
     @property
     def ips(self) -> float:

@@ -25,6 +25,15 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.obs.events import (
+    ArrivalPlaced,
+    EventBus,
+    NULL_BUS,
+    QuantumEnd,
+    QuantumStart,
+    SwapExecuted,
+)
+from repro.obs.metrics import timed
 from repro.schedulers.base import (
     Action,
     Move,
@@ -79,6 +88,10 @@ class SimulationEngine:
     record_timeseries:
         Keep full per-quantum traces (needed by Figures 1/8, disabled for
         big sweeps).
+    bus:
+        Observability event bus (`repro.obs`).  The default is the shared
+        no-op bus: with no sinks attached the engine never constructs
+        event objects, so uninstrumented runs pay nothing.
     """
 
     def __init__(
@@ -94,6 +107,7 @@ class SimulationEngine:
         max_time_s: float = 36_000.0,
         record_timeseries: bool = True,
         workload_name: str = "workload",
+        bus: EventBus | None = None,
     ) -> None:
         require(len(groups) >= 1, "at least one process group is required")
         self.topology = topology
@@ -120,6 +134,8 @@ class SimulationEngine:
             "oversubscription is allowed but unusual",
         )
 
+        self.bus = bus if bus is not None else NULL_BUS
+        self.metrics = self.bus.metrics
         self.trace = TraceRecorder(record_timeseries=record_timeseries)
         self._noise_rng = make_rng(self.seed, "engine", "counter-noise")
         self.time_s = 0.0
@@ -138,7 +154,7 @@ class SimulationEngine:
             ThreadInfo(t.tid, t.benchmark, t.group, t.member) for t in self.threads
         )
         return SchedulingContext(
-            topology=self.topology, threads=infos, seed=self.seed
+            topology=self.topology, threads=infos, seed=self.seed, bus=self.bus
         )
 
     def _apply_initial_placement(self) -> None:
@@ -196,6 +212,16 @@ class SimulationEngine:
                 occupied[target.vcore_id] = occupied.get(target.vcore_id, 0) + 1
                 phys_load[target.physical_id] += 1
             g.placed = True
+            if self.bus.enabled:
+                self.bus.emit(
+                    ArrivalPlaced(
+                        quantum=max(self.quantum_index - 1, 0),
+                        time_s=self.time_s,
+                        group=g.group_id,
+                        tids=tuple(t.tid for t in g.threads),
+                        vcores=tuple(t.vcore for t in g.threads),
+                    )
+                )
 
     # ------------------------------------------------------------- main loop
 
@@ -233,7 +259,17 @@ class SimulationEngine:
 
         return self._build_result()
 
+    @timed("engine.quantum_s")
     def _execute_quantum(self, qlen: float) -> QuantumCounters:
+        if self.bus.enabled:
+            self.bus.at(self.quantum_index, self.time_s)
+            self.bus.emit(
+                QuantumStart(
+                    quantum=self.quantum_index,
+                    time_s=self.time_s,
+                    quantum_length_s=qlen,
+                )
+            )
         arrived_groups = [g for g in self.groups if g.arrival_s <= self.time_s]
         live = [t for g in arrived_groups for t in g.threads if not t.finished]
         runnable = [
@@ -357,13 +393,23 @@ class SimulationEngine:
             samples=tuple(samples),
             core_bandwidth=core_bw,
         )
+        assignments = {t.tid: t.vcore for t in live}
         self.trace.record_quantum(
             self.time_s,
             qlen,
             self.memory.last_utilization,
             counters.access_rates(),
-            {t.tid: t.vcore for t in live},
+            assignments,
         )
+        if self.bus.enabled:
+            self.bus.emit(
+                QuantumEnd(
+                    quantum=self.quantum_index,
+                    time_s=self.time_s,
+                    assignments=assignments,
+                    access_rates=counters.access_rates(),
+                )
+            )
         self.quantum_index += 1
         return counters
 
@@ -376,6 +422,7 @@ class SimulationEngine:
 
     # --------------------------------------------------------------- actions
 
+    @timed("engine.apply_actions_s")
     def _apply_actions(
         self, actions: Sequence[Action], placement: dict[int, int]
     ) -> None:
@@ -418,6 +465,17 @@ class SimulationEngine:
                         vcore_b=tb.vcore,
                     )
                 )
+                if self.bus.enabled:
+                    self.bus.emit(
+                        SwapExecuted(
+                            quantum=self.quantum_index - 1,
+                            time_s=self.time_s,
+                            tid_a=ta.tid,
+                            tid_b=tb.tid,
+                            vcore_a=ta.vcore,
+                            vcore_b=tb.vcore,
+                        )
+                    )
             elif isinstance(action, Move):
                 t = by_tid.get(action.tid)
                 require(t is not None, f"move references unknown thread: {action}")
@@ -477,6 +535,12 @@ class SimulationEngine:
         info["truncated"] = self.truncated
         info["suspension_count"] = self.suspension_count
         info["smt_efficiency"] = self.smt_efficiency
+        if self.metrics is not None:
+            self.metrics.counter("engine.quanta").inc(self.quantum_index)
+            self.metrics.counter("engine.swaps").inc(self.swap_count)
+            self.metrics.counter("engine.migrations").inc(self.migration_count)
+            self.metrics.counter("engine.suspensions").inc(self.suspension_count)
+            info["metrics"] = self.metrics.snapshot()
         return RunResult(
             workload_name=self.workload_name,
             policy_name=self.scheduler.name,

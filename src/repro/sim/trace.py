@@ -14,11 +14,17 @@ swap events are always kept because they are cheap and Table III needs them.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
 __all__ = ["SwapEvent", "TraceRecorder"]
+
+
+def _series(max_quanta: int | None):
+    """Per-quantum storage: bounded deque (keep-last) or plain list."""
+    return [] if max_quanta is None else deque(maxlen=max_quanta)
 
 
 @dataclass(frozen=True)
@@ -34,17 +40,37 @@ class SwapEvent:
 
 
 class TraceRecorder:
-    """Accumulates per-quantum snapshots during a run."""
+    """Accumulates per-quantum snapshots during a run.
 
-    def __init__(self, record_timeseries: bool = True) -> None:
+    Parameters
+    ----------
+    record_timeseries:
+        When False, per-quantum series are not kept at all (swap events
+        always are — they are cheap and Table III needs them).
+    max_quanta:
+        Optional bound on the number of quanta kept, with **keep-last**
+        semantics: once the bound is reached, recording a new quantum
+        evicts the oldest one, so a long sweep with
+        ``record_timeseries=True`` holds at most ``max_quanta`` snapshots
+        instead of growing unbounded.  The default (``None``) keeps every
+        quantum — the right choice for figure-length runs, which need the
+        full series; bound it for open-ended or sweep-scale runs.
+    """
+
+    def __init__(
+        self, record_timeseries: bool = True, max_quanta: int | None = None
+    ) -> None:
+        if max_quanta is not None and max_quanta < 1:
+            raise ValueError("max_quanta must be >= 1 or None")
         self.record_timeseries = record_timeseries
-        self.times: list[float] = []
-        self.quantum_lengths: list[float] = []
-        self.utilization: list[float] = []
+        self.max_quanta = max_quanta
+        self.times: deque[float] | list[float] = _series(max_quanta)
+        self.quantum_lengths: deque[float] | list[float] = _series(max_quanta)
+        self.utilization: deque[float] | list[float] = _series(max_quanta)
         #: per quantum: dict tid -> access rate
-        self.access_rates: list[dict[int, float]] = []
+        self.access_rates: deque | list[dict[int, float]] = _series(max_quanta)
         #: per quantum: dict tid -> vcore
-        self.assignments: list[dict[int, int]] = []
+        self.assignments: deque | list[dict[int, int]] = _series(max_quanta)
         self.swap_events: list[SwapEvent] = []
 
     def record_quantum(
@@ -75,7 +101,11 @@ class TraceRecorder:
         return len(self.swap_events)
 
     def access_rate_series(self, tid: int) -> tuple[np.ndarray, np.ndarray]:
-        """(times, access_rate) series for one thread; NaN when absent."""
+        """(times, access_rate) series for one thread; NaN when absent.
+
+        With ``max_quanta`` set this covers only the retained (most
+        recent) window.
+        """
         t = np.asarray(self.times, dtype=np.float64)
         v = np.array(
             [q.get(tid, np.nan) for q in self.access_rates], dtype=np.float64

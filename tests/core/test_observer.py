@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import DikeConfig
-from repro.core.observer import Observer
+from repro.core.observer import Observer, classify
 from repro.sim.counters import QuantumCounters, ThreadSample
 
 
@@ -53,6 +53,14 @@ class TestClassification:
         report = obs.update(counters)
         assert report.classification[0] == "M"
         assert report.classification[1] == "C"
+
+    def test_classify_exact_threshold_is_compute(self):
+        # The paper's rule is "miss rate > 10% => M", *strictly* greater:
+        # a thread sitting exactly on the boundary stays compute-bound.
+        assert classify(0.10, 0.10) == "C"
+        assert classify(0.10 + 1e-12, 0.10) == "M"
+        assert classify(0.0, 0.10) == "C"
+        assert classify(1.0, 0.10) == "M"
 
     def test_counts(self):
         obs = make_observer()

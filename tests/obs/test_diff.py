@@ -1,0 +1,72 @@
+"""Tests for trace loading and same-seed determinism diffing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dike import dike
+from repro.obs.diff import diff_traces, load_events, render_diff
+from repro.obs.events import EventBus
+from repro.obs.sinks import JsonlSink
+
+
+def trace_run(run_quickly, workload, topology, path, seed):
+    bus = EventBus()
+    bus.attach(JsonlSink(path))
+    run_quickly(workload, dike(), topology, work_scale=0.02, seed=seed, bus=bus)
+    bus.close()
+    return load_events(path)
+
+
+class TestLoadEvents:
+    def test_rejects_bad_json_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"v": 1, "kind": "pair_proposed", "quantum": 0, '
+                        '"time_s": 0.0, "t_l": 1, "t_h": 2}\nnot json\n')
+        with pytest.raises(ValueError, match=r"t\.jsonl:2: invalid JSON"):
+            load_events(path)
+
+    def test_rejects_schema_violations_with_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"v": 1, "kind": "martian"}) + "\n")
+        with pytest.raises(ValueError, match=r"t\.jsonl:1: unknown event kind"):
+            load_events(path)
+        assert load_events(path, validate=False)  # opt-out still parses
+
+    def test_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n\n")
+        assert load_events(path) == []
+
+
+class TestDiffTraces:
+    def test_same_seed_traces_identical(
+        self, run_quickly, tiny_workload, small_topology, tmp_path
+    ):
+        a = trace_run(run_quickly, tiny_workload, small_topology, tmp_path / "a", 7)
+        b = trace_run(run_quickly, tiny_workload, small_topology, tmp_path / "b", 7)
+        diff = diff_traces(a, b)
+        assert diff.identical
+        assert diff.n_events_a == diff.n_events_b > 0
+        assert "identical" in render_diff(diff)
+
+    def test_different_seeds_diverge(
+        self, run_quickly, tiny_workload, small_topology, tmp_path
+    ):
+        a = trace_run(run_quickly, tiny_workload, small_topology, tmp_path / "a", 7)
+        b = trace_run(run_quickly, tiny_workload, small_topology, tmp_path / "b", 8)
+        diff = diff_traces(a, b)
+        assert not diff.identical
+        report = render_diff(diff, "a.jsonl", "b.jsonl")
+        assert "diverge at quantum" in report and "a.jsonl" in report
+
+    def test_truncated_stream_reports_missing_side(self):
+        ev = {"v": 1, "kind": "pair_proposed", "quantum": 0,
+              "time_s": 0.0, "t_l": 1, "t_h": 2}
+        diff = diff_traces([ev, ev], [ev])
+        assert not diff.identical
+        assert diff.divergence.index == 1
+        assert diff.divergence.b is None
+        assert "no event" in render_diff(diff)

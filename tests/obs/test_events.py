@@ -1,0 +1,138 @@
+"""Tests for the typed event schema and the EventBus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    NULL_BUS,
+    SCHEMA_VERSION,
+    EventBus,
+    FairnessComputed,
+    ObserverSample,
+    PairProposed,
+    PairVetoed,
+    ProfitEvaluated,
+    QuantumEnd,
+    QuantumStart,
+    SwapExecuted,
+    event_from_dict,
+    validate_event_dict,
+)
+
+
+def sample_events():
+    """One instance of each event kind with representative payloads."""
+    return [
+        QuantumStart(quantum=0, time_s=0.0, quantum_length_s=0.5),
+        QuantumEnd(
+            quantum=0, time_s=0.5,
+            assignments={1: 0, 2: 3}, access_rates={1: 1e6, 2: 2e6},
+        ),
+        ObserverSample(
+            quantum=1, time_s=1.0,
+            access_rate={1: 1e6}, miss_rate={1: 0.2},
+            classification={1: "M"}, core_bw={0: 1e6},
+            high_bw_cores=(0, 2),
+        ),
+        FairnessComputed(quantum=1, time_s=1.0, value=0.3, threshold=0.5, fair=True),
+        PairProposed(quantum=1, time_s=1.0, t_l=1, t_h=2),
+        ProfitEvaluated(
+            quantum=1, time_s=1.0, t_l=1, t_h=2,
+            rate_l=1e6, rate_h=2e6, bw_dest_l=3e6, bw_dest_h=1.5e6,
+            overhead_l=1e4, overhead_h=1e4,
+            profit_l=3e6 - 1e6 - 1e4, profit_h=1.5e6 - 2e6 - 1e4,
+            total_profit=(3e6 - 1e6 - 1e4) + (1.5e6 - 2e6 - 1e4),
+        ),
+        PairVetoed(quantum=1, time_s=1.0, t_l=1, t_h=2, reason="cooldown"),
+        SwapExecuted(quantum=1, time_s=1.0, tid_a=1, tid_b=2, vcore_a=3, vcore_b=0),
+    ]
+
+
+class TestSchema:
+    @pytest.mark.parametrize("event", sample_events(), ids=lambda e: e.kind)
+    def test_round_trip(self, event):
+        record = event.to_dict()
+        assert record["v"] == SCHEMA_VERSION
+        assert record["kind"] == event.kind
+        assert validate_event_dict(record) is type(event)
+        # JSON stringifies dict keys; re-typing must restore the original.
+        import json
+
+        wire = json.loads(json.dumps(record))
+        assert event_from_dict(wire) == event
+
+    def test_every_kind_registered(self):
+        for kind, cls in EVENT_TYPES.items():
+            assert cls.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            validate_event_dict({"v": SCHEMA_VERSION, "kind": "nope"})
+
+    def test_version_mismatch_rejected(self):
+        record = QuantumStart(quantum=0, time_s=0.0, quantum_length_s=0.5).to_dict()
+        record["v"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema version"):
+            validate_event_dict(record)
+
+    def test_missing_field_rejected(self):
+        record = PairProposed(quantum=0, time_s=0.0, t_l=1, t_h=2).to_dict()
+        del record["t_h"]
+        with pytest.raises(ValueError, match="missing=\\['t_h'\\]"):
+            validate_event_dict(record)
+
+    def test_unexpected_field_rejected(self):
+        record = PairProposed(quantum=0, time_s=0.0, t_l=1, t_h=2).to_dict()
+        record["bogus"] = 1
+        with pytest.raises(ValueError, match="unexpected=\\['bogus'\\]"):
+            validate_event_dict(record)
+
+
+class _Collector:
+    def __init__(self):
+        self.events = []
+        self.closed = False
+
+    def accept(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.closed = True
+
+
+class TestEventBus:
+    def test_disabled_without_sinks(self):
+        bus = EventBus()
+        assert not bus.enabled
+        bus.emit(PairProposed(quantum=0, time_s=0.0, t_l=1, t_h=2))  # no-op
+
+    def test_fan_out_and_detach(self):
+        bus = EventBus()
+        a, b = bus.attach(_Collector()), bus.attach(_Collector())
+        assert bus.enabled
+        ev = PairProposed(quantum=0, time_s=0.0, t_l=1, t_h=2)
+        bus.emit(ev)
+        assert a.events == [ev] and b.events == [ev]
+        bus.detach(b)
+        bus.emit(ev)
+        assert len(a.events) == 2 and len(b.events) == 1
+
+    def test_at_and_now_stamp_events(self):
+        bus = EventBus()
+        bus.attach(_Collector())
+        bus.at(7, 3.5)
+        assert bus.now == (7, 3.5)
+        ev = PairProposed(*bus.now, t_l=1, t_h=2)
+        assert (ev.quantum, ev.time_s) == (7, 3.5)
+
+    def test_close_propagates(self):
+        bus = EventBus()
+        sink = bus.attach(_Collector())
+        bus.close()
+        assert sink.closed
+
+    def test_null_bus_is_shared_and_disabled(self):
+        assert not NULL_BUS.enabled
+        assert NULL_BUS.metrics is None

@@ -1,0 +1,81 @@
+"""End-to-end: a simulated run emits a coherent event stream + metrics."""
+
+from __future__ import annotations
+
+from repro.core.dike import dike
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import RingBufferSink
+from repro.schedulers.cfs import CFSScheduler
+
+
+def traced_run(run_quickly, workload, topology, scheduler, seed=7):
+    bus = EventBus(metrics=MetricsRegistry())
+    sink = bus.attach(RingBufferSink(capacity=100_000))
+    result = run_quickly(
+        workload, scheduler, topology, work_scale=0.02, seed=seed, bus=bus
+    )
+    return result, sink.events()
+
+
+class TestDikeRun:
+    def test_event_stream_is_coherent(
+        self, run_quickly, small_workload, small_topology
+    ):
+        result, events = traced_run(
+            run_quickly, small_workload, small_topology, dike()
+        )
+        kinds = [e.kind for e in events]
+        # The engine frames every quantum...
+        assert kinds.count("quantum_start") == result.n_quanta
+        assert kinds.count("quantum_end") == result.n_quanta
+        # ...the Dike pipeline reports each decision cycle...
+        assert kinds.count("observer_sample") == result.n_quanta - 1
+        assert kinds.count("fairness_computed") == result.n_quanta - 1
+        # ...and every executed swap is on the bus.
+        assert kinds.count("swap_executed") == result.swap_count
+        # Every proposed pair got a full profit evaluation.
+        assert kinds.count("profit_evaluated") == kinds.count("pair_proposed")
+        # Quantum stamps never run backwards.
+        quanta = [e.quantum for e in events]
+        assert all(b >= a for a, b in zip(quanta, quanta[1:]))
+
+    def test_metrics_snapshot_lands_in_result(
+        self, run_quickly, small_workload, small_topology
+    ):
+        result, _ = traced_run(
+            run_quickly, small_workload, small_topology, dike()
+        )
+        metrics = result.info["metrics"]
+        assert metrics["engine.quanta"] == result.n_quanta
+        assert metrics["engine.swaps"] == result.swap_count
+        assert metrics["engine.quantum_s"]["count"] == result.n_quanta
+        assert metrics["dike.observer_s"]["count"] == result.n_quanta - 1
+
+    def test_no_metrics_key_without_bus(
+        self, run_quickly, tiny_workload, small_topology
+    ):
+        result = run_quickly(
+            tiny_workload, dike(), small_topology, work_scale=0.02
+        )
+        assert "metrics" not in result.info
+
+    def test_same_seed_streams_identical(
+        self, run_quickly, tiny_workload, small_topology
+    ):
+        _, a = traced_run(run_quickly, tiny_workload, small_topology, dike())
+        _, b = traced_run(run_quickly, tiny_workload, small_topology, dike())
+        assert [e.to_dict() for e in a] == [e.to_dict() for e in b]
+
+
+class TestNonDikeRun:
+    def test_cfs_emits_engine_events_only(
+        self, run_quickly, tiny_workload, small_topology
+    ):
+        result, events = traced_run(
+            run_quickly, tiny_workload, small_topology, CFSScheduler()
+        )
+        kinds = {e.kind for e in events}
+        assert "quantum_start" in kinds and "quantum_end" in kinds
+        assert not kinds & {"observer_sample", "pair_proposed", "profit_evaluated"}
+        assert result.n_quanta > 0

@@ -1,0 +1,164 @@
+"""Property-style tests for the runtime invariant checker.
+
+Two families: (a) a clean Dike run must produce **zero** violations — the
+checker encodes exactly the contract the implementation claims to honour;
+(b) synthetically corrupted event streams must trip each rule class.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dike import dike
+from repro.obs.events import (
+    ArrivalPlaced,
+    EventBus,
+    OptimizerStep,
+    ProfitEvaluated,
+    QuantumEnd,
+    SwapExecuted,
+)
+from repro.obs.invariants import RULES, InvariantError, InvariantSink
+
+
+def end(q, assignments):
+    return QuantumEnd(
+        quantum=q, time_s=0.5 * (q + 1),
+        assignments=dict(assignments),
+        access_rates={tid: 1e6 for tid in assignments},
+    )
+
+
+def swap(q, tid_a, tid_b, vcore_a, vcore_b):
+    return SwapExecuted(
+        quantum=q, time_s=0.5 * (q + 1),
+        tid_a=tid_a, tid_b=tid_b, vcore_a=vcore_a, vcore_b=vcore_b,
+    )
+
+
+def feed(sink, *events):
+    for ev in events:
+        sink.accept(ev)
+    return sink
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("seed", [3, 7, 11])
+    def test_dike_run_has_zero_violations(
+        self, run_quickly, small_workload, small_topology, seed
+    ):
+        scheduler = dike()
+        bus = EventBus()
+        sink = bus.attach(
+            InvariantSink(swap_size=scheduler.config.swap_size, strict=True)
+        )
+        result = run_quickly(
+            small_workload, scheduler, small_topology,
+            work_scale=0.02, seed=seed, bus=bus,
+        )
+        assert result.n_quanta > 1
+        assert sink.ok
+        assert sink.n_events > result.n_quanta  # the run actually emitted
+        assert set(sink.summary()) == set(RULES)
+        assert all(count == 0 for count in sink.summary().values())
+
+
+class TestCorruptedStreams:
+    def test_no_third_core(self):
+        sink = feed(
+            InvariantSink(),
+            end(0, {1: 0, 2: 1}),
+            swap(1, 1, 2, vcore_a=5, vcore_b=0),  # t1 lands on a third core
+        )
+        assert sink.summary()["no-third-core"] == 1
+
+    def test_cooldown(self):
+        sink = feed(
+            InvariantSink(),
+            end(0, {1: 0, 2: 1, 3: 2}),
+            swap(1, 1, 2, vcore_a=1, vcore_b=0),
+            end(1, {1: 1, 2: 0, 3: 2}),
+            swap(2, 1, 3, vcore_a=2, vcore_b=1),  # t1 again, adjacent quantum
+        )
+        assert sink.summary()["cooldown"] == 1
+
+    def test_swap_budget(self):
+        sink = feed(
+            InvariantSink(swap_size=2),
+            end(0, {1: 0, 2: 1, 3: 2, 4: 3}),
+            swap(1, 1, 2, vcore_a=1, vcore_b=0),
+            swap(1, 3, 4, vcore_a=3, vcore_b=2),  # 4 threads > budget of 2
+        )
+        assert sink.summary()["swap-budget"] == 1
+
+    def test_swap_budget_follows_optimizer(self):
+        sink = feed(
+            InvariantSink(swap_size=2),
+            OptimizerStep(
+                quantum=0, time_s=0.5, workload_class="memory",
+                old_swap_size=2, new_swap_size=4,
+                old_quanta_s=0.5, new_quanta_s=0.5,
+            ),
+            end(0, {1: 0, 2: 1, 3: 2, 4: 3}),
+            swap(1, 1, 2, vcore_a=1, vcore_b=0),
+            swap(1, 3, 4, vcore_a=3, vcore_b=2),  # 4 threads, budget now 4
+        )
+        assert sink.ok
+
+    def test_swap_budget_disabled_with_none(self):
+        sink = feed(
+            InvariantSink(swap_size=None),
+            end(0, {1: 0, 2: 1, 3: 2, 4: 3}),
+            swap(1, 1, 2, vcore_a=1, vcore_b=0),
+            swap(1, 3, 4, vcore_a=3, vcore_b=2),
+        )
+        assert sink.ok
+
+    def test_profit_arithmetic(self):
+        good = dict(
+            quantum=0, time_s=0.5, t_l=1, t_h=2,
+            rate_l=1e6, rate_h=2e6, bw_dest_l=3e6, bw_dest_h=1.5e6,
+            overhead_l=0.0, overhead_h=0.0,
+            profit_l=2e6, profit_h=-5e5, total_profit=1.5e6,
+        )
+        assert feed(InvariantSink(), ProfitEvaluated(**good)).ok
+        bad = dict(good, profit_l=9e9)
+        sink = feed(InvariantSink(), ProfitEvaluated(**bad))
+        # profit_l wrong => total_profit no longer the sum either.
+        assert sink.summary()["profit-arithmetic"] == 2
+
+    def test_permutation(self):
+        sink = feed(
+            InvariantSink(),
+            end(0, {1: 0, 2: 1}),
+            end(1, {1: 1, 2: 1}),  # t1 teleported with no recorded swap
+        )
+        assert sink.summary()["permutation"] == 1
+
+    def test_arrivals_explain_new_threads(self):
+        sink = feed(
+            InvariantSink(),
+            end(0, {1: 0}),
+            ArrivalPlaced(
+                quantum=0, time_s=0.6, group=1, tids=(5, 6), vcores=(2, 3)
+            ),
+            end(1, {1: 0, 5: 2, 6: 3}),
+        )
+        assert sink.ok
+
+    def test_strict_raises_immediately(self):
+        sink = InvariantSink(strict=True)
+        sink.accept(end(0, {1: 0, 2: 1}))
+        with pytest.raises(InvariantError) as exc:
+            sink.accept(end(1, {1: 1, 2: 0}))
+        assert exc.value.violation.rule == "permutation"
+        assert exc.value.violation.quantum == 1
+
+    def test_legal_swap_updates_placement(self):
+        sink = feed(
+            InvariantSink(),
+            end(0, {1: 0, 2: 1}),
+            swap(1, 1, 2, vcore_a=1, vcore_b=0),
+            end(1, {1: 1, 2: 0}),  # consistent with the swap
+        )
+        assert sink.ok

@@ -1,0 +1,89 @@
+"""Tests for the metrics registry and the @timed decorator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, timed
+
+
+class TestInstruments:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("swaps").inc()
+        reg.counter("swaps").inc(3)
+        assert reg.counter("swaps").snapshot() == 4
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("load").set(0.5)
+        reg.gauge("load").set(0.7)
+        assert reg.gauge("load").snapshot() == 0.7
+
+    def test_histogram_aggregates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("err")
+        for v in (1.0, 2.0, 6.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0 and snap["max"] == 6.0
+        assert snap["mean"] == pytest.approx(3.0)
+
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("err")
+        assert h.snapshot() == {"count": 0}
+        assert math.isnan(h.mean)
+
+    def test_name_is_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            reg.gauge("x")
+
+    def test_timer_records_into_histogram(self):
+        reg = MetricsRegistry()
+        with reg.timer("stage_s"):
+            pass
+        snap = reg.histogram("stage_s").snapshot()
+        assert snap["count"] == 1 and snap["min"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.timer("stage_s"):
+                raise RuntimeError("boom")
+        assert reg.histogram("stage_s").count == 1
+
+    def test_snapshot_sorted_and_membership(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.counter("a")
+        assert list(reg.snapshot()) == ["a", "b"]
+        assert "a" in reg and "missing" not in reg
+        assert len(reg) == 2
+
+
+class _Stage:
+    def __init__(self, metrics=None):
+        self.metrics = metrics
+
+    @timed("stage.work_s")
+    def work(self, x):
+        return x * 2
+
+
+class TestTimedDecorator:
+    def test_passthrough_without_registry(self):
+        assert _Stage().work(21) == 42
+
+    def test_records_with_registry(self):
+        reg = MetricsRegistry()
+        stage = _Stage(metrics=reg)
+        assert stage.work(21) == 42
+        assert reg.histogram("stage.work_s").count == 1
+
+    def test_preserves_function_identity(self):
+        assert _Stage.work.__name__ == "work"

@@ -1,0 +1,156 @@
+"""Tests for the JSONL, ring-buffer and Chrome-trace sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    FairnessComputed,
+    OptimizerStep,
+    PairProposed,
+    QuantumEnd,
+    QuantumStart,
+    SwapExecuted,
+    validate_event_dict,
+)
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink
+
+
+def quantum(q, assignments):
+    t = 0.5 * q
+    return [
+        QuantumStart(quantum=q, time_s=t, quantum_length_s=0.5),
+        QuantumEnd(
+            quantum=q, time_s=t + 0.5,
+            assignments=dict(assignments),
+            access_rates={tid: 1e6 * (tid + 1) for tid in assignments},
+        ),
+    ]
+
+
+class TestJsonlSink:
+    def test_writes_valid_schema_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        for ev in quantum(0, {1: 0, 2: 1}):
+            sink.accept(ev)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2 and sink.n_events == 2
+        for line in lines:
+            validate_event_dict(json.loads(line))
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, max_bytes=200, keep=2)
+        for q in range(20):
+            sink.accept(QuantumStart(quantum=q, time_s=0.5 * q, quantum_length_s=0.5))
+        sink.close()
+        assert path.exists()
+        assert (tmp_path / "trace.jsonl.1").exists()
+        assert (tmp_path / "trace.jsonl.2").exists()
+        assert not (tmp_path / "trace.jsonl.3").exists()  # keep=2 truncates
+        # Every retained generation is intact JSONL (rotation is atomic).
+        for p in (path, tmp_path / "trace.jsonl.1", tmp_path / "trace.jsonl.2"):
+            for line in p.read_text().splitlines():
+                validate_event_dict(json.loads(line))
+
+    def test_oversized_single_event_still_written(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl", max_bytes=10)
+        sink.accept(QuantumStart(quantum=0, time_s=0.0, quantum_length_s=0.5))
+        sink.close()
+        assert sink.n_events == 1
+
+    def test_closed_sink_rejects_events(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.accept(QuantumStart(quantum=0, time_s=0.0, quantum_length_s=0.5))
+
+    def test_parameter_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", keep=0)
+
+
+class TestRingBufferSink:
+    def test_keep_last(self):
+        sink = RingBufferSink(capacity=3)
+        for q in range(5):
+            sink.accept(QuantumStart(quantum=q, time_s=0.5 * q, quantum_length_s=0.5))
+        assert len(sink) == 3
+        assert sink.n_seen == 5
+        assert [e.quantum for e in sink.events()] == [2, 3, 4]
+
+    def test_kind_filter_and_drain(self):
+        sink = RingBufferSink()
+        sink.accept(QuantumStart(quantum=0, time_s=0.0, quantum_length_s=0.5))
+        sink.accept(PairProposed(quantum=0, time_s=0.0, t_l=1, t_h=2))
+        assert [e.kind for e in sink.events("pair_proposed")] == ["pair_proposed"]
+        assert len(sink.drain()) == 2
+        assert len(sink) == 0
+        assert sink.n_seen == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestChromeTraceSink:
+    def _traced(self):
+        sink = ChromeTraceSink()
+        for ev in quantum(0, {1: 0, 2: 4}):
+            sink.accept(ev)
+        sink.accept(
+            SwapExecuted(quantum=0, time_s=0.5, tid_a=1, tid_b=2, vcore_a=4, vcore_b=0)
+        )
+        sink.accept(
+            FairnessComputed(quantum=0, time_s=0.5, value=0.4, threshold=0.5, fair=True)
+        )
+        sink.accept(OptimizerStep(
+            quantum=0, time_s=0.5, workload_class="balanced",
+            old_swap_size=8, new_swap_size=12, old_quanta_s=0.5, new_quanta_s=0.25,
+        ))
+        for ev in quantum(1, {1: 4, 2: 0}):
+            sink.accept(ev)
+        return sink
+
+    def test_document_structure(self):
+        doc = self._traced().trace_document()
+        events = doc["traceEvents"]
+        by_ph = {}
+        for ev in events:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        # One complete slice per occupied vcore per quantum.
+        assert len(by_ph["X"]) == 4
+        assert all(ev["dur"] > 0 for ev in by_ph["X"])
+        # Both swap partners get an instant on their destination track.
+        assert {ev["tid"] for ev in by_ph["i"]} == {0, 4}
+        # Fairness + optimizer counter samples.
+        assert {ev["name"] for ev in by_ph["C"]} == {"fairness", "dike-config"}
+        # Track names for every vcore that ever appeared.
+        names = [ev for ev in by_ph["M"] if ev["name"] == "thread_name"]
+        assert {ev["tid"] for ev in names} == {0, 4}
+
+    def test_nan_fairness_flattens_to_zero(self):
+        sink = ChromeTraceSink()
+        sink.accept(FairnessComputed(
+            quantum=0, time_s=0.5, value=float("nan"), threshold=0.5, fair=True,
+        ))
+        (counter,) = [e for e in sink.trace_document()["traceEvents"] if e["ph"] == "C"]
+        assert counter["args"]["cv"] == 0.0
+
+    def test_export_writes_valid_json(self, tmp_path):
+        path = tmp_path / "chrome.json"
+        sink = self._traced()
+        sink.path = path
+        sink.close()  # close() exports when a path is configured
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+
+    def test_export_without_path_raises(self):
+        with pytest.raises(ValueError, match="no output path"):
+            ChromeTraceSink().export()

@@ -33,6 +33,16 @@ class TestThreadSample:
     def test_zero_accesses_miss_rate(self):
         assert sample(acc=0.0, miss=0.0).miss_rate == 0.0
 
+    def test_miss_rate_clamped_to_one(self):
+        # Multiplicative counter noise can push misses above accesses;
+        # the ratio must stay a ratio.
+        assert sample(acc=1e6, miss=1.2e6).miss_rate == 1.0
+
+    def test_negative_misses_clamped_to_zero(self):
+        s = sample(acc=1e6, miss=-5.0)
+        assert s.miss_rate == 0.0
+        assert s.access_rate == 0.0
+
 
 class TestQuantumCounters:
     def _counters(self) -> QuantumCounters:

@@ -61,6 +61,28 @@ class TestTraceRecorder:
         assert tr.n_quanta_recorded == 0
         assert tr.n_swaps == 1
 
+    def test_max_quanta_keeps_last_window(self):
+        tr = TraceRecorder(max_quanta=3)
+        for q in range(6):
+            t = 0.5 * (q + 1)
+            tr.record_quantum(t, 0.5, 0.1, {1: float(q)}, {1: q})
+        assert tr.n_quanta_recorded == 3
+        t, v = tr.access_rate_series(1)
+        assert np.allclose(t, [2.0, 2.5, 3.0])  # the *last* three quanta
+        assert np.allclose(v, [3.0, 4.0, 5.0])
+        assert list(tr.assignments)[-1] == {1: 5}
+
+    def test_max_quanta_keeps_all_swaps(self):
+        tr = TraceRecorder(max_quanta=1)
+        for q in range(4):
+            tr.record_swap(SwapEvent(0.5 * (q + 1), q, 1, 2, 0, 1))
+        assert tr.n_swaps == 4
+
+    def test_max_quanta_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(max_quanta=0)
+        TraceRecorder(max_quanta=1)  # boundary is legal
+
     def test_swaps_per_quantum_histogram(self):
         tr = TraceRecorder()
         tr.record_swap(SwapEvent(0.5, 0, 1, 2, 0, 1))
