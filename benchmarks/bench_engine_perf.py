@@ -5,45 +5,47 @@ wall-clock cost scales with — for the three policy cost classes: static
 (no decisions), Dike (observe+predict) and DIO (all-pairs churn).  These
 run multiple rounds (they are fast), so pytest-benchmark's statistics are
 meaningful here.
+
+The cases come from `repro.benchmarking` — the same suite ``repro bench``
+times and CI gates on — scaled down so pytest-benchmark's many rounds stay
+cheap.  For the tracked quanta/s numbers, run ``repro bench`` instead.
 """
 
 from __future__ import annotations
 
-from repro.core.dike import dike
-from repro.schedulers.dio import DIOScheduler
-from repro.schedulers.static import StaticScheduler
-from repro.sim.engine import SimulationEngine
-from repro.sim.topology import xeon_e5_heterogeneous
+from dataclasses import replace
+
+from repro.benchmarking import QUICK_SUITE, BenchCase
+from repro.experiments.runner import run_workload
 from repro.workloads.suite import workload
 
-TOPO = xeon_e5_heterogeneous()
-SPEC = workload("wl1")
+#: pytest-benchmark variants: the CI smoke cases at a lighter work scale.
+CASES: dict[str, BenchCase] = {
+    c.policy: replace(c, work_scale=0.02) for c in QUICK_SUITE
+}
 
 
-def run_sim(scheduler_factory) -> int:
-    groups = SPEC.build(seed=1, work_scale=0.02)
-    engine = SimulationEngine(
-        topology=TOPO,
-        groups=groups,
-        scheduler=scheduler_factory(),
-        seed=1,
+def run_sim(case: BenchCase) -> int:
+    result = run_workload(
+        workload(case.workload),
+        case.scheduler_factory()(),
+        seed=case.seed,
+        work_scale=case.work_scale,
         record_timeseries=False,
-        workload_name=SPEC.name,
     )
-    result = engine.run()
     return result.n_quanta
 
 
 def test_engine_throughput_static(benchmark):
-    quanta = benchmark(run_sim, StaticScheduler)
+    quanta = benchmark(run_sim, CASES["static"])
     assert quanta > 0
 
 
 def test_engine_throughput_dike(benchmark):
-    quanta = benchmark(run_sim, dike)
+    quanta = benchmark(run_sim, CASES["dike"])
     assert quanta > 0
 
 
 def test_engine_throughput_dio(benchmark):
-    quanta = benchmark(run_sim, DIOScheduler)
+    quanta = benchmark(run_sim, CASES["dio"])
     assert quanta > 0

@@ -1,0 +1,196 @@
+"""Engine performance benchmarking: the ``repro bench`` harness.
+
+The simulator's wall-clock cost is dominated by the engine's quantum loop,
+so the tracked performance number is **quanta per second** — how many
+scheduling quanta the engine retires per second of host time.  This module
+defines the benchmark suite (workload × policy cases covering the three
+policy cost classes: static, observe+predict, all-pairs churn), the
+measurement protocol, and the regression comparison used by CI.
+
+Protocol
+--------
+Each case is run once to warm caches (allocator pools, NumPy dispatch,
+scheduler state classes), then ``repeats`` times; the **best** run is kept
+— for a deterministic single-process workload the minimum wall time is the
+least-noise estimate of the code's cost.  Runs use the zero-observer
+configuration (no trace recording, no event sinks) that the large
+parameter sweeps use, which is exactly the engine's fast path.
+
+The JSON report (``BENCH_engine.json`` at the repo root) carries the
+current results plus an optional ``reference`` block preserving the
+numbers of an earlier engine for before/after comparison.  CI re-runs the
+quick suite and fails when a case regresses more than 30 % against the
+committed results (see :func:`compare`).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "BenchCase",
+    "FULL_SUITE",
+    "QUICK_SUITE",
+    "run_case",
+    "run_suite",
+    "compare",
+    "write_report",
+    "load_report",
+    "DEFAULT_THRESHOLD",
+]
+
+#: Relative quanta/s drop beyond which CI fails the perf-smoke job.
+DEFAULT_THRESHOLD = 0.30
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark point: a workload under a policy at a fixed scale.
+
+    ``name`` keys the results dict and must stay stable across engine
+    versions — regression comparison matches cases by name.
+    """
+
+    name: str
+    workload: str
+    policy: str
+    work_scale: float = 0.3
+    seed: int = 1
+
+    def scheduler_factory(self) -> Callable:
+        from repro.experiments.runner import STANDARD_POLICIES
+        from repro.schedulers.static import StaticScheduler
+
+        if self.policy == "static":
+            return StaticScheduler
+        return STANDARD_POLICIES[self.policy]
+
+
+def _suite(workloads: Sequence[str], policies: Sequence[str]) -> tuple[BenchCase, ...]:
+    return tuple(
+        BenchCase(name=f"{wl}/{p}", workload=wl, policy=p)
+        for wl in workloads
+        for p in policies
+    )
+
+
+#: Full tracked suite: the 40-thread Table II workload (wl1), a UM-heavy
+#: mix (wl7) and a UC-heavy mix (wl12), each under the three policy cost
+#: classes plus CFS.
+FULL_SUITE: tuple[BenchCase, ...] = _suite(
+    ("wl1", "wl7", "wl12"), ("static", "cfs", "dike", "dio")
+)
+
+#: CI smoke subset: the 40-thread workload only (the acceptance target).
+QUICK_SUITE: tuple[BenchCase, ...] = _suite(
+    ("wl1",), ("static", "cfs", "dike", "dio")
+)
+
+
+def run_case(case: BenchCase, repeats: int = 3) -> dict:
+    """Measure one case; returns quanta/s, quanta count and wall seconds."""
+    from repro.experiments.runner import run_workload
+    from repro.workloads.suite import workload
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    spec = workload(case.workload)
+    factory = case.scheduler_factory()
+
+    def once() -> tuple[float, int]:
+        t0 = time.perf_counter()
+        result = run_workload(
+            spec,
+            factory(),
+            seed=case.seed,
+            work_scale=case.work_scale,
+            record_timeseries=False,
+        )
+        return time.perf_counter() - t0, result.n_quanta
+
+    once()  # warm-up: import costs, allocator pools, scheduler setup
+    best_wall, n_quanta = min(once() for _ in range(repeats))
+    return {
+        "quanta_per_s": round(n_quanta / best_wall, 1),
+        "n_quanta": n_quanta,
+        "wall_s": round(best_wall, 4),
+    }
+
+
+def run_suite(
+    cases: Sequence[BenchCase] = FULL_SUITE,
+    repeats: int = 3,
+    progress: Callable[[str, dict], None] | None = None,
+) -> dict[str, dict]:
+    """Run every case; ``progress`` is called after each with (name, result)."""
+    results: dict[str, dict] = {}
+    for case in cases:
+        results[case.name] = run_case(case, repeats=repeats)
+        if progress is not None:
+            progress(case.name, results[case.name])
+    return results
+
+
+def compare(
+    current: Mapping[str, dict],
+    baseline: Mapping[str, dict],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Regression messages for cases slower than ``baseline`` by > threshold.
+
+    Cases present on only one side are ignored (suites may evolve); the
+    check is one-sided — getting faster never fails.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    regressions = []
+    for name in sorted(set(current) & set(baseline)):
+        cur = float(current[name]["quanta_per_s"])
+        base = float(baseline[name]["quanta_per_s"])
+        if base <= 0.0:
+            continue
+        if cur < base * (1.0 - threshold):
+            drop = 100.0 * (1.0 - cur / base)
+            regressions.append(
+                f"{name}: {cur:.0f} quanta/s vs baseline {base:.0f} "
+                f"(-{drop:.0f}%, threshold -{threshold * 100:.0f}%)"
+            )
+    return regressions
+
+
+def write_report(
+    path: str | Path,
+    results: Mapping[str, dict],
+    repeats: int,
+    reference: Mapping | None = None,
+) -> None:
+    """Write the benchmark report JSON (stable key order, no timestamps)."""
+    report: dict = {
+        "schema": 1,
+        "protocol": {
+            "metric": "quanta_per_s (best of repeats, after one warm-up run)",
+            "repeats": repeats,
+            "record_timeseries": False,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "results": {k: dict(results[k]) for k in sorted(results)},
+    }
+    if reference is not None:
+        report["reference"] = dict(reference)
+    Path(path).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+
+
+def load_report(path: str | Path) -> dict:
+    """Load a report; accepts either the full schema or a bare results map."""
+    data = json.loads(Path(path).read_text())
+    if "results" not in data:
+        data = {"schema": 0, "results": data}
+    return data

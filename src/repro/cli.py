@@ -27,6 +27,11 @@ Subcommands
 ``trace-diff <a.jsonl> <b.jsonl>``
     Align two traces quantum-by-quantum and report the first divergent
     decision (exit 1 on divergence) — the determinism debugging tool.
+``bench [--quick] [--out B.json] [--baseline B.json] [--threshold F]``
+    Measure engine throughput (quanta/second) over the tracked benchmark
+    suite (`repro.benchmarking`).  With ``--baseline`` the run fails
+    (exit 1) if any case regresses beyond the threshold — the CI
+    perf-smoke gate against the committed ``BENCH_engine.json``.
 
 ``run``, ``report`` and ``all`` also accept ``--workers``/``--cache-dir``
 to route their simulations through a shared campaign.
@@ -38,6 +43,7 @@ import argparse
 import sys
 import time
 from dataclasses import replace
+from pathlib import Path
 
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 from repro.experiments.runner import run_policies
@@ -136,6 +142,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_td.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation while loading",
+    )
+
+    p_bench = sub.add_parser(
+        "bench", help="engine throughput benchmark + regression check"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="run only the CI smoke subset (the 40-thread workload)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timed runs per case, best kept (default: 3)",
+    )
+    p_bench.add_argument(
+        "--out", default=None,
+        help="write the JSON report to this path (e.g. BENCH_engine.json)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None,
+        help="compare against this report and exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative quanta/s drop that counts as a regression "
+             "(default: 0.30)",
     )
 
     p_camp = sub.add_parser(
@@ -442,6 +473,70 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0 if diff.identical else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.benchmarking import (
+        DEFAULT_THRESHOLD,
+        FULL_SUITE,
+        QUICK_SUITE,
+        compare,
+        load_report,
+        run_suite,
+        write_report,
+    )
+
+    cases = QUICK_SUITE if args.quick else FULL_SUITE
+    baseline = load_report(args.baseline) if args.baseline else None
+    base_results = baseline["results"] if baseline else {}
+
+    t0 = time.perf_counter()
+    rows = []
+
+    def progress(name: str, r: dict) -> None:
+        delta = ""
+        if name in base_results:
+            base = float(base_results[name]["quanta_per_s"])
+            if base > 0:
+                delta = f"{100.0 * (r['quanta_per_s'] / base - 1.0):+.0f}%"
+        rows.append(
+            [name, r["quanta_per_s"], r["n_quanta"], r["wall_s"], delta]
+        )
+        print(f"  {name}: {r['quanta_per_s']:.0f} quanta/s", file=sys.stderr)
+
+    results = run_suite(cases, repeats=args.repeats, progress=progress)
+    print(
+        format_table(
+            ["case", "quanta/s", "quanta", "wall(s)", "vs baseline"],
+            rows,
+            title=f"engine throughput ({len(cases)} cases, "
+                  f"best of {args.repeats})",
+        )
+    )
+    print(f"[bench completed in {time.perf_counter() - t0:.1f}s]")
+
+    if args.out:
+        # Preserve the committed report's reference block (the pre-refactor
+        # numbers) when overwriting it in place.
+        reference = baseline.get("reference") if baseline else None
+        if reference is None and Path(args.out).exists():
+            reference = load_report(args.out).get("reference")
+        write_report(args.out, results, repeats=args.repeats, reference=reference)
+        print(f"report -> {args.out}")
+
+    if baseline is not None:
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        regressions = compare(results, base_results, threshold=threshold)
+        if regressions:
+            print(f"{len(regressions)} perf regression(s):", file=sys.stderr)
+            for r in regressions:
+                print(f"  {r}", file=sys.stderr)
+            return 1
+        print(f"no regressions beyond {threshold * 100:.0f}% "
+              f"({len(set(results) & set(base_results))} cases compared)")
+    return 0
+
+
 def _cmd_all(scale: float, seed: int, campaign=None) -> int:
     for exp_id in EXPERIMENTS:
         _cmd_run(exp_id, scale, seed, campaign=campaign)
@@ -582,6 +677,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_trace(args)
     if args.command == "trace-diff":
         return _cmd_trace_diff(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

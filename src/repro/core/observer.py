@@ -41,6 +41,7 @@ process/tgid of each thread.)
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -178,7 +179,7 @@ class Observer:
             if classification[s.tid] == "M" and s.instructions > 0.0:
                 probe = float(bw[s.vcore])
                 self._core_bw[s.vcore].update(probe)
-                if not np.isfinite(self._best_probe) or probe > self._best_probe:
+                if not math.isfinite(self._best_probe) or probe > self._best_probe:
                     self._best_probe = probe
 
         core_bw = {v: self.core_bw_value(v) for v in range(self.n_vcores)}
@@ -228,7 +229,7 @@ class Observer:
     def core_bw_value(self, vcore: int) -> float:
         """CoreBW estimate: probed moving mean, else the optimistic prior."""
         value = self._core_bw[vcore].value
-        if np.isfinite(value):
+        if math.isfinite(value):
             return value
         return self._best_probe  # nan before any probe anywhere
 
@@ -256,7 +257,7 @@ class Observer:
                 continue
             weight = sum(rates) / total
             cv = coefficient_of_variation(rates)
-            if np.isfinite(cv):
+            if math.isfinite(cv):
                 signal += weight * cv
         return signal
 
@@ -266,19 +267,27 @@ class Observer:
         Unprobed (optimistic) cores sit at the best probed value, so they
         land in the high half and attract exploration.
         """
-        values = np.array([core_bw[v] for v in range(self.n_vcores)])
-        finite = values[np.isfinite(values)]
-        if finite.size == 0:
+        finite = sorted(
+            bw for bw in core_bw.values() if not math.isnan(bw) and not math.isinf(bw)
+        )
+        if not finite:
             return frozenset()
-        median = float(np.median(finite))
-        vmin = float(finite.min())
+        # Exact median of the sorted finite values (middle element, or the
+        # mean of the two middles) — equals np.median bit-for-bit without
+        # the array round-trip, which is measurable at one call per quantum.
+        mid = len(finite) // 2
+        if len(finite) % 2:
+            median = finite[mid]
+        else:
+            median = (finite[mid - 1] + finite[mid]) / 2.0
+        vmin = finite[0]
         # ">= median and > min" keeps the split meaningful when estimates
         # tie at the top (e.g. many optimistically-initialised cores) and
         # returns the empty set when every core looks identical.
         return frozenset(
             v
-            for v in range(self.n_vcores)
-            if np.isfinite(core_bw[v])
-            and core_bw[v] >= median
-            and core_bw[v] > vmin
+            for v, bw in core_bw.items()
+            if not math.isnan(bw) and not math.isinf(bw)
+            and bw >= median
+            and bw > vmin
         )

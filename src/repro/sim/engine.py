@@ -15,8 +15,16 @@ shared heterogeneous machine in discrete scheduling quanta.  Per quantum it
    optional measurement noise) to the scheduler,
 7. applies the scheduler's migration actions with their costs.
 
-The per-quantum math is vectorised across threads per the hpc-parallel
-guides — the Python-level loop runs once per quantum, not per thread-event.
+All mutable per-thread state lives in a persistent structure-of-arrays
+:class:`~repro.sim.state.SimState` that is updated incrementally — on
+arrivals, migrations, barrier waits, suspensions and completions — so a
+quantum is a fixed set of vectorised array operations with no per-thread
+Python object traffic.  Actions address threads by tid, which *is* the
+array index, so applying them needs no lookup table at all.  When neither
+the trace recorder nor the event bus is active, the quantum loop also
+skips building the per-quantum assignment and access-rate dictionaries
+(the zero-observer fast path).  The :class:`~repro.sim.thread.SimThread`
+objects are synced from the arrays once, when the run ends.
 """
 
 from __future__ import annotations
@@ -49,6 +57,7 @@ from repro.sim.migration import MigrationModel
 from repro.sim.process import ProcessGroup
 from repro.sim.results import BenchmarkResult, RunResult
 from repro.sim.smt import smt_cycle_rates
+from repro.sim.state import SimState
 from repro.sim.thread import SimThread
 from repro.sim.topology import Topology
 from repro.sim.trace import SwapEvent, TraceRecorder
@@ -136,15 +145,17 @@ class SimulationEngine:
 
         self.bus = bus if bus is not None else NULL_BUS
         self.metrics = self.bus.metrics
+        self.memory.metrics = self.metrics
         self.trace = TraceRecorder(record_timeseries=record_timeseries)
         self._noise_rng = make_rng(self.seed, "engine", "counter-noise")
+        #: the persistent structure-of-arrays state — the single source of
+        #: truth for all mutable per-thread quantities during the run
+        self.state = SimState(self.threads, topology)
         self.time_s = 0.0
         self.quantum_index = 0
         self.migration_count = 0
         self.swap_count = 0
         self.suspension_count = 0
-        #: tid -> quanta of suspension remaining
-        self._suspended: dict[int, int] = {}
         self.truncated = False
 
     # ------------------------------------------------------------------ setup
@@ -172,7 +183,7 @@ class SimulationEngine:
                 0 <= vcore < self.topology.n_vcores,
                 f"placement of tid {t.tid} onto invalid vcore {vcore}",
             )
-            t.vcore = vcore
+            self.state.place(t.tid, vcore)
 
     def _place_arrivals(self) -> None:
         """Wake newly arrived groups onto the least-crowded cores.
@@ -180,7 +191,9 @@ class SimulationEngine:
         Mirrors OS wake-time placement: prefer completely idle physical
         cores (fastest first), then idle virtual cores, then the least
         loaded virtual cores.  The scheduler takes over from the next
-        quantum boundary.
+        quantum boundary.  Per-vcore occupancy is maintained incrementally
+        by :class:`SimState` (on place/migrate/finish), so arrival handling
+        never rescans the thread population.
         """
         arrivals = [
             g
@@ -189,18 +202,14 @@ class SimulationEngine:
         ]
         if not arrivals:
             return
-        occupied: dict[int, int] = {}
-        for t in self.threads:
-            if t.vcore >= 0 and not t.finished:
-                occupied[t.vcore] = occupied.get(t.vcore, 0) + 1
+        occupied = self.state.occupancy  # updated in place by state.place()
         phys_load = np.zeros(self.topology.n_physical_cores, dtype=np.int64)
-        for v, n in occupied.items():
-            phys_load[self.topology.vcore_physical[v]] += n
+        np.add.at(phys_load, self.topology.vcore_physical, occupied)
 
         def placement_key(vc) -> tuple:
             return (
-                occupied.get(vc.vcore_id, 0),            # idle vcores first
-                phys_load[vc.physical_id],               # idle phys cores first
+                int(occupied[vc.vcore_id]),              # idle vcores first
+                int(phys_load[vc.physical_id]),          # idle phys cores first
                 -vc.freq_hz,                             # fastest first
                 vc.vcore_id,
             )
@@ -208,8 +217,7 @@ class SimulationEngine:
         for g in arrivals:
             for t in g.threads:
                 target = min(self.topology.vcores, key=placement_key)
-                t.vcore = target.vcore_id
-                occupied[target.vcore_id] = occupied.get(target.vcore_id, 0) + 1
+                self.state.place(t.tid, target.vcore_id)
                 phys_load[target.physical_id] += 1
             g.placed = True
             if self.bus.enabled:
@@ -219,7 +227,9 @@ class SimulationEngine:
                         time_s=self.time_s,
                         group=g.group_id,
                         tids=tuple(t.tid for t in g.threads),
-                        vcores=tuple(t.vcore for t in g.threads),
+                        vcores=tuple(
+                            int(self.state.vcore[t.tid]) for t in g.threads
+                        ),
                     )
                 )
 
@@ -234,29 +244,23 @@ class SimulationEngine:
             if g.arrival_s <= 0.0:
                 g.placed = True
 
-        while not all(g.finished for g in self.groups):
+        while not self.state.all_finished():
             if self.time_s >= self.max_time_s:
                 self.truncated = True
                 break
             qlen = float(self.scheduler.quantum_length_s())
             require(qlen > 0.0, f"scheduler returned non-positive quantum {qlen}")
             counters = self._execute_quantum(qlen)
-            for g in self.groups:
-                g.release_ready_barriers()
+            self.state.release_ready_barriers()
             # Groups whose arrival time passed during the quantum wake now,
             # before the scheduler decides, so it sees them placed.
             self._place_arrivals()
-            placement = {
-                t.tid: t.vcore
-                for g in self.groups
-                if g.arrival_s <= self.time_s
-                for t in g.threads
-                if not t.finished
-            }
+            placement = self.state.live_placement()
             if placement:
                 actions = self.scheduler.decide(counters, placement)
                 self._apply_actions(actions, placement)
 
+        self.state.sync_threads()
         return self._build_result()
 
     @timed("engine.quantum_s")
@@ -270,28 +274,24 @@ class SimulationEngine:
                     quantum_length_s=qlen,
                 )
             )
-        arrived_groups = [g for g in self.groups if g.arrival_s <= self.time_s]
-        live = [t for g in arrived_groups for t in g.threads if not t.finished]
-        runnable = [
-            t for t in live if t.runnable and t.tid not in self._suspended
-        ]
+        st = self.state
+        idx = st.runnable_indices()
+        # The observer's view covers every thread alive at quantum *start*
+        # (threads finishing mid-quantum still appear in its last sample),
+        # so snapshot the live set before progress is applied.  Skipped on
+        # the zero-observer fast path.
+        observing = self.trace.record_timeseries or self.bus.enabled
+        live_idx = np.flatnonzero(st.live_mask()) if observing else None
 
         samples: list[ThreadSample] = []
         core_bw = np.zeros(self.topology.n_vcores, dtype=np.float64)
 
-        if runnable:
-            n = len(runnable)
-            vcore_of = np.array([t.vcore for t in runnable], dtype=np.int64)
-            cpi = np.empty(n)
-            api = np.empty(n)
-            miss_ratio = np.empty(n)
-            warmup_left = np.empty(n)
-            for i, t in enumerate(runnable):
-                seg = t.current_segment()
-                cpi[i] = seg.cpi
-                api[i] = seg.api
-                miss_ratio[i] = seg.miss_ratio
-                warmup_left[i] = t.warmup_work_left
+        if idx.size:
+            vcore_of = st.vcore[idx]
+            cpi = st.cpi[idx]
+            api = st.api[idx]
+            miss_ratio = st.miss_ratio[idx]
+            warmup_left = st.warmup_left[idx]
 
             # Memory-stall fraction at the uncontended stall cost, used by
             # the SMT model (a stalled sibling frees issue slots).
@@ -304,6 +304,7 @@ class SimulationEngine:
                 self.topology.vcore_freq_hz,
                 self.smt_efficiency,
                 stall_fraction=stall_frac,
+                n_physical=self.topology.n_physical_cores,
             )
 
             # Post-migration cache warm-up: the miss-ratio inflation only
@@ -324,40 +325,54 @@ class SimulationEngine:
             socket_of = self.topology.vcore_socket[vcore_of]
             access_rate, ips = self.memory.solve(cycle_rate, cpi, mpi, socket_of)
 
-            penalties = np.array(
-                [t.pending_migration_penalty for t in runnable], dtype=np.float64
-            )
-            eff_time = np.clip(qlen - penalties, 0.0, None)
+            penalties = st.pending_penalty[idx]
+            eff_time = np.maximum(qlen - penalties, 0.0)
             work = ips * eff_time
 
+            # Sub-quantum-accurate finish stamps: where this quantum's work
+            # overshoots the remaining work (and no barrier intervenes),
+            # interpolate the finish time inside the quantum.
             end_time = self.time_s + qlen
-            for i, t in enumerate(runnable):
-                # Sub-quantum-accurate finish stamp: if this quantum's work
-                # overshoots the remaining work, interpolate the finish time.
-                remaining = t.remaining_work
-                if work[i] >= remaining > 0.0 and ips[i] > 0.0:
-                    barrier_at = t.next_barrier_work
-                    if barrier_at >= t.total_work:
-                        finish_at = (
-                            self.time_s + penalties[i] + remaining / ips[i]
-                        )
-                        t.advance(work[i], finish_at)
-                    else:
-                        t.advance(work[i], end_time)
-                else:
-                    t.advance(work[i], end_time)
-                t.consume_quantum(qlen, work[i])
+            remaining = np.maximum(st.total_work[idx] - st.work_done[idx], 0.0)
+            interp = (
+                (work >= remaining)
+                & (remaining > 0.0)
+                & (ips > 0.0)
+                & (st.next_barrier[idx] >= st.total_work[idx])
+            )
+            if interp.any():
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    finish_at = self.time_s + penalties + remaining / ips
+                now = np.where(interp, finish_at, end_time)
+            else:
+                now = np.full(idx.size, end_time)
+            st.advance(idx, work, now)
+            st.consume_quantum(idx, work)
+            st.refresh_segments(idx)
 
-                rate = float(access_rate[i])
-                core_bw[t.vcore] += rate
-                noise = self._sample_noise()
+            core_bw = np.bincount(
+                vcore_of, weights=access_rate, minlength=self.topology.n_vcores
+            )
+            if self.counter_noise > 0.0:
+                noise = np.clip(
+                    self._noise_rng.normal(
+                        1.0, self.counter_noise, size=idx.size
+                    ),
+                    0.5,
+                    1.5,
+                )
+            else:
+                noise = np.ones(idx.size)
+            llc_accesses = api * work
+            llc_misses = access_rate * eff_time * noise
+            for i, tid in enumerate(idx.tolist()):
                 samples.append(
                     ThreadSample(
-                        tid=t.tid,
-                        vcore=t.vcore,
+                        tid=tid,
+                        vcore=int(vcore_of[i]),
                         instructions=float(work[i]),
-                        llc_accesses=float(api[i] * work[i]),
-                        llc_misses=float(rate * eff_time[i] * noise),
+                        llc_accesses=float(llc_accesses[i]),
+                        llc_misses=float(llc_misses[i]),
                         runtime_s=float(eff_time[i]) if eff_time[i] > 0 else qlen,
                     )
                 )
@@ -365,13 +380,14 @@ class SimulationEngine:
         # Barrier-waiting and suspended threads appear in the sample with
         # zero activity — a real perf window would show them idle, and
         # schedulers must cope.
-        for t in live:
-            if (t.runnable and t.tid not in self._suspended) or t.finished:
-                continue
+        idle = np.flatnonzero(
+            st.arrived & ~st.finished & (st.waiting | (st.suspend_left > 0))
+        )
+        for tid in idle.tolist():
             samples.append(
                 ThreadSample(
-                    tid=t.tid,
-                    vcore=t.vcore,
+                    tid=tid,
+                    vcore=int(st.vcore[tid]),
                     instructions=0.0,
                     llc_accesses=0.0,
                     llc_misses=0.0,
@@ -380,10 +396,7 @@ class SimulationEngine:
             )
 
         # Tick down suspensions at the quantum boundary.
-        for tid in list(self._suspended):
-            self._suspended[tid] -= 1
-            if self._suspended[tid] <= 0:
-                del self._suspended[tid]
+        st.tick_suspensions()
 
         self.time_s += qlen
         counters = QuantumCounters(
@@ -393,32 +406,32 @@ class SimulationEngine:
             samples=tuple(samples),
             core_bandwidth=core_bw,
         )
-        assignments = {t.tid: t.vcore for t in live}
-        self.trace.record_quantum(
-            self.time_s,
-            qlen,
-            self.memory.last_utilization,
-            counters.access_rates(),
-            assignments,
-        )
-        if self.bus.enabled:
-            self.bus.emit(
-                QuantumEnd(
-                    quantum=self.quantum_index,
-                    time_s=self.time_s,
-                    assignments=assignments,
-                    access_rates=counters.access_rates(),
-                )
+        # Zero-observer fast path: with no trace recording and no event
+        # sinks, skip materialising the per-quantum dictionaries entirely.
+        if observing:
+            assert live_idx is not None
+            assignments = dict(
+                zip(live_idx.tolist(), st.vcore[live_idx].tolist())
             )
+            access_rates = counters.access_rates()
+            self.trace.record_quantum(
+                self.time_s,
+                qlen,
+                self.memory.last_utilization,
+                access_rates,
+                assignments,
+            )
+            if self.bus.enabled:
+                self.bus.emit(
+                    QuantumEnd(
+                        quantum=self.quantum_index,
+                        time_s=self.time_s,
+                        assignments=assignments,
+                        access_rates=access_rates,
+                    )
+                )
         self.quantum_index += 1
         return counters
-
-    def _sample_noise(self) -> float:
-        if self.counter_noise <= 0.0:
-            return 1.0
-        return float(
-            np.clip(self._noise_rng.normal(1.0, self.counter_noise), 0.5, 1.5)
-        )
 
     # --------------------------------------------------------------- actions
 
@@ -426,43 +439,43 @@ class SimulationEngine:
     def _apply_actions(
         self, actions: Sequence[Action], placement: dict[int, int]
     ) -> None:
-        by_tid = {t.tid: t for t in self.threads}
+        st = self.state
+        n = st.n
         touched: set[int] = set()
         for action in actions:
             if isinstance(action, Swap):
-                ta = by_tid.get(action.tid_a)
-                tb = by_tid.get(action.tid_b)
+                a, b = action.tid_a, action.tid_b
                 require(
-                    ta is not None and tb is not None,
+                    0 <= a < n and 0 <= b < n,
                     f"swap references unknown thread: {action}",
                 )
-                assert ta is not None and tb is not None
                 require(
-                    not ta.finished and not tb.finished,
+                    not st.finished[a] and not st.finished[b],
                     f"swap references finished thread: {action}",
                 )
                 require(
-                    ta.tid not in touched and tb.tid not in touched,
+                    a not in touched and b not in touched,
                     f"thread migrated twice in one quantum: {action}",
                 )
-                va, vb = ta.vcore, tb.vcore
-                ta.migrate_to(
-                    vb, self.migration.swap_overhead_s, self.migration.warmup_work
+                va = int(st.vcore[a])
+                vb = int(st.vcore[b])
+                st.migrate(
+                    a, vb, self.migration.swap_overhead_s, self.migration.warmup_work
                 )
-                tb.migrate_to(
-                    va, self.migration.swap_overhead_s, self.migration.warmup_work
+                st.migrate(
+                    b, va, self.migration.swap_overhead_s, self.migration.warmup_work
                 )
-                touched.update((ta.tid, tb.tid))
+                touched.update((a, b))
                 self.migration_count += 2
                 self.swap_count += 1
                 self.trace.record_swap(
                     SwapEvent(
                         time_s=self.time_s,
                         quantum_index=self.quantum_index - 1,
-                        tid_a=ta.tid,
-                        tid_b=tb.tid,
-                        vcore_a=ta.vcore,
-                        vcore_b=tb.vcore,
+                        tid_a=a,
+                        tid_b=b,
+                        vcore_a=vb,
+                        vcore_b=va,
                     )
                 )
                 if self.bus.enabled:
@@ -470,43 +483,48 @@ class SimulationEngine:
                         SwapExecuted(
                             quantum=self.quantum_index - 1,
                             time_s=self.time_s,
-                            tid_a=ta.tid,
-                            tid_b=tb.tid,
-                            vcore_a=ta.vcore,
-                            vcore_b=tb.vcore,
+                            tid_a=a,
+                            tid_b=b,
+                            vcore_a=vb,
+                            vcore_b=va,
                         )
                     )
             elif isinstance(action, Move):
-                t = by_tid.get(action.tid)
-                require(t is not None, f"move references unknown thread: {action}")
-                assert t is not None
-                require(not t.finished, f"move references finished thread: {action}")
+                tid = action.tid
+                require(
+                    0 <= tid < n, f"move references unknown thread: {action}"
+                )
+                require(
+                    not st.finished[tid],
+                    f"move references finished thread: {action}",
+                )
                 require(
                     0 <= action.vcore < self.topology.n_vcores,
                     f"move to invalid vcore: {action}",
                 )
                 require(
-                    t.tid not in touched,
+                    tid not in touched,
                     f"thread migrated twice in one quantum: {action}",
                 )
-                if action.vcore != t.vcore:
-                    t.migrate_to(
+                if action.vcore != st.vcore[tid]:
+                    st.migrate(
+                        tid,
                         action.vcore,
                         self.migration.swap_overhead_s,
                         self.migration.warmup_work,
                     )
-                    touched.add(t.tid)
+                    touched.add(tid)
                     self.migration_count += 1
             elif isinstance(action, Suspend):
-                t = by_tid.get(action.tid)
-                require(t is not None, f"suspend references unknown thread: {action}")
-                assert t is not None
+                tid = action.tid
                 require(
-                    not t.finished, f"suspend references finished thread: {action}"
+                    0 <= tid < n, f"suspend references unknown thread: {action}"
                 )
-                self._suspended[t.tid] = max(
-                    self._suspended.get(t.tid, 0), action.quanta
+                require(
+                    not st.finished[tid],
+                    f"suspend references finished thread: {action}",
                 )
+                st.suspend(tid, action.quanta)
                 self.suspension_count += 1
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown action type: {action!r}")

@@ -84,10 +84,46 @@ class PhaseTrace:
         bounds = np.cumsum([s.work for s in segments])
         self._bounds = bounds
         self._bounds.setflags(write=False)
+        # Dense per-segment parameter arrays for the engine's
+        # structure-of-arrays gather (`repro.sim.state`): one fancy-indexed
+        # read replaces a Python attribute walk per thread per quantum.
+        self._works = np.array([s.work for s in segments], dtype=np.float64)
+        self._cpis = np.array([s.cpi for s in segments], dtype=np.float64)
+        self._apis = np.array([s.api for s in segments], dtype=np.float64)
+        self._miss_ratios = np.array(
+            [s.miss_ratio for s in segments], dtype=np.float64
+        )
+        for arr in (self._works, self._cpis, self._apis, self._miss_ratios):
+            arr.setflags(write=False)
 
     @property
     def segments(self) -> tuple[PhaseSegment, ...]:
         return self._segments
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Cumulative work position of each segment's end (read-only)."""
+        return self._bounds
+
+    @property
+    def seg_works(self) -> np.ndarray:
+        """Per-segment ``work`` spans, aligned with :attr:`bounds`."""
+        return self._works
+
+    @property
+    def seg_cpis(self) -> np.ndarray:
+        """Per-segment ``cpi`` values, aligned with :attr:`bounds`."""
+        return self._cpis
+
+    @property
+    def seg_apis(self) -> np.ndarray:
+        """Per-segment ``api`` values, aligned with :attr:`bounds`."""
+        return self._apis
+
+    @property
+    def seg_miss_ratios(self) -> np.ndarray:
+        """Per-segment ``miss_ratio`` values, aligned with :attr:`bounds`."""
+        return self._miss_ratios
 
     @property
     def total_work(self) -> float:
@@ -223,20 +259,24 @@ def perturbed(
     """
     check_fraction(work_jitter, "work_jitter")
     check_fraction(rate_jitter, "rate_jitter")
-    segments = []
-    for seg in trace.segments:
-        segments.append(
-            PhaseSegment(
-                work=seg.work * float(1.0 + rng.uniform(-work_jitter, work_jitter)),
-                cpi=seg.cpi * float(1.0 + rng.uniform(-rate_jitter, rate_jitter)),
-                api=seg.api * float(1.0 + rng.uniform(-rate_jitter, rate_jitter)),
-                miss_ratio=float(
-                    np.clip(
-                        seg.miss_ratio * (1.0 + rng.uniform(-rate_jitter, rate_jitter)),
-                        0.0,
-                        1.0,
-                    )
-                ),
+    # One batched draw replaces four scalar RNG calls per segment; the
+    # unit draws are scaled exactly as ``Generator.uniform`` scales them
+    # (``low + (high - low) * u``), so the output is bit-identical to the
+    # per-segment formulation while building long traces ~10x faster.
+    n = trace.n_segments
+    u = rng.random((n, 4))
+    wj, rj = work_jitter, rate_jitter
+    works = trace.seg_works * (1.0 + (-wj + 2.0 * wj * u[:, 0]))
+    cpis = trace.seg_cpis * (1.0 + (-rj + 2.0 * rj * u[:, 1]))
+    apis = trace.seg_apis * (1.0 + (-rj + 2.0 * rj * u[:, 2]))
+    misses = np.clip(
+        trace.seg_miss_ratios * (1.0 + (-rj + 2.0 * rj * u[:, 3])), 0.0, 1.0
+    )
+    return PhaseTrace(
+        [
+            PhaseSegment(work=w, cpi=c, api=a, miss_ratio=m)
+            for w, c, a, m in zip(
+                works.tolist(), cpis.tolist(), apis.tolist(), misses.tolist()
             )
-        )
-    return PhaseTrace(segments)
+        ]
+    )

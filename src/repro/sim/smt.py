@@ -39,6 +39,7 @@ def smt_cycle_rates(
     smt_efficiency: float = 0.70,
     stall_fraction: np.ndarray | None = None,
     smt_stall_bonus: float = 0.25,
+    n_physical: int | None = None,
 ) -> np.ndarray:
     """Cycles/second each runnable thread receives after SMT sharing.
 
@@ -61,6 +62,10 @@ def smt_cycle_rates(
         ``smt_stall_bonus * mean(stall of co-resident siblings)``.
     smt_stall_bonus:
         Maximum share recovered from a fully memory-stalled sibling.
+    n_physical:
+        Number of physical cores, when the caller already knows it (the
+        engine passes the topology's count so the per-quantum hot path
+        skips the ``vcore_physical.max()`` scan).
 
     Returns
     -------
@@ -79,7 +84,9 @@ def smt_cycle_rates(
     vcore_load = np.bincount(vcore_of, minlength=vcore_physical.size)
     # Busy virtual cores per physical core (SMT sharing).
     busy_vcore = vcore_load > 0
-    n_phys = int(vcore_physical.max()) + 1
+    n_phys = (
+        int(vcore_physical.max()) + 1 if n_physical is None else int(n_physical)
+    )
     phys_busy = np.bincount(vcore_physical[busy_vcore], minlength=n_phys)
 
     freq = vcore_freq_hz[vcore_of]

@@ -1,0 +1,306 @@
+"""Persistent structure-of-arrays simulation state.
+
+:class:`SimState` is the engine's hot-path data structure: every mutable
+per-thread quantity (placement, progress, warm-up, penalties, lifecycle
+masks) and every per-thread phase parameter lives in a preallocated NumPy
+array indexed by tid.  The arrays are updated **incrementally** — on
+arrivals, migrations, suspensions, barrier waits and completions — instead
+of being re-derived from :class:`~repro.sim.thread.SimThread` objects each
+quantum, so a quantum's physics is a handful of vectorised operations over
+dense arrays.
+
+Phase parameters are cached per thread (``cpi``/``api``/``miss_ratio`` of
+the *current* segment) together with the work position at which the cached
+segment ends; the cache is refreshed only for threads that actually cross
+a segment boundary, replacing a per-thread binary search per quantum with
+a rare, targeted update.
+
+The :class:`~repro.sim.thread.SimThread` objects remain the construction
+interface and the final-state record (their mutable fields are synced back
+when the run ends, see :meth:`SimState.sync_threads`), but during the run
+the arrays are the single source of truth — including barrier group
+release, which mirrors :meth:`repro.sim.process.ProcessGroup.release_ready_barriers`
+semantics exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.thread import SimThread, ThreadState
+from repro.sim.topology import Topology
+
+__all__ = ["SimState"]
+
+
+class SimState:
+    """Dense per-thread state arrays for one simulation run.
+
+    Parameters
+    ----------
+    threads:
+        All threads, sorted by tid (tids must be dense from 0 — the
+        engine validates this).
+    topology:
+        The machine; only sizes and the vcore->physical map are used.
+    """
+
+    def __init__(self, threads: list[SimThread], topology: Topology) -> None:
+        n = len(threads)
+        self.n = n
+        self.threads = threads
+        self.topology = topology
+
+        # --- static per-thread data ------------------------------------
+        self.total_work = np.array([t.total_work for t in threads])
+        self.group_of = np.array([t.group for t in threads], dtype=np.int64)
+
+        # Flattened per-segment tables over all traces (ragged layout:
+        # thread ``i``'s segments live at ``seg_offset[i] : seg_offset[i] +
+        # seg_count[i]``).
+        self.seg_count = np.array(
+            [t.trace.n_segments for t in threads], dtype=np.int64
+        )
+        self.seg_offset = np.zeros(n, dtype=np.int64)
+        np.cumsum(self.seg_count[:-1], out=self.seg_offset[1:])
+        self.seg_bounds = np.concatenate([t.trace.bounds for t in threads])
+        self.seg_cpi = np.concatenate([t.trace.seg_cpis for t in threads])
+        self.seg_api = np.concatenate([t.trace.seg_apis for t in threads])
+        self.seg_miss = np.concatenate(
+            [t.trace.seg_miss_ratios for t in threads]
+        )
+
+        # Barrier work positions, flattened the same way.  Positions use
+        # the same expression as ``SimThread.next_barrier_work``
+        # (``fraction * total_work``) so crossings resolve identically.
+        self.bar_count = np.array(
+            [len(t.barrier_fractions) for t in threads], dtype=np.int64
+        )
+        self.bar_offset = np.zeros(n, dtype=np.int64)
+        np.cumsum(self.bar_count[:-1], out=self.bar_offset[1:])
+        self.bar_positions = np.array(
+            [
+                f * t.total_work
+                for t in threads
+                for f in t.barrier_fractions
+            ],
+            dtype=np.float64,
+        )
+
+        # --- cached current-segment parameters -------------------------
+        self.seg_idx = np.zeros(n, dtype=np.int64)
+        self.cpi = self.seg_cpi[self.seg_offset].copy()
+        self.api = self.seg_api[self.seg_offset].copy()
+        self.miss_ratio = self.seg_miss[self.seg_offset].copy()
+        #: work position at which the cached segment stops being current
+        #: (+inf for the last segment, which extends forever)
+        self.seg_end = np.where(
+            self.seg_count > 1,
+            self.seg_bounds[self.seg_offset],
+            np.inf,
+        )
+
+        # --- mutable state ---------------------------------------------
+        self.vcore = np.full(n, -1, dtype=np.int64)
+        self.work_done = np.zeros(n, dtype=np.float64)
+        self.warmup_left = np.zeros(n, dtype=np.float64)
+        self.pending_penalty = np.zeros(n, dtype=np.float64)
+        self.finish_time = np.full(n, np.nan, dtype=np.float64)
+        self.n_migrations = np.zeros(n, dtype=np.int64)
+        self.barriers_passed = np.zeros(n, dtype=np.int64)
+        if self.bar_positions.size:
+            # Clip offsets before the gather: barrier-free threads may hold
+            # an offset == len(bar_positions); np.where discards the value.
+            first = self.bar_positions[
+                np.minimum(self.bar_offset, self.bar_positions.size - 1)
+            ]
+        else:
+            first = np.zeros(n, dtype=np.float64)
+        self.next_barrier = np.where(self.bar_count > 0, first, np.inf)
+        self.arrived = np.zeros(n, dtype=bool)
+        self.finished = np.zeros(n, dtype=bool)
+        self.waiting = np.zeros(n, dtype=bool)
+        self.suspend_left = np.zeros(n, dtype=np.int64)
+        self.n_suspended = 0
+
+        #: live (placed, unfinished) threads per virtual core — maintained
+        #: on place/migrate/finish so arrival placement never rescans
+        self.occupancy = np.zeros(topology.n_vcores, dtype=np.int64)
+
+        # tid lists per group, for barrier release
+        self._group_members: dict[int, np.ndarray] = {
+            int(g): np.flatnonzero(self.group_of == g)
+            for g in np.unique(self.group_of)
+        }
+
+    # ------------------------------------------------------------- masks
+
+    def runnable_indices(self) -> np.ndarray:
+        """Tids able to execute this quantum, in ascending order."""
+        mask = self.arrived & ~self.finished & ~self.waiting
+        if self.n_suspended:
+            mask &= self.suspend_left == 0
+        return np.flatnonzero(mask)
+
+    def live_mask(self) -> np.ndarray:
+        """Placed, unfinished threads (runnable or not)."""
+        return self.arrived & ~self.finished
+
+    def all_finished(self) -> bool:
+        return bool(self.finished.all())
+
+    def live_placement(self) -> dict[int, int]:
+        """tid -> vcore for every live thread (the scheduler's view)."""
+        idx = np.flatnonzero(self.live_mask())
+        return dict(zip(idx.tolist(), self.vcore[idx].tolist()))
+
+    # --------------------------------------------------------- placement
+
+    def place(self, tid: int, vcore: int) -> None:
+        """Initial or arrival placement of an unplaced thread."""
+        self.vcore[tid] = vcore
+        self.arrived[tid] = True
+        self.occupancy[vcore] += 1
+
+    def migrate(self, tid: int, vcore: int, penalty_s: float, warmup: float) -> None:
+        """Move a live thread, paying the context-switch + warm-up cost."""
+        old = self.vcore[tid]
+        if old >= 0 and not self.finished[tid]:
+            self.occupancy[old] -= 1
+        self.vcore[tid] = vcore
+        if not self.finished[tid]:
+            self.occupancy[vcore] += 1
+        self.pending_penalty[tid] += penalty_s
+        self.warmup_left[tid] = max(self.warmup_left[tid], warmup)
+        self.n_migrations[tid] += 1
+
+    # -------------------------------------------------------- suspension
+
+    def suspend(self, tid: int, quanta: int) -> None:
+        if self.suspend_left[tid] == 0:
+            self.n_suspended += 1
+        self.suspend_left[tid] = max(self.suspend_left[tid], quanta)
+
+    def tick_suspensions(self) -> None:
+        """Count one quantum off every active suspension."""
+        if not self.n_suspended:
+            return
+        active = self.suspend_left > 0
+        self.suspend_left[active] -= 1
+        self.n_suspended = int(np.count_nonzero(self.suspend_left))
+
+    # ---------------------------------------------------------- progress
+
+    def advance(self, idx: np.ndarray, work: np.ndarray, now: np.ndarray) -> None:
+        """Retire ``work`` instructions on threads ``idx``.
+
+        ``now`` carries the per-thread finish stamp to apply if the thread
+        completes (the engine passes the sub-quantum-accurate value).
+        Mirrors :meth:`SimThread.advance` exactly: a thread reaching its
+        next barrier stops *at* the barrier and waits; otherwise progress
+        accrues and completion is detected against total work.
+        """
+        target = self.work_done[idx] + work
+        hit = target >= self.next_barrier[idx]
+        if hit.any():
+            bidx = idx[hit]
+            self.work_done[bidx] = self.next_barrier[bidx]
+            self.waiting[bidx] = True
+            idx = idx[~hit]
+            target = target[~hit]
+            now = now[~hit]
+        self.work_done[idx] = target
+        done = target >= self.total_work[idx]
+        if done.any():
+            fidx = idx[done]
+            self.work_done[fidx] = self.total_work[fidx]
+            self.finished[fidx] = True
+            self.finish_time[fidx] = now[done]
+            np.subtract.at(self.occupancy, self.vcore[fidx], 1)
+
+    def consume_quantum(self, idx: np.ndarray, work: np.ndarray) -> None:
+        """Drain warm-up by attempted work; clear one-shot penalties."""
+        self.warmup_left[idx] = np.maximum(self.warmup_left[idx] - work, 0.0)
+        self.pending_penalty[idx] = 0.0
+
+    def refresh_segments(self, idx: np.ndarray) -> None:
+        """Re-resolve the cached phase segment for threads in ``idx`` that
+        crossed their segment boundary (cheap no-op for the rest)."""
+        pos = self.work_done[idx]
+        crossed = idx[pos >= self.seg_end[idx]]
+        for tid in crossed.tolist():
+            off = self.seg_offset[tid]
+            count = self.seg_count[tid]
+            bounds = self.seg_bounds[off : off + count]
+            w = min(self.work_done[tid], self.total_work[tid] - 1e-9)
+            j = min(
+                int(np.searchsorted(bounds, w, side="right")), int(count) - 1
+            )
+            self.seg_idx[tid] = j
+            self.cpi[tid] = self.seg_cpi[off + j]
+            self.api[tid] = self.seg_api[off + j]
+            self.miss_ratio[tid] = self.seg_miss[off + j]
+            self.seg_end[tid] = bounds[j] if j < count - 1 else np.inf
+
+    # ----------------------------------------------------------- barriers
+
+    def release_ready_barriers(self) -> int:
+        """Release every group barrier at which all live members wait.
+
+        Mirrors :meth:`ProcessGroup.release_ready_barriers`: a group's
+        barrier ``k`` (the smallest index among waiters) opens once every
+        unfinished member is waiting at index >= ``k``; members at exactly
+        ``k`` pass.  Returns the number of threads released.
+        """
+        if not self.waiting.any():
+            return 0
+        released = 0
+        for members in self._group_members.values():
+            waiting = members[self.waiting[members]]
+            if waiting.size == 0:
+                continue
+            k = self.barriers_passed[waiting].min()
+            unfinished = members[~self.finished[members]]
+            if not (
+                self.waiting[unfinished].all()
+                and (self.barriers_passed[unfinished] >= k).all()
+            ):
+                continue
+            rel = unfinished[self.barriers_passed[unfinished] == k]
+            self.barriers_passed[rel] += 1
+            self.waiting[rel] = False
+            passed = self.barriers_passed[rel]
+            has_more = passed < self.bar_count[rel]
+            nxt = np.full(rel.size, np.inf)
+            more = rel[has_more]
+            if more.size:
+                nxt[has_more] = self.bar_positions[
+                    self.bar_offset[more] + self.barriers_passed[more]
+                ]
+            self.next_barrier[rel] = nxt
+            released += int(rel.size)
+        return released
+
+    # ------------------------------------------------------------- export
+
+    def sync_threads(self) -> None:
+        """Write final state back into the SimThread records.
+
+        Called once when the run ends (normally or truncated), so code and
+        tests that inspect thread objects after a run — work conservation
+        checks, process-group summaries — see the authoritative values.
+        """
+        for tid, t in enumerate(self.threads):
+            t.vcore = int(self.vcore[tid])
+            t.work_done = float(self.work_done[tid])
+            t.warmup_work_left = float(self.warmup_left[tid])
+            t.pending_migration_penalty = float(self.pending_penalty[tid])
+            t.barriers_passed = int(self.barriers_passed[tid])
+            t.n_migrations = int(self.n_migrations[tid])
+            if self.finished[tid]:
+                t.state = ThreadState.FINISHED
+                t.finish_time = float(self.finish_time[tid])
+            elif self.waiting[tid]:
+                t.state = ThreadState.BARRIER_WAIT
+            else:
+                t.state = ThreadState.RUNNABLE

@@ -31,9 +31,10 @@ __all__ = [
 
 
 def _as_array(values: Iterable[float]) -> np.ndarray:
-    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
-                     dtype=np.float64)
-    return np.ravel(arr)
+    if not isinstance(values, (np.ndarray, list, tuple)):
+        values = list(values)
+    arr = np.asarray(values, dtype=np.float64)
+    return arr if arr.ndim == 1 else np.ravel(arr)
 
 
 def coefficient_of_variation(values: Iterable[float]) -> float:

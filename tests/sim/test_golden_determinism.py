@@ -1,0 +1,146 @@
+"""Golden determinism gate for the structure-of-arrays engine.
+
+The engine's correctness story rests on reproducibility: a same-seed run
+must produce bit-identical results and an identical event trace, run to
+run and commit to commit.  This module pins that down against *checked-in*
+goldens (``tests/golden/``): a canonical fingerprint of each policy's
+``RunResult`` plus the full JSONL event trace, for CFS, DIO and Dike on a
+tiny two-app workload.
+
+If a PR intentionally changes simulation behaviour (new model, different
+float-op ordering), regenerate the goldens and review the diff:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/sim/test_golden_determinism.py -q
+
+An *unintentional* golden diff is a determinism regression — fix the code,
+not the golden.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.runner import STANDARD_POLICIES
+from repro.obs.diff import diff_traces, load_events
+from repro.obs.events import EventBus
+from repro.obs.sinks import JsonlSink
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.topology import SocketSpec, Topology
+from repro.workloads.suite import WorkloadSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+POLICIES = ("cfs", "dio", "dike")
+SEED = 7
+WORK_SCALE = 0.02
+
+
+def _topology() -> Topology:
+    return Topology(
+        (
+            SocketSpec(2.0, 2, 2, interconnect_gbps=8.0),
+            SocketSpec(1.0, 2, 2, interconnect_gbps=3.0),
+        ),
+        memory_controller_gbps=10.0,
+    )
+
+
+def _workload() -> WorkloadSpec:
+    return WorkloadSpec(
+        name="golden-tiny",
+        apps=("jacobi", "srad"),
+        include_kmeans=False,
+        threads_per_app=2,
+    )
+
+
+def golden_run(policy: str, trace_path: Path | None = None) -> RunResult:
+    """One deterministic run of the golden scenario under ``policy``."""
+    bus = EventBus()
+    if trace_path is not None:
+        bus.attach(JsonlSink(trace_path))
+    groups = _workload().build(seed=SEED, work_scale=WORK_SCALE)
+    engine = SimulationEngine(
+        topology=_topology(),
+        groups=groups,
+        scheduler=STANDARD_POLICIES[policy](),
+        seed=SEED,
+        workload_name="golden-tiny",
+        bus=bus,
+    )
+    result = engine.run()
+    bus.close()
+    return result
+
+
+def fingerprint(result: RunResult) -> dict:
+    """Canonical, bit-exact summary of a ``RunResult``.
+
+    ``repr`` round-trips float64 exactly, so two fingerprints are equal
+    iff every number in them is bit-identical.
+    """
+    return {
+        "policy": result.policy_name,
+        "seed": result.seed,
+        "makespan_s": repr(result.makespan_s),
+        "n_quanta": result.n_quanta,
+        "swap_count": result.swap_count,
+        "migration_count": result.migration_count,
+        "benchmarks": [
+            {
+                "benchmark": b.benchmark,
+                "group_id": b.group_id,
+                "thread_finish_times": [repr(t) for t in b.thread_finish_times],
+                "n_migrations": b.n_migrations,
+            }
+            for b in result.benchmarks
+        ],
+    }
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    fingerprints = {}
+    for policy in POLICIES:
+        result = golden_run(policy, GOLDEN_DIR / f"tiny_{policy}.jsonl")
+        fingerprints[policy] = fingerprint(result)
+    (GOLDEN_DIR / "results.json").write_text(
+        json.dumps(fingerprints, indent=1, sort_keys=True) + "\n"
+    )
+
+
+if os.environ.get("REPRO_REGEN_GOLDEN"):
+
+    def test_regenerate_goldens():
+        _regen()
+        pytest.skip(f"goldens regenerated under {GOLDEN_DIR}")
+
+else:
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_same_seed_run_is_bit_identical(policy):
+        a = fingerprint(golden_run(policy))
+        b = fingerprint(golden_run(policy))
+        assert a == b
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_result_matches_checked_in_golden(policy):
+        golden = json.loads((GOLDEN_DIR / "results.json").read_text())
+        assert fingerprint(golden_run(policy)) == golden[policy]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_trace_diff_against_golden_is_clean(policy, tmp_path, capsys):
+        trace = tmp_path / f"{policy}.jsonl"
+        golden_run(policy, trace)
+        golden = GOLDEN_DIR / f"tiny_{policy}.jsonl"
+        diff = diff_traces(load_events(golden), load_events(trace))
+        assert diff.identical, f"trace diverged from golden: {diff}"
+        # The user-facing gate: ``repro trace-diff`` exits 0.
+        assert cli_main(["trace-diff", str(golden), str(trace)]) == 0
+        capsys.readouterr()

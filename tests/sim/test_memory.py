@@ -232,3 +232,81 @@ class TestMemorySystem:
                 np.array([1e9]), np.array([1.0, 1.0]), np.array([0.01]),
                 np.array([0], dtype=np.int64),
             )
+
+
+@st.composite
+def solve_inputs(draw):
+    """Per-thread rate arrays covering compute-only through saturating load."""
+    n = draw(st.integers(1, 24))
+    elements = {"allow_nan": False, "allow_infinity": False}
+    cycle_rate = draw(hnp.arrays(np.float64, n, elements=st.floats(1e8, 3e9, **elements)))
+    cpi = draw(hnp.arrays(np.float64, n, elements=st.floats(0.3, 3.0, **elements)))
+    mpi = draw(hnp.arrays(np.float64, n, elements=st.floats(0.0, 0.05, **elements)))
+    socket_of = draw(hnp.arrays(np.int64, n, elements=st.integers(0, 1)))
+    return cycle_rate, cpi, mpi, socket_of
+
+
+class TestSolveConvergence:
+    """The adaptive early exit must not change what the model computes."""
+
+    CAPACITY = 1.2e8
+
+    def _system(self, tolerance: float, iterations: int = 40) -> MemorySystem:
+        return MemorySystem(
+            socket_capacity=np.array([1e8, 5e7]),
+            controller_capacity=self.CAPACITY,
+            config=MemoryModelConfig(
+                fixed_point_tolerance=tolerance,
+                fixed_point_iterations=iterations,
+            ),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(solve_inputs())
+    def test_early_exit_matches_full_budget(self, inputs):
+        cycle_rate, cpi, mpi, socket_of = inputs
+        fast = self._system(tolerance=1e-4)
+        # tolerance 0 only stops at an exact fixed point, so the iteration
+        # budget is what terminates the reference solve.
+        full = self._system(tolerance=0.0, iterations=200)
+        a_fast, ips_fast = fast.solve(cycle_rate, cpi, mpi, socket_of)
+        a_full, ips_full = full.solve(cycle_rate, cpi, mpi, socket_of)
+        atol = 1e-5 * self.CAPACITY
+        assert np.allclose(a_fast, a_full, rtol=1e-2, atol=atol)
+        assert np.allclose(ips_fast, ips_full, rtol=1e-2, atol=atol)
+        assert fast.last_iterations <= full.last_iterations
+
+    @settings(max_examples=60, deadline=None)
+    @given(solve_inputs())
+    def test_iteration_count_tracked_and_bounded(self, inputs):
+        cycle_rate, cpi, mpi, socket_of = inputs
+        sys_ = self._system(tolerance=1e-4, iterations=40)
+        sys_.solve(cycle_rate, cpi, mpi, socket_of)
+        assert 1 <= sys_.last_iterations <= 40
+
+    def test_iteration_metric_emitted(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        sys_ = self._system(tolerance=1e-4)
+        sys_.metrics = MetricsRegistry()
+        for _ in range(3):
+            sys_.solve(
+                np.full(8, 2e9), np.full(8, 1.0), np.full(8, 0.05),
+                np.zeros(8, dtype=np.int64),
+            )
+        hist = sys_.metrics.histogram("memory.solve_iterations").snapshot()
+        assert hist["count"] == 3
+        assert hist["min"] >= 1
+
+    def test_warm_start_converges_faster_on_steady_load(self):
+        """Repeating the same load should converge in fewer iterations."""
+        sys_ = self._system(tolerance=1e-4)
+        args = (
+            np.full(16, 2e9), np.full(16, 1.0), np.full(16, 0.04),
+            np.zeros(16, dtype=np.int64),
+        )
+        sys_.solve(*args)
+        cold = sys_.last_iterations
+        sys_.solve(*args)
+        warm = sys_.last_iterations
+        assert warm <= cold

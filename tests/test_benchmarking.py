@@ -1,0 +1,133 @@
+"""Tests for the ``repro bench`` harness (`repro.benchmarking`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarking import (
+    DEFAULT_THRESHOLD,
+    FULL_SUITE,
+    QUICK_SUITE,
+    BenchCase,
+    compare,
+    load_report,
+    run_case,
+    run_suite,
+    write_report,
+)
+
+
+class TestSuites:
+    def test_quick_is_subset_of_full(self):
+        assert set(c.name for c in QUICK_SUITE) <= set(c.name for c in FULL_SUITE)
+
+    def test_names_are_unique_and_stable(self):
+        names = [c.name for c in FULL_SUITE]
+        assert len(names) == len(set(names))
+        assert "wl1/static" in names and "wl1/dike" in names
+
+    def test_factories_resolve(self):
+        for case in FULL_SUITE:
+            assert callable(case.scheduler_factory())
+
+
+class TestRunCase:
+    def test_measures_a_tiny_case(self):
+        case = BenchCase(name="t", workload="wl1", policy="static",
+                        work_scale=0.01, seed=1)
+        r = run_case(case, repeats=1)
+        assert r["quanta_per_s"] > 0
+        assert r["n_quanta"] > 0
+        assert r["wall_s"] > 0
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            run_case(FULL_SUITE[0], repeats=0)
+
+    def test_run_suite_keys_by_case_name(self):
+        case = BenchCase(name="t", workload="wl1", policy="static",
+                        work_scale=0.01)
+        seen = []
+        results = run_suite([case], repeats=1,
+                            progress=lambda n, r: seen.append(n))
+        assert list(results) == ["t"] == seen
+
+
+class TestCompare:
+    BASE = {"a": {"quanta_per_s": 1000.0}, "b": {"quanta_per_s": 500.0}}
+
+    def test_no_regression_within_threshold(self):
+        cur = {"a": {"quanta_per_s": 800.0}, "b": {"quanta_per_s": 450.0}}
+        assert compare(cur, self.BASE) == []
+
+    def test_regression_reported(self):
+        cur = {"a": {"quanta_per_s": 600.0}, "b": {"quanta_per_s": 500.0}}
+        msgs = compare(cur, self.BASE)
+        assert len(msgs) == 1 and "a:" in msgs[0]
+
+    def test_faster_never_fails(self):
+        cur = {"a": {"quanta_per_s": 9000.0}, "b": {"quanta_per_s": 5000.0}}
+        assert compare(cur, self.BASE) == []
+
+    def test_unshared_cases_ignored(self):
+        assert compare({"zz": {"quanta_per_s": 1.0}}, self.BASE) == []
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            compare(self.BASE, self.BASE, threshold=0.0)
+        with pytest.raises(ValueError):
+            compare(self.BASE, self.BASE, threshold=1.0)
+
+    def test_default_threshold_is_thirty_percent(self):
+        assert DEFAULT_THRESHOLD == pytest.approx(0.30)
+
+
+class TestReportIO:
+    RESULTS = {"wl1/static": {"quanta_per_s": 1234.5, "n_quanta": 86,
+                              "wall_s": 0.07}}
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        write_report(path, self.RESULTS, repeats=3)
+        report = load_report(path)
+        assert report["schema"] == 1
+        assert report["results"] == self.RESULTS
+        assert report["protocol"]["repeats"] == 3
+
+    def test_reference_block_preserved(self, tmp_path):
+        path = tmp_path / "r.json"
+        ref = {"label": "old engine", "results": self.RESULTS}
+        write_report(path, self.RESULTS, repeats=3, reference=ref)
+        assert load_report(path)["reference"]["label"] == "old engine"
+
+    def test_bare_results_map_accepted(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(self.RESULTS))
+        report = load_report(path)
+        assert report["results"] == self.RESULTS
+
+    def test_no_timestamps_in_report(self, tmp_path):
+        """Reports must be reproducible — no wall-clock identity."""
+        path = tmp_path / "r.json"
+        write_report(path, self.RESULTS, repeats=3)
+        text = path.read_text().lower()
+        assert "time_stamp" not in text and "timestamp" not in text
+        assert "date" not in text
+
+
+class TestCommittedReport:
+    def test_committed_baseline_is_loadable_and_fresh(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        report = load_report(root / "BENCH_engine.json")
+        assert set(r.name for r in FULL_SUITE) == set(report["results"])
+        # The committed before/after claim: >= 2x on the 40-thread
+        # Table II workload for every policy class.
+        ref = report["reference"]["results"]
+        for case in (c.name for c in QUICK_SUITE):
+            cur = report["results"][case]["quanta_per_s"]
+            old = ref[case]["quanta_per_s"]
+            assert cur >= 2.0 * old, f"{case} below the 2x acceptance bar"
