@@ -8,7 +8,11 @@ Layers (see DESIGN.md):
 * :mod:`repro.schedulers` — CFS / DIO / control baselines;
 * :mod:`repro.core` — the Dike scheduler (the paper's contribution);
 * :mod:`repro.metrics` — fairness (Eqn. 4), speedup, swaps, prediction error;
-* :mod:`repro.experiments` — per-figure/table regeneration harness.
+* :mod:`repro.experiments` — per-figure/table regeneration harness;
+* :mod:`repro.obs` — observability: event tracing, metrics, invariant
+  contracts and trace divergence analysis, attached via one call
+  (:func:`repro.attach`);
+* :mod:`repro.campaign` — parallel, cached, fault-tolerant grids.
 
 Quickstart::
 
@@ -31,8 +35,20 @@ from repro.core import (
 from repro.experiments.runner import (
     STANDARD_POLICIES,
     run_policies,
+    run_scenario,
     run_standalone,
     run_workload,
+)
+
+# Imported after repro.experiments: the campaign package's cache-key
+# module reaches into repro.experiments.serialization, so the experiments
+# package must finish initialising first.
+from repro.campaign import Campaign
+from repro.obs import (
+    DivergenceReport,
+    InvariantSink,
+    MetricsRegistry,
+    attach,
 )
 from repro.metrics import (
     fairness,
@@ -84,8 +100,14 @@ __all__ = [
     "dike_ap",
     "STANDARD_POLICIES",
     "run_policies",
+    "run_scenario",
     "run_standalone",
     "run_workload",
+    "attach",
+    "DivergenceReport",
+    "InvariantSink",
+    "MetricsRegistry",
+    "Campaign",
     "fairness",
     "fairness_improvement",
     "makespan_speedup",

@@ -20,14 +20,17 @@ share).
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
 from pathlib import Path
 from typing import Sequence
 
 from repro.campaign.cachekey import cache_key
 from repro.campaign.executor import ExecutorConfig, TaskFailure, run_tasks
-from repro.campaign.spec import TaskSpec
+from repro.campaign.spec import TaskSpec, execute_task
 from repro.campaign.store import ResultStore
 from repro.campaign.telemetry import Telemetry
+from repro.obs.attach import run_info_telemetry
 from repro.sim.results import RunResult
 
 __all__ = ["Campaign", "CampaignError"]
@@ -54,10 +57,18 @@ class Campaign:
         store: ResultStore | None = None,
         executor: ExecutorConfig | None = None,
         telemetry: Telemetry | None = None,
+        invariants: bool = False,
+        trace_dir: str | Path | None = None,
     ) -> None:
         self.store = store
         self.executor = executor or ExecutorConfig()
         self.telemetry = telemetry or Telemetry(stream=None)
+        #: check the policy contract inside every worker
+        #: (``repro.obs.attach(campaign, invariants=True)`` sets this too)
+        self.invariants = invariants
+        #: write each *executed* task's JSONL event trace here (a side
+        #: effect: never part of the cache key, so cache hits skip it)
+        self.trace_dir = str(trace_dir) if trace_dir is not None else None
         #: in-process memo; also what makes cache hits repeat-stable when
         #: no disk store is configured
         self._memo: dict[str, RunResult] = {}
@@ -77,6 +88,8 @@ class Campaign:
         timeout_s: float | None = None,
         retries: int = 2,
         telemetry: Telemetry | None = None,
+        invariants: bool = False,
+        trace_dir: str | Path | None = None,
     ) -> "Campaign":
         """A production campaign: disk cache under ``cache_dir`` + pool."""
         return cls(
@@ -85,6 +98,8 @@ class Campaign:
                 max_workers=max_workers, timeout_s=timeout_s, retries=retries
             ),
             telemetry=telemetry,
+            invariants=invariants,
+            trace_dir=trace_dir,
         )
 
     # ------------------------------------------------------------- gather
@@ -99,7 +114,18 @@ class Campaign:
         figure assembly) any terminal failure raises :class:`CampaignError`;
         with ``strict=False`` failures come back as :class:`TaskFailure`
         entries so a campaign sweep can report them and move on.
+
+        With ``self.invariants`` every task is upgraded to its
+        invariant-checked form before key computation, so checked results
+        are distinct cache entries — and a cache hit on one *replays* the
+        recorded violation digest into telemetry instead of reporting
+        zero for skipped work.
         """
+        if self.invariants:
+            tasks = [
+                t if t.invariants else replace(t, invariants=True)
+                for t in tasks
+            ]
         keys = [cache_key(t) for t in tasks]
         unique: dict[str, TaskSpec] = {}
         for key, task in zip(keys, tasks):
@@ -112,13 +138,22 @@ class Campaign:
             hit = self._lookup(key)
             if hit is not None:
                 resolved[key] = hit
-                self.telemetry.cache_hit(key, task.label())
+                self.telemetry.cache_hit(
+                    key,
+                    task.label(),
+                    invariants=run_info_telemetry(hit).get("invariants"),
+                )
             else:
                 to_run.append((key, task))
 
         if to_run:
+            fn = (
+                partial(execute_task, trace_dir=self.trace_dir)
+                if self.trace_dir is not None
+                else execute_task
+            )
             executed = run_tasks(
-                to_run, config=self.executor, telemetry=self.telemetry
+                to_run, fn=fn, config=self.executor, telemetry=self.telemetry
             )
             for key, result in executed.items():
                 resolved[key] = result

@@ -43,6 +43,7 @@ from typing import Callable, Sequence
 
 from repro.campaign.spec import TaskSpec, execute_task
 from repro.campaign.telemetry import Telemetry
+from repro.obs.attach import run_info_telemetry
 
 __all__ = ["ExecutorConfig", "TaskFailure", "run_tasks"]
 
@@ -126,10 +127,13 @@ def _record_success(
     p: _Pending, result: object, telemetry: Telemetry, out: dict[str, object]
 ) -> None:
     out[p.key] = result
-    info = getattr(result, "info", None)
-    metrics = info.get("metrics") if isinstance(info, dict) else None
+    obs = run_info_telemetry(result)
     telemetry.task_done(
-        p.key, p.task.label(), getattr(result, "n_quanta", 0), metrics=metrics
+        p.key,
+        p.task.label(),
+        getattr(result, "n_quanta", 0),
+        metrics=obs.get("metrics"),
+        invariants=obs.get("invariants"),
     )
 
 

@@ -41,6 +41,10 @@ class CampaignSpec:
     seeds: tuple[int, ...] = (DEFAULT_SEED,)
     work_scale: float = 1.0
     sweep: bool = False
+    #: check every run against its policy's invariant contract
+    #: (`repro.obs.invariants.POLICY_RULES`); violation counts surface in
+    #: campaign telemetry and ``RunResult.info["invariants"]``
+    invariants: bool = False
 
     def __post_init__(self) -> None:
         require(len(self.workloads) >= 1, "a campaign needs >= 1 workload")
@@ -93,16 +97,21 @@ def dedupe(tasks: list[TaskSpec]) -> tuple[tuple[TaskSpec, ...], tuple[str, ...]
 def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
     """Expand a campaign spec into its deduplicated task list."""
     sim = SimParams(work_scale=spec.work_scale)
+    inv = spec.invariants
     requested: list[TaskSpec] = []
     for wl_name in spec.workloads:
         wl = workload(wl_name)
         for seed in spec.seeds:
             for policy in spec.policies:
-                requested.append(TaskSpec.for_workload(wl, policy, seed, sim=sim))
+                requested.append(
+                    TaskSpec.for_workload(wl, policy, seed, sim=sim, invariants=inv)
+                )
             if spec.sweep:
                 # The sweep's speedups need the CFS baseline — shared, by
                 # dedup, with the policy grid above.
-                requested.append(TaskSpec.for_workload(wl, "cfs", seed, sim=sim))
+                requested.append(
+                    TaskSpec.for_workload(wl, "cfs", seed, sim=sim, invariants=inv)
+                )
                 for q in QUANTA_CHOICES_S:
                     for s in SWAP_SIZE_CHOICES:
                         requested.append(
@@ -110,6 +119,7 @@ def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> Campa
                                 wl, "dike", seed,
                                 {"quanta_length_s": q, "swap_size": s},
                                 sim=sim,
+                                invariants=inv,
                             )
                         )
     tasks, keys = dedupe(requested)

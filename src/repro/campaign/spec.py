@@ -17,6 +17,7 @@ and hash equal regardless of construction order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping
 
 from repro.core.config import DikeConfig
@@ -132,13 +133,23 @@ class SimParams:
 
 @dataclass(frozen=True)
 class TaskSpec:
-    """One simulation: ``(workload, policy(+params), seed, sim params)``."""
+    """One simulation: ``(workload, policy(+params), seed, sim params)``.
+
+    ``invariants=True`` makes the worker attach a zero-file-I/O
+    :class:`~repro.obs.invariants.InvariantSink` carrying the policy's
+    contract (:data:`~repro.obs.invariants.POLICY_RULES`) for the whole
+    run and stamp its digest into ``RunResult.info["invariants"]``.  The
+    flag is part of the cache key (only when set, so pre-existing cached
+    results keep their keys): an invariant-checked result carries extra
+    information, and a cache hit on it can replay the recorded counts.
+    """
 
     workload: WorkloadRef
     policy: str
     seed: int = DEFAULT_SEED
     policy_params: tuple[tuple[str, object], ...] = ()
     sim: SimParams = field(default_factory=SimParams)
+    invariants: bool = False
 
     def __post_init__(self) -> None:
         require(
@@ -158,6 +169,7 @@ class TaskSpec:
         seed: int = DEFAULT_SEED,
         policy_params: Mapping[str, object] | None = None,
         sim: SimParams | None = None,
+        invariants: bool = False,
     ) -> "TaskSpec":
         """The usual constructor: from a live `WorkloadSpec`."""
         return cls(
@@ -166,6 +178,7 @@ class TaskSpec:
             seed=seed,
             policy_params=tuple(sorted((policy_params or {}).items())),
             sim=sim or SimParams(),
+            invariants=invariants,
         )
 
     @property
@@ -174,13 +187,18 @@ class TaskSpec:
 
     def to_dict(self) -> dict:
         """Canonical plain-dict form — the input of the cache key."""
-        return {
+        out = {
             "workload": self.workload.to_dict(),
             "policy": self.policy,
             "policy_params": [[k, v] for k, v in self.policy_params],
             "seed": self.seed,
             "sim": self.sim.to_dict(),
         }
+        # Only present when set, so plain tasks keep their historical
+        # cache keys; invariant-checked results are distinct entries.
+        if self.invariants:
+            out["invariants"] = True
+        return out
 
     def label(self) -> str:
         """Short human-readable id for telemetry lines."""
@@ -219,11 +237,17 @@ def build_topology(name: str) -> Topology:
     return factory()
 
 
-def execute_task(task: TaskSpec) -> RunResult:
+def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
     """Run one task to completion (the worker-process entry point).
 
     Module-level (picklable) and dependent only on the spec's value, so
     the same task executes identically in-process and in a pool worker.
+    With ``task.invariants`` the run carries a zero-file-I/O
+    :class:`~repro.obs.invariants.InvariantSink` with the policy's
+    contract; its digest lands in ``RunResult.info["invariants"]``.
+    ``trace_dir`` (a side effect, never part of the cache key — bind it
+    with :func:`functools.partial`) additionally writes the run's JSONL
+    event trace to ``<trace_dir>/<label>.jsonl``.
     """
     # Imported here rather than at module top: experiments.runner is also
     # imported *by* the experiment modules that import this package, and a
@@ -232,7 +256,23 @@ def execute_task(task: TaskSpec) -> RunResult:
 
     sim = task.sim
     migration = MigrationModel(*sim.migration) if sim.migration else None
-    return run_workload(
+
+    attachment = None
+    if task.invariants or trace_dir is not None:
+        from repro.obs.attach import attach
+
+        trace_path = None
+        if trace_dir is not None:
+            safe = task.label().replace("/", "_").replace("@", "_")
+            trace_path = str(Path(trace_dir) / f"{safe}.jsonl")
+        swap_size = task.params.get("swap_size")
+        attachment = attach(
+            trace=trace_path,
+            invariants=task.policy if task.invariants else None,
+            swap_size=swap_size if isinstance(swap_size, int) else None,
+        )
+
+    result = run_workload(
         task.workload.to_spec(),
         build_scheduler(task.policy, task.params),
         seed=task.seed,
@@ -242,4 +282,9 @@ def execute_task(task: TaskSpec) -> RunResult:
         record_timeseries=sim.record_timeseries,
         counter_noise=sim.counter_noise,
         max_time_s=sim.max_time_s,
+        bus=attachment.bus if attachment is not None else None,
     )
+    if attachment is not None:
+        attachment.close()
+        attachment.finalize(result)
+    return result

@@ -55,6 +55,10 @@ class Telemetry:
         self.cache_hits = 0
         self.retries = 0
         self.sim_quanta = 0
+        #: tasks that carried an invariant digest (executed or replayed)
+        self.invariant_tasks = 0
+        #: total invariant violations across those tasks
+        self.invariant_violations = 0
         self._t0 = time.monotonic()
         self._last_line = 0.0
         self._events: IO[str] | None = None
@@ -80,10 +84,23 @@ class Telemetry:
             f"({n_requested - n_unique} duplicates shared)", force=True,
         )
 
-    def cache_hit(self, key: str, label: str) -> None:
+    def cache_hit(
+        self, key: str, label: str, invariants: dict[str, Any] | None = None
+    ) -> None:
+        """Record a cache hit.
+
+        ``invariants`` replays the violation digest recorded when the
+        cached result was originally executed (see
+        :meth:`task_done`) — a resumed invariant-checked campaign keeps
+        its counts instead of reporting zero for skipped tasks.
+        """
         self.cache_hits += 1
         self.queued -= 1
-        self.emit("cache_hit", key=key, task=label)
+        if invariants is not None:
+            self._count_invariants(invariants)
+            self.emit("cache_hit", key=key, task=label, invariants=invariants)
+        else:
+            self.emit("cache_hit", key=key, task=label)
         self._narrate(f"cache hit {label}")
 
     def task_started(self, key: str, label: str, attempt: int) -> None:
@@ -104,25 +121,42 @@ class Telemetry:
         label: str,
         n_quanta: int,
         metrics: dict[str, Any] | None = None,
+        invariants: dict[str, Any] | None = None,
     ) -> None:
         """Record a completed task.
 
         ``metrics`` is an optional `repro.obs.MetricsRegistry` snapshot
         taken from the run (``RunResult.info["metrics"]``, present when
-        the run carried an event bus with metrics); it is attached to the
-        JSONL event so per-stage wall times survive into campaign logs.
+        the run carried an event bus with metrics); ``invariants`` is the
+        per-task violation digest (``RunResult.info["invariants"]``,
+        present on invariant-checked tasks).  Both ride along on the
+        JSONL event so stage timings and contract status survive into
+        campaign logs.
         """
         self.running -= 1
         self.done += 1
         self.sim_quanta += n_quanta
+        extra: dict[str, Any] = {}
         if metrics:
-            self.emit(
-                "task_done", key=key, task=label, n_quanta=n_quanta,
-                metrics=metrics,
+            extra["metrics"] = metrics
+        if invariants is not None:
+            self._count_invariants(invariants)
+            extra["invariants"] = invariants
+        self.emit("task_done", key=key, task=label, n_quanta=n_quanta, **extra)
+        violated = invariants is not None and invariants.get("total", 0)
+        if violated:
+            self._narrate(
+                f"done {label} — {invariants['total']} invariant "
+                "violation(s)!", force=True,
             )
         else:
-            self.emit("task_done", key=key, task=label, n_quanta=n_quanta)
-        self._narrate(f"done {label}")
+            self._narrate(f"done {label}")
+
+    def _count_invariants(self, invariants: dict[str, Any]) -> None:
+        self.invariant_tasks += 1
+        total = invariants.get("total", 0)
+        if isinstance(total, int):
+            self.invariant_violations += total
 
     def task_failed(self, key: str, label: str, kind: str, error: str) -> None:
         self.running -= 1
@@ -146,7 +180,7 @@ class Telemetry:
         return self.sim_quanta / dt if dt > 0 else 0.0
 
     def summary(self) -> dict[str, float | int]:
-        return {
+        out: dict[str, float | int] = {
             "done": self.done,
             "failed": self.failed,
             "cache_hits": self.cache_hits,
@@ -155,6 +189,10 @@ class Telemetry:
             "elapsed_s": round(self.elapsed_s, 3),
             "quanta_per_s": round(self.quanta_per_s, 1),
         }
+        if self.invariant_tasks:
+            out["invariant_tasks"] = self.invariant_tasks
+            out["invariant_violations"] = self.invariant_violations
+        return out
 
     def close(self) -> None:
         self.emit("summary", **self.summary())
@@ -165,11 +203,17 @@ class Telemetry:
 
     def render_summary(self) -> str:
         s = self.summary()
-        return (
+        line = (
             f"{s['done']} executed, {s['failed']} failed, "
             f"{s['cache_hits']} cache hits, {s['retries']} retries "
             f"in {s['elapsed_s']:.1f}s ({s['quanta_per_s']:.0f} quanta/s)"
         )
+        if self.invariant_tasks:
+            line += (
+                f"; invariants: {self.invariant_violations} violation(s) "
+                f"across {self.invariant_tasks} checked task(s)"
+            )
+        return line
 
     # ------------------------------------------------------------ private
 

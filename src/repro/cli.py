@@ -20,21 +20,28 @@ Subcommands
     Run an experiment grid through the campaign subsystem: parallel
     workers, content-addressed result cache, retries, telemetry.  A rerun
     resumes from the cache (``--dry-run`` shows the plan without running).
-``trace <workload> [--policy P] [--out T.jsonl] [--chrome T.json] ...``
-    Run one workload with full observability: structured JSONL event
-    trace, Chrome ``trace_event`` export (open in chrome://tracing), live
-    invariant checking and a metrics summary.
-``trace-diff <a.jsonl> <b.jsonl>``
-    Align two traces quantum-by-quantum and report the first divergent
-    decision (exit 1 on divergence) — the determinism debugging tool.
+``trace <workload> [--policy P] [--trace-out T.jsonl] [--chrome T.json] ...``
+    Run one workload with full observability (wired via
+    ``repro.obs.attach``): structured JSONL event trace, Chrome
+    ``trace_event`` export (open in chrome://tracing), live invariant
+    checking against the policy's contract and a metrics summary.
+``trace-diff <a.jsonl> <b.jsonl> [--json]``
+    Align two traces end-to-end (LCS over quantum groups) and report
+    *every* divergent region with per-event-kind counts and a field-level
+    drill-down — the determinism debugging tool.  Exit 0 identical,
+    1 divergent, 2 on error (including mismatched trace schema versions).
+    ``--json`` prints the structured `DivergenceReport` document.
 ``bench [--quick] [--out B.json] [--baseline B.json] [--threshold F]``
     Measure engine throughput (quanta/second) over the tracked benchmark
     suite (`repro.benchmarking`).  With ``--baseline`` the run fails
     (exit 1) if any case regresses beyond the threshold — the CI
     perf-smoke gate against the committed ``BENCH_engine.json``.
 
-``run``, ``report`` and ``all`` also accept ``--workers``/``--cache-dir``
-to route their simulations through a shared campaign.
+Shared flags (see docs/README.md): ``run``/``report``/``all``/
+``campaign``/``bench``/``trace`` uniformly accept ``--quick`` (smoke
+settings), ``--workers``, ``--cache-dir``, ``--trace-out`` and
+``--invariants``; verbs that always run in-process (``bench``, ``trace``)
+note ignored backend flags on stderr rather than erroring.
 """
 
 from __future__ import annotations
@@ -59,6 +66,56 @@ __all__ = ["main", "build_parser"]
 DEFAULT_CACHE_DIR = ".campaign"
 
 
+#: --quick scales runs down to this work scale (except ``bench``, where
+#: it selects the smoke benchmark subset instead).
+QUICK_SCALE = 0.05
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Shared run-shape flags: every simulating verb accepts these."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("common options")
+    g.add_argument(
+        "--scale", type=float, default=None,
+        help="work scale (default: 1.0 paper-sized runs; "
+             f"{QUICK_SCALE} with --quick)",
+    )
+    g.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    g.add_argument(
+        "--quick", action="store_true",
+        help=f"smoke settings: work scale {QUICK_SCALE} "
+             "(bench: the CI smoke benchmark subset)",
+    )
+    return p
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    """Shared campaign-backend flags (uniform across the heavy verbs)."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("campaign backend options")
+    g.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel simulation workers (default: 2 for the campaign "
+             "verb, else 1 = in-process serial)",
+    )
+    g.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory "
+             f"(campaign verb default: {DEFAULT_CACHE_DIR})",
+    )
+    g.add_argument(
+        "--trace-out", default=None,
+        help="JSONL event-trace output: the trace file for the trace "
+             "verb, a per-executed-task trace directory elsewhere",
+    )
+    g.add_argument(
+        "--invariants", action="store_true",
+        help="attach the per-policy invariant contract to every "
+             "simulation (counts land in campaign telemetry)",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dike-repro",
@@ -68,44 +125,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
+    backend = _backend_parent()
 
     sub.add_parser("list", help="list regenerable experiments")
 
-    p_run = sub.add_parser("run", help="regenerate one experiment")
+    p_run = sub.add_parser(
+        "run", help="regenerate one experiment", parents=[common, backend]
+    )
     p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
-    _add_common(p_run)
-    _add_campaign_backend(p_run)
 
-    p_cmp = sub.add_parser("compare", help="compare policies on one workload")
+    p_cmp = sub.add_parser(
+        "compare", help="compare policies on one workload", parents=[common]
+    )
     p_cmp.add_argument("workload", help="wl1 .. wl16")
-    _add_common(p_cmp)
 
-    p_rep = sub.add_parser("report", help="full evaluation + shape checklist")
+    p_rep = sub.add_parser(
+        "report", help="full evaluation + shape checklist",
+        parents=[common, backend],
+    )
     p_rep.add_argument(
         "--seeds", type=int, default=1,
         help="average the evaluation over this many seeds",
     )
-    _add_common(p_rep)
-    _add_campaign_backend(p_rep)
 
-    p_repl = sub.add_parser("replicate", help="multi-seed robustness check")
+    p_repl = sub.add_parser(
+        "replicate", help="multi-seed robustness check", parents=[common]
+    )
     p_repl.add_argument("workload", help="wl1 .. wl16")
     p_repl.add_argument("--seeds", type=int, default=3, help="number of seeds")
-    _add_common(p_repl)
 
-    p_tl = sub.add_parser("timeline", help="placement timeline of one run")
+    p_tl = sub.add_parser(
+        "timeline", help="placement timeline of one run", parents=[common]
+    )
     p_tl.add_argument("workload", help="wl1 .. wl16")
     p_tl.add_argument(
         "policy", choices=sorted(_policy_choices()), help="scheduling policy"
     )
-    _add_common(p_tl)
 
-    p_all = sub.add_parser("all", help="regenerate every experiment")
-    _add_common(p_all)
-    _add_campaign_backend(p_all)
+    sub.add_parser(
+        "all", help="regenerate every experiment", parents=[common, backend]
+    )
 
     p_trace = sub.add_parser(
-        "trace", help="run one workload with full observability"
+        "trace", help="run one workload with full observability",
+        parents=[common, backend],
     )
     p_trace.add_argument("workload", help="wl1 .. wl16")
     p_trace.add_argument(
@@ -113,8 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduling policy (default: dike)",
     )
     p_trace.add_argument(
-        "--out", default="trace.jsonl",
-        help="JSONL event trace output path (default: trace.jsonl)",
+        "--out", default=None,
+        help="alias of --trace-out (default: trace.jsonl)",
     )
     p_trace.add_argument(
         "--chrome", default=None,
@@ -132,24 +196,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="abort on the first invariant violation",
     )
-    _add_common(p_trace)
 
     p_td = sub.add_parser(
-        "trace-diff", help="first divergent decision between two traces"
+        "trace-diff", help="full divergence analysis between two traces"
     )
     p_td.add_argument("trace_a", help="first JSONL trace")
     p_td.add_argument("trace_b", help="second JSONL trace")
+    p_td.add_argument(
+        "--json", action="store_true",
+        help="print the structured DivergenceReport as JSON",
+    )
     p_td.add_argument(
         "--no-validate", action="store_true",
         help="skip schema validation while loading",
     )
 
     p_bench = sub.add_parser(
-        "bench", help="engine throughput benchmark + regression check"
-    )
-    p_bench.add_argument(
-        "--quick", action="store_true",
-        help="run only the CI smoke subset (the 40-thread workload)",
+        "bench", help="engine throughput benchmark + regression check",
+        parents=[common, backend],
     )
     p_bench.add_argument(
         "--repeats", type=int, default=3,
@@ -172,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser(
         "campaign",
         help="parallel, cached, fault-tolerant experiment grids",
+        parents=[common, backend],
     )
     p_camp.add_argument(
         "--workloads", default=None,
@@ -213,8 +278,6 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="one progress line per task instead of ~1/second",
     )
-    _add_common(p_camp)
-    _add_campaign_backend(p_camp, default_workers=2)
     return parser
 
 
@@ -224,39 +287,50 @@ def _policy_choices() -> dict:
     return STANDARD_POLICIES
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
-    p.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="work scale (1.0 = paper-sized runs; smaller = faster)",
-    )
-    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+def _resolve_shared_flags(args: argparse.Namespace) -> None:
+    """Fill in the context-dependent defaults of the shared flags."""
+    if getattr(args, "scale", "absent") is None:
+        args.scale = QUICK_SCALE if getattr(args, "quick", False) else 1.0
+    if getattr(args, "workers", "absent") is None:
+        args.workers = 2 if args.command == "campaign" else 1
 
 
-def _add_campaign_backend(
-    p: argparse.ArgumentParser, default_workers: int = 1
-) -> None:
-    p.add_argument(
-        "--workers", type=int, default=default_workers,
-        help="parallel simulation workers (1 = in-process serial)",
-    )
-    p.add_argument(
-        "--cache-dir", default=None,
-        help=f"result-cache directory (campaign verb default: {DEFAULT_CACHE_DIR})",
-    )
+def _note_inprocess_flags(args: argparse.Namespace) -> None:
+    """Verbs that always run in-process accept but ignore backend flags."""
+    ignored = [
+        flag
+        for flag, value in (
+            ("--workers", getattr(args, "workers", 1) > 1),
+            ("--cache-dir", getattr(args, "cache_dir", None)),
+        )
+        if value
+    ]
+    if ignored:
+        print(
+            f"note: {args.command} always runs in-process; "
+            f"{', '.join(ignored)} ignored",
+            file=sys.stderr,
+        )
 
 
 def _make_campaign(args: argparse.Namespace):
     """Build a Campaign from CLI flags, or None for the plain inline path."""
     from repro.campaign import Campaign, ExecutorConfig, ResultStore, Telemetry
 
+    invariants = getattr(args, "invariants", False)
+    trace_dir = getattr(args, "trace_out", None)
     cache_dir = args.cache_dir
     if getattr(args, "no_cache", False):
         cache_dir = None
     elif cache_dir is None and args.command == "campaign":
         cache_dir = DEFAULT_CACHE_DIR
-    if cache_dir is None and args.workers <= 1 and args.command != "campaign":
+    if (
+        cache_dir is None
+        and args.workers <= 1
+        and not invariants
+        and trace_dir is None
+        and args.command != "campaign"
+    ):
         return None
     events = getattr(args, "events", None)
     if events is None and cache_dir is not None:
@@ -273,6 +347,8 @@ def _make_campaign(args: argparse.Namespace):
             stream=sys.stderr,
             verbose=getattr(args, "verbose", False),
         ),
+        invariants=invariants,
+        trace_dir=trace_dir,
     )
 
 
@@ -374,51 +450,41 @@ def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from collections import Counter as TallyCounter
-
     from repro.experiments.runner import run_workload
-    from repro.obs import (
-        ChromeTraceSink,
-        EventBus,
-        InvariantSink,
-        JsonlSink,
-        MetricsRegistry,
-    )
+    from repro.obs import attach
 
+    _note_inprocess_flags(args)
     spec = workload(args.workload)
-    factory = _policy_choices()[args.policy]
-    scheduler = factory()
-
-    bus = EventBus(metrics=MetricsRegistry())
-    jsonl = bus.attach(JsonlSink(args.out, max_bytes=args.max_bytes))
-    chrome = (
-        bus.attach(ChromeTraceSink(args.chrome)) if args.chrome else None
+    scheduler = _policy_choices()[args.policy]()
+    out = args.trace_out or args.out or "trace.jsonl"
+    # Dike carries its swapSize in config; the policy contract picks it
+    # up so the budget rule starts from the configured value.
+    config = getattr(scheduler, "config", None)
+    att = attach(
+        trace=out,
+        chrome=args.chrome,
+        max_bytes=args.max_bytes,
+        metrics=True,
+        tally=True,
+        invariants=False if args.no_invariants else args.policy,
+        strict=args.strict,
+        swap_size=getattr(config, "swap_size", None),
     )
-    tally: TallyCounter = TallyCounter()
-    bus.attach(_KindTally(tally))
-    invariants = None
-    if not args.no_invariants and args.policy.startswith("dike"):
-        # The checker encodes Dike's contract (cooldown, swap budget, no
-        # third core); DIO/CFS break it by design, so it stays off there.
-        invariants = bus.attach(
-            InvariantSink(
-                swap_size=scheduler.config.swap_size, strict=args.strict
-            )
-        )
 
     t0 = time.perf_counter()
     result = run_workload(
         spec, scheduler, seed=args.seed, work_scale=args.scale,
-        record_timeseries=False, bus=bus,
+        record_timeseries=False, bus=att,
     )
-    bus.close()
+    att.close()
+    att.finalize(result)
 
     print(f"{spec.name}/{args.policy}@s{args.seed}: "
           f"makespan={result.makespan_s:.1f}s quanta={result.n_quanta} "
           f"swaps={result.swap_count}")
-    rows = [[kind, n] for kind, n in sorted(tally.items())]
+    rows = [[kind, n] for kind, n in sorted(att.tally.counts.items())]
     print(format_table(["event", "count"], rows,
-                       title=f"{jsonl.n_events} events -> {args.out}"))
+                       title=f"{att.jsonl.n_events} events -> {out}"))
     metrics = result.info.get("metrics", {})
     if metrics:
         mrows = []
@@ -432,14 +498,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 mrows.append([name, snap, "", ""])
         print(format_table(["metric", "count/value", "mean", "max"], mrows,
                            title="metrics"))
-    if chrome is not None:
+    if att.chrome is not None:
         print(f"chrome trace -> {args.chrome} "
               "(open in chrome://tracing or ui.perfetto.dev)")
     print(f"[traced in {time.perf_counter() - t0:.1f}s "
           f"at work_scale={args.scale}]")
+    invariants = att.invariants
     if invariants is not None:
         if invariants.ok:
-            print(f"invariants: OK ({invariants.n_events} events checked)")
+            print(f"invariants: OK ({invariants.n_events} events checked, "
+                  f"rules: {', '.join(invariants.rules)})")
         else:
             print(f"invariants: {len(invariants.violations)} violation(s):",
                   file=sys.stderr)
@@ -449,28 +517,33 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-class _KindTally:
-    """Tiny sink counting events by kind for the trace summary table."""
-
-    def __init__(self, tally) -> None:
-        self._tally = tally
-
-    def accept(self, event) -> None:
-        self._tally[event.kind] += 1
-
-
 def _cmd_trace_diff(args: argparse.Namespace) -> int:
-    from repro.obs.diff import diff_traces, load_events, render_diff
+    import json
+
+    from repro.obs.diff import (
+        SchemaMismatch,
+        analyze_traces,
+        load_events,
+        render_report,
+    )
 
     try:
         events_a = load_events(args.trace_a, validate=not args.no_validate)
         events_b = load_events(args.trace_b, validate=not args.no_validate)
+        report = analyze_traces(events_a, events_b)
+    except SchemaMismatch as exc:
+        # Events from different schema versions are not comparable — any
+        # "alignment" would be noise, so refuse loudly instead.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    diff = diff_traces(events_a, events_b)
-    print(render_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
-    return 0 if diff.identical else 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(report, label_a=args.trace_a, label_b=args.trace_b))
+    return 0 if report.identical else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -484,6 +557,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_report,
     )
 
+    _note_inprocess_flags(args)
     cases = QUICK_SUITE if args.quick else FULL_SUITE
     baseline = load_report(args.baseline) if args.baseline else None
     base_results = baseline["results"] if baseline else {}
@@ -565,6 +639,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seeds=tuple(args.seed + i for i in range(args.seeds)),
             work_scale=args.scale,
             sweep=args.sweep,
+            invariants=args.invariants,
         )
         campaign = _make_campaign(args)
         the_plan = plan(spec)
@@ -592,8 +667,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             fair_vals, speed_vals = [], []
             for wl in workloads:
                 for s in spec.seeds:
-                    run = _cell(by_key, spec, wl, p, s)
-                    base = _cell(by_key, spec, wl, "cfs", s)
+                    run = _cell(by_key, spec, wl, p, s, campaign.invariants)
+                    base = _cell(by_key, spec, wl, "cfs", s, campaign.invariants)
                     if isinstance(run, TaskFailure) or isinstance(base, TaskFailure):
                         continue
                     fair_vals.append(fairness(run))
@@ -619,15 +694,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for f in failures:
             print(f"  {f.label} [{f.kind} x{f.attempts}]: {f.error}", file=sys.stderr)
         return 1
+    if campaign.telemetry.invariant_violations:
+        print(
+            f"[campaign] {campaign.telemetry.invariant_violations} invariant "
+            "violation(s) — the scheduling contract does not hold",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
-def _cell(by_key: dict, spec, wl_name: str, policy: str, seed: int):
+def _cell(
+    by_key: dict, spec, wl_name: str, policy: str, seed: int,
+    invariants: bool = False,
+) -> object:
     from repro.campaign import SimParams, TaskSpec, cache_key
 
     task = TaskSpec.for_workload(
         workload(wl_name), policy, seed,
         sim=SimParams(work_scale=spec.work_scale),
+        invariants=invariants,
     )
     return by_key.get(cache_key(task))
 
@@ -651,6 +737,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    _resolve_shared_flags(args)
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":

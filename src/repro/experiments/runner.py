@@ -36,6 +36,7 @@ __all__ = [
     "PolicyFactory",
     "STANDARD_POLICIES",
     "run_workload",
+    "run_scenario",
     "run_policies",
     "run_standalone",
 ]
@@ -67,9 +68,12 @@ def run_workload(
 ) -> RunResult:
     """Simulate one workload under one scheduler and return the result.
 
-    ``bus`` is an optional observability event bus (`repro.obs`): attach
-    sinks to it to capture the run's structured event trace.
+    ``bus`` is an optional observability event bus (`repro.obs`) — or the
+    :class:`~repro.obs.attach.Attachment` handle returned by
+    ``repro.obs.attach(...)``, which is unwrapped to its bus, so callers
+    never touch sink plumbing here.
     """
+    bus = getattr(bus, "bus", bus)  # accept an Attachment handle
     topo = topology or xeon_e5_heterogeneous()
     groups = spec.build(seed=seed, work_scale=work_scale)
     engine = SimulationEngine(
@@ -86,6 +90,11 @@ def run_workload(
         bus=bus,
     )
     return engine.run()
+
+
+#: Stable public name of the single-run entry point (the name the top
+#: level package re-exports; "scenario" = workload × policy × seed).
+run_scenario = run_workload
 
 
 def run_policies(

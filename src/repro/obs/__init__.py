@@ -7,13 +7,22 @@ ring buffer, a Chrome/Perfetto ``trace_event`` exporter, and a runtime
 invariant checker (`repro.obs.invariants`) that validates the paper's
 scheduling rules per quantum.  `repro.obs.metrics` is a process-local
 registry of counters/gauges/histograms snapshotted into ``RunResult``;
-`repro.obs.diff` aligns two JSONL traces quantum-by-quantum and reports
-the first divergent decision.
+`repro.obs.diff` aligns two JSONL traces quantum-by-quantum (LCS over
+quantum groups) and distills the differences into a structured
+:class:`~repro.obs.diff.DivergenceReport`.
+
+Attachment is one call — :func:`repro.obs.attach` wires any combination
+of sinks onto an engine, a bare bus, or a campaign and returns a handle
+over everything attached (`repro.obs.attach`); the old per-sink wiring
+helpers live on as deprecated shims in `repro.obs.wiring`.
 
 With no sinks attached the bus is a cheap no-op — emission sites guard on
 ``bus.enabled`` and never build event objects, so a plain ``repro run``
 pays nothing for the instrumentation.
 """
+
+from repro.obs.attach import Attachment, attach, run_info_telemetry
+from repro.obs.diff import DivergenceReport, SchemaMismatch, analyze_traces
 
 from repro.obs.events import (
     SCHEMA_VERSION,
@@ -34,11 +43,23 @@ from repro.obs.events import (
     event_from_dict,
     validate_event_dict,
 )
-from repro.obs.invariants import InvariantError, InvariantSink, InvariantViolation
+from repro.obs.invariants import (
+    POLICY_RULES,
+    RULES,
+    InvariantError,
+    InvariantSink,
+    InvariantViolation,
+)
 from repro.obs.metrics import MetricsRegistry, timed
-from repro.obs.sinks import ChromeTraceSink, JsonlSink, RingBufferSink
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, KindTallySink, RingBufferSink
 
 __all__ = [
+    "attach",
+    "Attachment",
+    "run_info_telemetry",
+    "DivergenceReport",
+    "SchemaMismatch",
+    "analyze_traces",
     "SCHEMA_VERSION",
     "Event",
     "EventBus",
@@ -59,9 +80,12 @@ __all__ = [
     "JsonlSink",
     "RingBufferSink",
     "ChromeTraceSink",
+    "KindTallySink",
     "InvariantSink",
     "InvariantViolation",
     "InvariantError",
+    "RULES",
+    "POLICY_RULES",
     "MetricsRegistry",
     "timed",
 ]

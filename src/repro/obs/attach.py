@@ -1,0 +1,262 @@
+"""One-call observability attachment: ``repro.obs.attach(...)``.
+
+Before this module, every consumer of the observability subsystem wired
+its own sinks: the ``repro trace`` CLI built an ``EventBus``, a
+``JsonlSink``, a ``ChromeTraceSink`` and an ``InvariantSink`` by hand,
+campaign workers duplicated the same dance, and the executor knew which
+``RunResult.info`` keys held telemetry.  :func:`attach` replaces all of
+that with one declarative call::
+
+    att = attach(engine, trace="run.jsonl", invariants="dike", metrics=True)
+    result = engine.run()
+    att.close()
+    att.finalize(result)        # stamps info["invariants"]
+
+Targets:
+
+* ``None`` — a fresh :class:`~repro.obs.events.EventBus`; pass
+  ``att.bus`` (or ``att`` itself) to ``run_workload(..., bus=...)``.
+* an ``EventBus`` — sinks are attached to it directly.
+* a ``SimulationEngine`` — the engine's bus is used; if the engine was
+  built without one (the shared ``NULL_BUS``), a fresh bus is installed
+  and the engine's metrics plumbing re-pointed, so attachment works
+  post-construction.
+* a ``Campaign`` — declarative: workers run in other processes, so
+  instead of live sinks the campaign records *what* to attach
+  (``invariants=True`` → a zero-file-I/O ``InvariantSink`` inside every
+  worker; ``trace=<dir>`` → one JSONL trace per executed task) and
+  ``execute_task`` re-applies it in-process.
+
+The returned :class:`Attachment` is a handle over everything that was
+attached (``.jsonl``, ``.chrome``, ``.ring``, ``.invariants``, ``.tally``,
+``.metrics``) plus lifecycle helpers (``close()``, context-manager
+support, :meth:`Attachment.finalize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.events import NULL_BUS, EventBus
+from repro.obs.invariants import InvariantSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import ChromeTraceSink, JsonlSink, KindTallySink, RingBufferSink
+
+__all__ = ["Attachment", "attach", "run_info_telemetry"]
+
+
+@dataclass
+class Attachment:
+    """Handle over one :func:`attach` call: the bus plus every sink."""
+
+    bus: EventBus | None
+    jsonl: JsonlSink | None = None
+    chrome: ChromeTraceSink | None = None
+    ring: RingBufferSink | None = None
+    invariants: InvariantSink | None = None
+    tally: KindTallySink | None = None
+    metrics: MetricsRegistry | None = None
+    #: the Campaign this attachment configured, when that was the target
+    campaign: Any | None = None
+
+    def close(self) -> None:
+        """Close every attached sink (flushes files, exports traces)."""
+        if self.bus is not None:
+            self.bus.close()
+
+    def finalize(self, result: Any) -> Any:
+        """Stamp observability digests into ``result.info`` and return it.
+
+        Today that is the invariant checker's :meth:`InvariantSink.report`
+        under ``info["invariants"]`` (the engine already snapshots metrics
+        itself); a no-op when nothing applicable is attached.
+        """
+        info = getattr(result, "info", None)
+        if self.invariants is not None and isinstance(info, dict):
+            info["invariants"] = self.invariants.report()
+        return result
+
+    def __enter__(self) -> "Attachment":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def attach(
+    target: Any = None,
+    *,
+    trace: str | Path | None = None,
+    chrome: str | Path | None = None,
+    ring: bool | int | RingBufferSink | None = None,
+    invariants: bool | str | InvariantSink | None = None,
+    metrics: bool | MetricsRegistry | None = None,
+    tally: bool = False,
+    strict: bool = False,
+    swap_size: int | None = None,
+    max_bytes: int | None = None,
+) -> Attachment:
+    """Attach observability to ``target`` in one call (see module doc).
+
+    Parameters
+    ----------
+    trace:
+        JSONL event-trace path (engine/bus targets) or per-task trace
+        *directory* (campaign target).
+    chrome:
+        Chrome ``trace_event`` export path.
+    ring:
+        ``True`` / a capacity / a ready ``RingBufferSink``.
+    invariants:
+        ``True`` (all rules), a policy name (that policy's contract via
+        :meth:`InvariantSink.for_policy`), or a ready sink.  On a
+        campaign target only ``True``/``False`` is meaningful.
+    metrics:
+        ``True`` for a fresh :class:`MetricsRegistry`, or one to share.
+    tally:
+        Count events by kind (:class:`KindTallySink`).
+    strict:
+        Raise on the first invariant violation (engine/bus targets).
+    swap_size:
+        Initial swap budget override for Dike-family invariant checks.
+    max_bytes:
+        Rotation bound for the JSONL sink.
+    """
+    campaign = _as_campaign(target)
+    if campaign is not None:
+        return _attach_campaign(campaign, trace=trace, invariants=invariants,
+                                unsupported={"chrome": chrome, "ring": ring,
+                                             "tally": tally or None,
+                                             "metrics": metrics})
+
+    bus = _resolve_bus(target)
+    att = Attachment(bus=bus)
+
+    if metrics is not None and metrics is not False:
+        registry = metrics if isinstance(metrics, MetricsRegistry) else MetricsRegistry()
+        if bus.metrics is None:
+            bus.metrics = registry
+        att.metrics = bus.metrics
+        _repoint_engine_metrics(target, bus)
+    else:
+        att.metrics = bus.metrics
+
+    if trace is not None:
+        att.jsonl = bus.attach(JsonlSink(trace, max_bytes=max_bytes))
+    if chrome is not None:
+        att.chrome = bus.attach(ChromeTraceSink(chrome))
+    if ring is not None and ring is not False:
+        if isinstance(ring, RingBufferSink):
+            att.ring = bus.attach(ring)
+        elif ring is True:
+            att.ring = bus.attach(RingBufferSink())
+        else:
+            att.ring = bus.attach(RingBufferSink(capacity=int(ring)))
+    if invariants is not None and invariants is not False:
+        att.invariants = bus.attach(
+            _build_invariant_sink(invariants, strict=strict, swap_size=swap_size)
+        )
+    if tally:
+        att.tally = bus.attach(KindTallySink())
+    return att
+
+
+def run_info_telemetry(result: Any) -> dict[str, Any]:
+    """The observability fields of a finished run, for campaign telemetry.
+
+    Pulls the keys :func:`attach`-based runs leave in ``RunResult.info``
+    (``metrics``, ``invariants``) so the executor and the campaign's
+    cache-hit replay path never hard-code info-dict layout themselves.
+    """
+    info = getattr(result, "info", None)
+    if not isinstance(info, dict):
+        return {}
+    out: dict[str, Any] = {}
+    for key in ("metrics", "invariants"):
+        value = info.get(key)
+        if value:
+            out[key] = value
+    return out
+
+
+# ----------------------------------------------------------------- internals
+
+
+def _resolve_bus(target: Any) -> EventBus:
+    if target is None:
+        return EventBus()
+    if isinstance(target, EventBus):
+        if target is NULL_BUS:
+            raise ValueError(
+                "cannot attach sinks to the shared NULL_BUS; "
+                "pass target=None for a fresh bus"
+            )
+        return target
+    # A SimulationEngine (duck-typed to avoid import cycles): use its bus,
+    # installing a real one first if it runs on the shared no-op bus.
+    if hasattr(target, "bus") and hasattr(target, "run"):
+        if target.bus is NULL_BUS:
+            target.bus = EventBus()
+            _repoint_engine_metrics(target, target.bus)
+        return target.bus
+    raise TypeError(
+        f"cannot attach observability to {type(target).__name__!r}; "
+        "expected None, an EventBus, a SimulationEngine or a Campaign"
+    )
+
+
+def _repoint_engine_metrics(target: Any, bus: EventBus) -> None:
+    """Keep an engine's metrics plumbing consistent with its (new) bus."""
+    if hasattr(target, "bus") and hasattr(target, "run"):
+        target.metrics = bus.metrics
+        memory = getattr(target, "memory", None)
+        if memory is not None:
+            memory.metrics = bus.metrics
+
+
+def _as_campaign(target: Any) -> Any | None:
+    try:
+        from repro.campaign.core import Campaign
+    except ImportError:  # pragma: no cover — campaign is a sibling package
+        return None
+    return target if isinstance(target, Campaign) else None
+
+
+def _attach_campaign(
+    campaign: Any,
+    trace: str | Path | None,
+    invariants: Any,
+    unsupported: dict[str, Any],
+) -> Attachment:
+    bad = sorted(k for k, v in unsupported.items() if v)
+    if bad:
+        raise ValueError(
+            f"campaign attachment does not support {bad}: workers run in "
+            "separate processes, so only declarative options (invariants=, "
+            "trace=<directory>) can cross the boundary"
+        )
+    if isinstance(invariants, (str, InvariantSink)):
+        raise ValueError(
+            "campaign invariants are configured per task policy; pass "
+            "invariants=True and each worker builds the policy's contract "
+            "via InvariantSink.for_policy"
+        )
+    if invariants:
+        campaign.invariants = True
+    if trace is not None:
+        campaign.trace_dir = str(trace)
+    return Attachment(bus=None, campaign=campaign)
+
+
+def _build_invariant_sink(
+    spec: bool | str | InvariantSink, strict: bool, swap_size: int | None
+) -> InvariantSink:
+    if isinstance(spec, InvariantSink):
+        return spec
+    if isinstance(spec, str):
+        return InvariantSink.for_policy(spec, swap_size=swap_size, strict=strict)
+    return InvariantSink(
+        swap_size=swap_size if swap_size is not None else 8, strict=strict
+    )

@@ -1,29 +1,59 @@
-"""Align two JSONL event traces and find the first divergent decision.
+"""Trace alignment and divergence analysis for JSONL event traces.
 
 Determinism is a load-bearing property of this reproduction: a run is a
 pure function of ``(workload, policy, config, seed, work_scale)``, which
 is what lets the campaign cache replay results.  When two runs that
 *should* be identical are not, aggregate results only say "different" —
-:func:`diff_traces` says **where**: it groups both event streams by
-quantum, compares them event-by-event in emission order, and reports the
-first divergent quantum together with the two events that disagree
-(or the one that exists on only one side).
+this module says **where**, at two depths:
+
+* :func:`diff_traces` — the cheap first-divergence probe: group both
+  event streams by quantum, compare event-by-event in emission order,
+  stop at the first disagreement (a :class:`TraceDiff`).
+* :func:`analyze_traces` — the full divergence analyzer: align the two
+  streams end-to-end with an LCS over quantum groups (each group keyed by
+  its ``QuantumStart``), so the comparison *re-synchronises* after a
+  divergence instead of declaring everything downstream different.  The
+  result is a structured :class:`DivergenceReport`: aligned/divergent
+  quantum ranges, per-event-kind divergence counts, first/last divergent
+  quantum, and the earliest mismatching field per kind — the drill-down
+  that localises nondeterminism introduced by parallel/async execution.
 
 Events are compared on their full serialised payload, so a divergence in
 an intermediate decision (a proposed pair, a profit term, a veto) is
 caught even when the executed actions happen to match for a while.
+
+Both entry points refuse to compare traces that speak different event
+schema versions (:class:`SchemaMismatch`) — aligning ``v=1`` events
+against ``v=2`` events would report field noise, not divergence.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from difflib import SequenceMatcher
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, ClassVar, Iterable
 
-from repro.obs.events import validate_event_dict
+from repro.obs.events import SCHEMA_VERSION, validate_event_dict
 
-__all__ = ["TraceDiff", "Divergence", "load_events", "diff_traces", "render_diff"]
+__all__ = [
+    "TraceDiff",
+    "Divergence",
+    "SchemaMismatch",
+    "RegionDiff",
+    "FieldMismatch",
+    "DivergenceReport",
+    "load_events",
+    "diff_traces",
+    "analyze_traces",
+    "render_diff",
+    "render_report",
+]
+
+
+class SchemaMismatch(ValueError):
+    """The two traces (or lines within one trace) carry different ``v``s."""
 
 
 def load_events(
@@ -53,6 +83,36 @@ def load_events(
     return events
 
 
+# ---------------------------------------------------------------- schema guard
+
+
+def _trace_version(events: Iterable[dict[str, Any]], label: str) -> int:
+    """The single schema version a trace speaks (or :class:`SchemaMismatch`)."""
+    versions = {record.get("v") for record in events}
+    if len(versions) > 1:
+        raise SchemaMismatch(
+            f"trace {label} mixes event schema versions {sorted(map(str, versions))}"
+        )
+    return versions.pop() if versions else SCHEMA_VERSION
+
+
+def _check_same_schema(
+    events_a: list[dict[str, Any]], events_b: list[dict[str, Any]]
+) -> int:
+    va = _trace_version(events_a, "a")
+    vb = _trace_version(events_b, "b")
+    if va != vb:
+        raise SchemaMismatch(
+            f"traces speak different event schema versions ({va!r} vs {vb!r}); "
+            "comparing them would report schema noise, not divergence — "
+            "re-capture both traces with the same library version"
+        )
+    return int(va) if isinstance(va, int) else SCHEMA_VERSION
+
+
+# --------------------------------------------------------- first-divergence
+
+
 @dataclass(frozen=True)
 class Divergence:
     """The first point where two traces disagree."""
@@ -65,7 +125,7 @@ class Divergence:
 
 @dataclass(frozen=True)
 class TraceDiff:
-    """Outcome of aligning two traces."""
+    """Outcome of the first-divergence probe (:func:`diff_traces`)."""
 
     n_events_a: int
     n_events_b: int
@@ -87,7 +147,10 @@ def _by_quantum(events: Iterable[dict[str, Any]]) -> dict[int, list[dict[str, An
 def diff_traces(
     events_a: list[dict[str, Any]], events_b: list[dict[str, Any]]
 ) -> TraceDiff:
-    """Compare two event streams quantum-by-quantum, in emission order."""
+    """Compare two event streams quantum-by-quantum, stopping at the
+    first divergent event (the cheap probe; see :func:`analyze_traces`
+    for the full alignment)."""
+    _check_same_schema(events_a, events_b)
     groups_a = _by_quantum(events_a)
     groups_b = _by_quantum(events_b)
     quanta = sorted(set(groups_a) | set(groups_b))
@@ -111,6 +174,284 @@ def diff_traces(
         n_quanta_compared=compared,
         divergence=divergence,
     )
+
+
+# ------------------------------------------------------------ full alignment
+
+
+@dataclass(frozen=True)
+class RegionDiff:
+    """One aligned range of quantum groups.
+
+    ``op`` is ``"equal"`` (the groups match byte-for-byte), ``"replace"``
+    (both sides have groups here but they differ), ``"delete"`` (quanta
+    present only in trace a) or ``"insert"`` (only in trace b).
+    ``a_quanta``/``b_quanta`` are inclusive ``(first, last)`` quantum ids
+    on each side, or ``None`` when that side contributes no groups.
+    """
+
+    op: str
+    a_quanta: tuple[int, int] | None
+    b_quanta: tuple[int, int] | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "op": self.op,
+            "a_quanta": list(self.a_quanta) if self.a_quanta else None,
+            "b_quanta": list(self.b_quanta) if self.b_quanta else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RegionDiff":
+        return cls(
+            op=data["op"],
+            a_quanta=tuple(data["a_quanta"]) if data["a_quanta"] else None,
+            b_quanta=tuple(data["b_quanta"]) if data["b_quanta"] else None,
+        )
+
+
+@dataclass(frozen=True)
+class FieldMismatch:
+    """The earliest mismatching field seen for one event kind.
+
+    ``field`` is the event field whose values first disagreed; the
+    sentinel ``"<missing>"`` means the event exists on one side only (the
+    absent side's value is None), and ``"kind"`` means the aligned slots
+    hold events of different kinds.
+    """
+
+    quantum: int
+    field: str
+    a: Any
+    b: Any
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"quantum": self.quantum, "field": self.field,
+                "a": self.a, "b": self.b}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FieldMismatch":
+        return cls(
+            quantum=data["quantum"], field=data["field"],
+            a=data["a"], b=data["b"],
+        )
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Structured outcome of the full trace alignment.
+
+    Serialises losslessly through :meth:`to_dict`/:meth:`from_dict` — the
+    JSON document ``repro trace-diff --json`` prints (see
+    ``docs/observability.md`` for the published schema).
+    """
+
+    #: bumped when the report's own shape changes
+    REPORT_VERSION: ClassVar[int] = 1
+
+    trace_schema_version: int
+    n_events_a: int
+    n_events_b: int
+    n_quanta_a: int
+    n_quanta_b: int
+    n_aligned_quanta: int
+    n_divergent_quanta: int
+    first_divergent_quantum: int | None
+    last_divergent_quantum: int | None
+    regions: tuple[RegionDiff, ...]
+    #: divergent event comparisons per event kind
+    kind_counts: dict[str, int] = field(default_factory=dict)
+    #: per kind, the earliest mismatching field (the drill-down)
+    first_mismatch_by_kind: dict[str, FieldMismatch] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return (
+            self.n_divergent_quanta == 0
+            and self.n_events_a == self.n_events_b
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "report_version": self.REPORT_VERSION,
+            "identical": self.identical,
+            "trace_schema_version": self.trace_schema_version,
+            "n_events_a": self.n_events_a,
+            "n_events_b": self.n_events_b,
+            "n_quanta_a": self.n_quanta_a,
+            "n_quanta_b": self.n_quanta_b,
+            "n_aligned_quanta": self.n_aligned_quanta,
+            "n_divergent_quanta": self.n_divergent_quanta,
+            "first_divergent_quantum": self.first_divergent_quantum,
+            "last_divergent_quantum": self.last_divergent_quantum,
+            "regions": [r.to_dict() for r in self.regions],
+            "kind_counts": dict(self.kind_counts),
+            "first_mismatch_by_kind": {
+                kind: m.to_dict()
+                for kind, m in self.first_mismatch_by_kind.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DivergenceReport":
+        version = data.get("report_version")
+        if version != cls.REPORT_VERSION:
+            raise ValueError(
+                f"divergence report version mismatch: document has "
+                f"{version!r}, library speaks {cls.REPORT_VERSION}"
+            )
+        return cls(
+            trace_schema_version=data["trace_schema_version"],
+            n_events_a=data["n_events_a"],
+            n_events_b=data["n_events_b"],
+            n_quanta_a=data["n_quanta_a"],
+            n_quanta_b=data["n_quanta_b"],
+            n_aligned_quanta=data["n_aligned_quanta"],
+            n_divergent_quanta=data["n_divergent_quanta"],
+            first_divergent_quantum=data["first_divergent_quantum"],
+            last_divergent_quantum=data["last_divergent_quantum"],
+            regions=tuple(RegionDiff.from_dict(r) for r in data["regions"]),
+            kind_counts=dict(data["kind_counts"]),
+            first_mismatch_by_kind={
+                kind: FieldMismatch.from_dict(m)
+                for kind, m in data["first_mismatch_by_kind"].items()
+            },
+        )
+
+
+def _quantum_groups(
+    events: Iterable[dict[str, Any]],
+) -> list[tuple[int, list[dict[str, Any]]]]:
+    """Events grouped by quantum id, in order of first appearance.
+
+    Quantum ids are monotone in well-formed traces (every group opens
+    with its ``QuantumStart``), so first-appearance order is emission
+    order.
+    """
+    order: list[int] = []
+    groups: dict[int, list[dict[str, Any]]] = {}
+    for ev in events:
+        q = int(ev.get("quantum", -1))
+        if q not in groups:
+            groups[q] = []
+            order.append(q)
+        groups[q].append(ev)
+    return [(q, groups[q]) for q in order]
+
+
+def _group_signature(events: list[dict[str, Any]]) -> str:
+    """Canonical byte form of one quantum group (the LCS alphabet)."""
+    return json.dumps(events, sort_keys=True)
+
+
+def _first_field_mismatch(
+    a: dict[str, Any] | None, b: dict[str, Any] | None
+) -> tuple[str, Any, Any]:
+    """(field, a_value, b_value) of the earliest disagreement in a pair."""
+    if a is None or b is None:
+        return "<missing>", a, b
+    if a.get("kind") != b.get("kind"):
+        return "kind", a.get("kind"), b.get("kind")
+    for name in sorted(set(a) | set(b)):
+        if a.get(name) != b.get(name):
+            return name, a.get(name), b.get(name)
+    return "<none>", None, None  # pragma: no cover — callers pass a != b
+
+
+class _KindTracker:
+    """Accumulates per-kind divergence counts and first mismatches."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+        self.first: dict[str, FieldMismatch] = {}
+
+    def record(
+        self,
+        quantum: int,
+        a: dict[str, Any] | None,
+        b: dict[str, Any] | None,
+    ) -> None:
+        kind = (a or b or {}).get("kind", "?")
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if kind not in self.first:
+            field_name, va, vb = _first_field_mismatch(a, b)
+            self.first[kind] = FieldMismatch(
+                quantum=quantum, field=field_name, a=va, b=vb
+            )
+
+
+def analyze_traces(
+    events_a: list[dict[str, Any]], events_b: list[dict[str, Any]]
+) -> DivergenceReport:
+    """Align two event streams end-to-end and report every divergence.
+
+    The alignment is a longest-common-subsequence over *quantum groups*
+    (each group = every event stamped with one quantum id, keyed by its
+    opening ``QuantumStart``), so an inserted, dropped or perturbed
+    quantum de-synchronises only its own region: matching later quanta
+    re-align and are reported as equal instead of cascading.
+    """
+    version = _check_same_schema(events_a, events_b)
+    groups_a = _quantum_groups(events_a)
+    groups_b = _quantum_groups(events_b)
+    sigs_a = [_group_signature(evs) for _, evs in groups_a]
+    sigs_b = [_group_signature(evs) for _, evs in groups_b]
+
+    matcher = SequenceMatcher(None, sigs_a, sigs_b, autojunk=False)
+    regions: list[RegionDiff] = []
+    tracker = _KindTracker()
+    n_aligned = 0
+    n_divergent = 0
+    first_q: int | None = None
+    last_q: int | None = None
+
+    for op, a0, a1, b0, b1 in matcher.get_opcodes():
+        span_a = groups_a[a0:a1]
+        span_b = groups_b[b0:b1]
+        regions.append(
+            RegionDiff(
+                op=op,
+                a_quanta=(span_a[0][0], span_a[-1][0]) if span_a else None,
+                b_quanta=(span_b[0][0], span_b[-1][0]) if span_b else None,
+            )
+        )
+        if op == "equal":
+            n_aligned += len(span_a)
+            continue
+        n_divergent += max(len(span_a), len(span_b))
+        qs = [q for q, _ in span_a] or [q for q, _ in span_b]
+        first_q = min(qs) if first_q is None else min(first_q, min(qs))
+        last_q = max(qs) if last_q is None else max(last_q, max(qs))
+        # Pair the region's groups positionally and charge every
+        # mismatching event slot to its kind.
+        for i in range(max(len(span_a), len(span_b))):
+            qa, evs_a = span_a[i] if i < len(span_a) else (None, [])
+            qb, evs_b = span_b[i] if i < len(span_b) else (None, [])
+            quantum = qa if qa is not None else qb
+            assert quantum is not None
+            for j in range(max(len(evs_a), len(evs_b))):
+                ev_a = evs_a[j] if j < len(evs_a) else None
+                ev_b = evs_b[j] if j < len(evs_b) else None
+                if ev_a != ev_b:
+                    tracker.record(quantum, ev_a, ev_b)
+
+    return DivergenceReport(
+        trace_schema_version=version,
+        n_events_a=len(events_a),
+        n_events_b=len(events_b),
+        n_quanta_a=len(groups_a),
+        n_quanta_b=len(groups_b),
+        n_aligned_quanta=n_aligned,
+        n_divergent_quanta=n_divergent,
+        first_divergent_quantum=first_q,
+        last_divergent_quantum=last_q,
+        regions=tuple(regions),
+        kind_counts=tracker.counts,
+        first_mismatch_by_kind=tracker.first,
+    )
+
+
+# ----------------------------------------------------------------- rendering
 
 
 def _describe_event(record: dict[str, Any] | None) -> str:
@@ -139,4 +480,63 @@ def render_diff(diff: TraceDiff, label_a: str = "a", label_b: str = "b") -> str:
         f"  {label_b}: {_describe_event(d.b)}",
         f"({diff.n_events_a} vs {diff.n_events_b} events total)",
     ]
+    return "\n".join(lines)
+
+
+def _span(label: tuple[int, int] | None) -> str:
+    if label is None:
+        return "-"
+    lo, hi = label
+    return f"q{lo}" if lo == hi else f"q{lo}-q{hi}"
+
+
+_REGION_VERBS = {
+    "replace": "differ",
+    "delete": "only in a",
+    "insert": "only in b",
+    "equal": "equal",
+}
+
+
+def render_report(
+    report: DivergenceReport,
+    label_a: str = "a",
+    label_b: str = "b",
+    max_regions: int = 24,
+) -> str:
+    """Human-readable rendering of a :class:`DivergenceReport`."""
+    if report.identical:
+        return (
+            f"traces identical: {report.n_events_a} events over "
+            f"{report.n_quanta_a} quanta"
+        )
+    lines = [
+        f"traces diverge: {report.n_divergent_quanta} divergent quantum "
+        f"group(s), {report.n_aligned_quanta} aligned "
+        f"(first q{report.first_divergent_quantum}, "
+        f"last q{report.last_divergent_quantum})",
+        f"  {label_a}: {report.n_events_a} events / "
+        f"{report.n_quanta_a} quanta",
+        f"  {label_b}: {report.n_events_b} events / "
+        f"{report.n_quanta_b} quanta",
+        "alignment:",
+    ]
+    for region in report.regions[:max_regions]:
+        verb = _REGION_VERBS.get(region.op, region.op)
+        lines.append(
+            f"  {_span(region.a_quanta):>12}  {_span(region.b_quanta):>12}"
+            f"  {verb}"
+        )
+    if len(report.regions) > max_regions:
+        lines.append(f"  ... (+{len(report.regions) - max_regions} more regions)")
+    lines.append("divergent events by kind:")
+    for kind in sorted(report.kind_counts):
+        mismatch = report.first_mismatch_by_kind.get(kind)
+        drill = ""
+        if mismatch is not None:
+            drill = (
+                f"  (first at q{mismatch.quantum}: {mismatch.field}: "
+                f"{mismatch.a!r} != {mismatch.b!r})"
+            )
+        lines.append(f"  {kind:<24} {report.kind_counts[kind]:>5}{drill}")
     return "\n".join(lines)

@@ -20,15 +20,18 @@ validates, per quantum, the scheduling contract the paper specifies:
   executed swaps) puts them.
 
 Violations are recorded (``violations``/``summary()``) or raised
-immediately (``strict=True``) as :class:`InvariantError`.  The checker is
-meant for swap-only policies (Dike, DIO); policies that issue unilateral
-``Move`` actions (CFS rebalancing) legitimately break the permutation
-rule, so only attach it to runs whose contract it encodes.
+immediately (``strict=True``) as :class:`InvariantError`.  Not every rule
+applies to every policy — DIO swaps everything each interval (no cooldown,
+no budget) and CFS issues unilateral ``Move`` actions that legitimately
+break the permutation rule — so the checked subset is selectable via
+``rules=`` and :meth:`InvariantSink.for_policy` encodes the per-policy
+contract the campaign layer attaches continuously.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.obs.events import (
     ArrivalPlaced,
@@ -39,7 +42,13 @@ from repro.obs.events import (
     SwapExecuted,
 )
 
-__all__ = ["InvariantViolation", "InvariantError", "InvariantSink", "RULES"]
+__all__ = [
+    "InvariantViolation",
+    "InvariantError",
+    "InvariantSink",
+    "RULES",
+    "POLICY_RULES",
+]
 
 #: Every rule the sink can report, for summaries and tests.
 RULES = (
@@ -49,6 +58,24 @@ RULES = (
     "profit-arithmetic",
     "permutation",
 )
+
+#: Per-policy contract: which rules hold by design for each campaign
+#: policy.  Dike's pipeline promises all five; DIO swaps every thread in
+#: every quantum (cooldown and budget are off by design); CFS rebalances
+#: with unilateral moves the event stream does not record, so placement
+#: cannot be replayed from swaps alone (no permutation rule).  Policies
+#: not listed get the event-local rules only.
+POLICY_RULES: dict[str, tuple[str, ...]] = {
+    "dike": RULES,
+    "dike-af": RULES,
+    "dike-ap": RULES,
+    "dio": ("no-third-core", "profit-arithmetic", "permutation"),
+    "static": RULES,
+    "cfs": ("no-third-core", "cooldown", "swap-budget", "profit-arithmetic"),
+}
+
+#: Fallback for policies without a registered contract.
+DEFAULT_RULES = ("no-third-core", "profit-arithmetic")
 
 
 @dataclass(frozen=True)
@@ -86,6 +113,10 @@ class InvariantSink:
         recording it.
     profit_tolerance:
         Relative tolerance of the Eqn 1–3 arithmetic re-derivation.
+    rules:
+        The subset of :data:`RULES` to enforce (default: all).  Use
+        :meth:`for_policy` to get the subset that encodes a given
+        policy's contract.
     """
 
     def __init__(
@@ -93,7 +124,14 @@ class InvariantSink:
         swap_size: int | None = 8,
         strict: bool = False,
         profit_tolerance: float = 1e-6,
+        rules: Sequence[str] | None = None,
     ) -> None:
+        self.rules = tuple(rules) if rules is not None else RULES
+        unknown = set(self.rules) - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown invariant rules {sorted(unknown)}; known: {RULES}"
+            )
         self.swap_size = swap_size
         self.strict = strict
         self.profit_tolerance = profit_tolerance
@@ -106,6 +144,25 @@ class InvariantSink:
         #: threads swapped per quantum index (for the budget rule)
         self._swapped_in_quantum: dict[int, set[int]] = {}
         self._have_placement = False
+
+    @classmethod
+    def for_policy(
+        cls,
+        policy: str,
+        swap_size: int | None = None,
+        strict: bool = False,
+    ) -> "InvariantSink":
+        """The sink encoding ``policy``'s contract (see :data:`POLICY_RULES`).
+
+        ``swap_size`` overrides the initial budget for Dike-family
+        policies (the paper's default 8 otherwise); non-Dike policies
+        have no budget rule, so their budget is always ``None``.
+        """
+        rules = POLICY_RULES.get(policy, DEFAULT_RULES)
+        budget: int | None = None
+        if "swap-budget" in rules:
+            budget = swap_size if swap_size is not None else 8
+        return cls(swap_size=budget, strict=strict, rules=rules)
 
     # ------------------------------------------------------------ sink API
 
@@ -127,7 +184,7 @@ class InvariantSink:
     # ------------------------------------------------------------- checks
 
     def _check_quantum_end(self, event: QuantumEnd) -> None:
-        if self._have_placement:
+        if self._have_placement and "permutation" in self.rules:
             # Placement must equal the previous assignment permuted by the
             # swaps/arrivals recorded since (finished threads drop out).
             for tid, vcore in event.assignments.items():
@@ -145,8 +202,10 @@ class InvariantSink:
     def _check_swap(self, event: SwapExecuted) -> None:
         prev_a = self._placement.get(event.tid_a)
         prev_b = self._placement.get(event.tid_b)
-        if prev_a is not None and prev_b is not None and not (
-            event.vcore_a == prev_b and event.vcore_b == prev_a
+        if "no-third-core" in self.rules and (
+            prev_a is not None and prev_b is not None and not (
+                event.vcore_a == prev_b and event.vcore_b == prev_a
+            )
         ):
             self._report(
                 event.quantum,
@@ -157,7 +216,11 @@ class InvariantSink:
             )
         for tid in (event.tid_a, event.tid_b):
             last = self._last_swap_quantum.get(tid)
-            if last is not None and event.quantum - last == 1:
+            if (
+                "cooldown" in self.rules
+                and last is not None
+                and event.quantum - last == 1
+            ):
                 self._report(
                     event.quantum,
                     "cooldown",
@@ -167,7 +230,11 @@ class InvariantSink:
             self._last_swap_quantum[tid] = event.quantum
         swapped = self._swapped_in_quantum.setdefault(event.quantum, set())
         swapped.update((event.tid_a, event.tid_b))
-        if self.swap_size is not None and len(swapped) > self.swap_size:
+        if (
+            "swap-budget" in self.rules
+            and self.swap_size is not None
+            and len(swapped) > self.swap_size
+        ):
             self._report(
                 event.quantum,
                 "swap-budget",
@@ -182,6 +249,8 @@ class InvariantSink:
             del self._swapped_in_quantum[q]
 
     def _check_profit(self, event: ProfitEvaluated) -> None:
+        if "profit-arithmetic" not in self.rules:
+            return
         tol = self.profit_tolerance
 
         def off(actual: float, expected: float) -> bool:
@@ -218,8 +287,18 @@ class InvariantSink:
         return not self.violations
 
     def summary(self) -> dict[str, int]:
-        """Violation count per rule (all rules present, zeros included)."""
-        out = {rule: 0 for rule in RULES}
+        """Violation count per active rule (zeros included)."""
+        out = {rule: 0 for rule in self.rules}
         for v in self.violations:
             out[v.rule] = out.get(v.rule, 0) + 1
         return out
+
+    def report(self) -> dict[str, object]:
+        """JSON-able digest for ``RunResult.info["invariants"]`` and
+        campaign telemetry: total + per-rule counts + events checked."""
+        return {
+            "total": len(self.violations),
+            "checked": self.n_events,
+            "rules": list(self.rules),
+            "by_rule": self.summary(),
+        }

@@ -34,7 +34,7 @@ from repro.obs.events import (
     SwapExecuted,
 )
 
-__all__ = ["JsonlSink", "RingBufferSink", "ChromeTraceSink"]
+__all__ = ["JsonlSink", "RingBufferSink", "ChromeTraceSink", "KindTallySink"]
 
 
 class JsonlSink:
@@ -137,6 +137,23 @@ class RingBufferSink:
 
     def __len__(self) -> int:
         return len(self._buffer)
+
+
+class KindTallySink:
+    """Count events per kind — the cheapest possible run summary.
+
+    Used by ``repro trace`` for its closing per-kind table; handy in
+    tests to assert an instrumented code path actually fired.
+    """
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def accept(self, event: Event) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
 
 
 class ChromeTraceSink:

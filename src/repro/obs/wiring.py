@@ -1,0 +1,63 @@
+"""Deprecated per-sink wiring helpers, kept as shims over :func:`attach`.
+
+These are the legacy entry points that ``cli.py``, ``experiments/runner.py``
+and ``campaign/executor.py`` used before ``repro.obs.attach`` unified
+observability attachment.  Each emits a :class:`DeprecationWarning` and
+delegates; new code should call :func:`repro.obs.attach` directly.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+from repro.obs.attach import attach
+from repro.obs.events import EventBus
+from repro.obs.invariants import InvariantSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import ChromeTraceSink, JsonlSink
+
+__all__ = ["wire_trace_sinks", "wire_invariant_sink", "wire_metrics"]
+
+
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.obs.wiring.{name} is deprecated; use repro.obs.attach(...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def wire_trace_sinks(
+    bus: EventBus,
+    out: str | Path,
+    chrome: str | Path | None = None,
+    max_bytes: int | None = None,
+) -> tuple[JsonlSink, ChromeTraceSink | None]:
+    """Deprecated: attach JSONL (and optional Chrome) sinks to ``bus``."""
+    _deprecated("wire_trace_sinks")
+    att = attach(bus, trace=out, chrome=chrome, max_bytes=max_bytes)
+    assert att.jsonl is not None
+    return att.jsonl, att.chrome
+
+
+def wire_invariant_sink(
+    bus: EventBus,
+    swap_size: int | None = 8,
+    strict: bool = False,
+    policy: str | None = None,
+) -> InvariantSink:
+    """Deprecated: attach an :class:`InvariantSink` to ``bus``."""
+    _deprecated("wire_invariant_sink")
+    spec: bool | str = policy if policy is not None else True
+    att = attach(bus, invariants=spec, swap_size=swap_size, strict=strict)
+    assert att.invariants is not None
+    return att.invariants
+
+
+def wire_metrics(bus: EventBus) -> MetricsRegistry:
+    """Deprecated: ensure ``bus`` carries a :class:`MetricsRegistry`."""
+    _deprecated("wire_metrics")
+    att = attach(bus, metrics=True)
+    assert att.metrics is not None
+    return att.metrics

@@ -136,3 +136,76 @@ class TestCrossExperimentSharing:
             cases=(("wl2", "jacobi"),), work_scale=0.02, campaign=camp
         )
         assert telemetry.cache_hits == 1  # wl2 CFS@heterogeneous reused
+
+
+class TestContinuousInvariants:
+    """The Figure 6 grid as a standing contract test (``invariants=``)."""
+
+    def test_every_policy_reports_zero_violations(self):
+        telemetry = Telemetry(stream=None)
+        camp = Campaign(telemetry=telemetry, invariants=True)
+        results = camp.gather(_tasks())
+        for task, result in zip(_tasks(), results):
+            digest = result.info["invariants"]
+            assert digest["total"] == 0, f"{task.policy}: {digest}"
+            assert digest["checked"] > 0
+        assert telemetry.invariant_tasks == 3
+        assert telemetry.invariant_violations == 0
+
+    def test_counts_land_in_telemetry_jsonl(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        camp = Campaign(
+            telemetry=Telemetry(events_path=events, stream=None),
+            invariants=True,
+        )
+        camp.gather(_tasks())
+        camp.telemetry.close()
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        dones = [l for l in lines if l["event"] == "task_done"]
+        assert len(dones) == 3
+        for done in dones:
+            assert done["invariants"]["total"] == 0
+            assert done["invariants"]["rules"]
+        summary = next(l for l in lines if l["event"] == "summary")
+        assert summary["invariant_violations"] == 0
+        assert summary["invariant_tasks"] == 3
+
+    def test_invariant_tasks_have_distinct_cache_keys(self):
+        plain = _tasks()[0]
+        from dataclasses import replace
+
+        checked = replace(plain, invariants=True)
+        assert cache_key(plain) != cache_key(checked)
+        # and the plain task's dict (hence key) is unchanged by the field
+        assert "invariants" not in plain.to_dict()
+
+    def test_resume_replays_recorded_counts_instead_of_zero(self, tmp_path):
+        events = tmp_path / "events.jsonl"
+        Campaign.at(tmp_path / "cache", invariants=True).gather(_tasks())
+
+        resumed = Campaign(
+            store=ResultStore(tmp_path / "cache"),
+            telemetry=Telemetry(events_path=events, stream=None),
+            invariants=True,
+        )
+        results = resumed.gather(_tasks())
+        resumed.telemetry.close()
+        assert resumed.telemetry.done == 0  # nothing re-ran
+        assert resumed.telemetry.cache_hits == 3
+        # the recorded digests were replayed, not zeroed or dropped
+        assert resumed.telemetry.invariant_tasks == 3
+        for result in results:
+            assert result.info["invariants"]["checked"] > 0
+        lines = [json.loads(l) for l in events.read_text().splitlines()]
+        hits = [l for l in lines if l["event"] == "cache_hit"]
+        assert len(hits) == 3
+        for hit in hits:
+            assert hit["invariants"]["total"] == 0
+            assert hit["invariants"]["checked"] > 0
+
+    def test_trace_dir_writes_one_trace_per_executed_task(self, tmp_path):
+        camp = Campaign(trace_dir=tmp_path / "traces")
+        camp.gather(_tasks()[:2])
+        traces = sorted(p.name for p in (tmp_path / "traces").iterdir())
+        assert len(traces) == 2
+        assert all(name.endswith(".jsonl") for name in traces)

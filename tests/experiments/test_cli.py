@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -94,3 +97,112 @@ class TestCampaignCommand:
         ]
         assert main(argv) == 0
         assert not (tmp_path / ".campaign").exists()
+
+
+class TestSharedFlagSurface:
+    """run/report/all/campaign/bench/trace share one flag vocabulary."""
+
+    OPERANDS = {
+        "run": ["tab1"],
+        "report": [],
+        "all": [],
+        "campaign": [],
+        "bench": [],
+        "trace": ["wl1"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(OPERANDS))
+    def test_backend_and_quick_flags_parse_everywhere(self, command, tmp_path):
+        argv = [command, *self.OPERANDS[command],
+                "--quick", "--workers", "3",
+                "--cache-dir", str(tmp_path),
+                "--trace-out", str(tmp_path / "t.jsonl"),
+                "--invariants"]
+        args = build_parser().parse_args(argv)
+        assert args.quick is True
+        assert args.workers == 3
+        assert args.cache_dir == str(tmp_path)
+        assert args.trace_out == str(tmp_path / "t.jsonl")
+        assert args.invariants is True
+
+    def test_quick_resolves_to_smoke_scale(self):
+        from repro.cli import QUICK_SCALE, _resolve_shared_flags
+
+        args = build_parser().parse_args(["run", "tab1", "--quick"])
+        _resolve_shared_flags(args)
+        assert args.scale == QUICK_SCALE
+
+    def test_explicit_scale_beats_quick(self):
+        from repro.cli import _resolve_shared_flags
+
+        args = build_parser().parse_args(
+            ["run", "tab1", "--quick", "--scale", "0.5"]
+        )
+        _resolve_shared_flags(args)
+        assert args.scale == 0.5
+
+    def test_workers_default_depends_on_command(self):
+        from repro.cli import _resolve_shared_flags
+
+        inline = build_parser().parse_args(["run", "tab1"])
+        _resolve_shared_flags(inline)
+        assert inline.workers == 1
+
+        grid = build_parser().parse_args(["campaign"])
+        _resolve_shared_flags(grid)
+        assert grid.workers == 2
+
+
+class TestTraceDiffCommand:
+    GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+    def test_identical_traces_exit_zero(self, capsys):
+        golden = str(self.GOLDEN / "tiny_dike.jsonl")
+        assert main(["trace-diff", golden, golden]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_divergent_traces_exit_one(self, capsys):
+        code = main([
+            "trace-diff",
+            str(self.GOLDEN / "tiny_cfs.jsonl"),
+            str(self.GOLDEN / "tiny_dike.jsonl"),
+        ])
+        assert code == 1
+        assert "diverg" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, capsys):
+        from repro.obs.diff import DivergenceReport
+
+        code = main([
+            "trace-diff", "--json",
+            str(self.GOLDEN / "tiny_cfs.jsonl"),
+            str(self.GOLDEN / "tiny_dike.jsonl"),
+        ])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        report = DivergenceReport.from_dict(doc)
+        assert not report.identical
+        assert report.to_dict() == doc
+
+    def test_schema_version_mismatch_exits_two(self, capsys, tmp_path):
+        golden = self.GOLDEN / "tiny_dike.jsonl"
+        bumped = tmp_path / "future.jsonl"
+        lines = golden.read_text().splitlines()
+        bumped.write_text(
+            "\n".join(json.dumps(dict(json.loads(l), v=99)) for l in lines)
+            + "\n"
+        )
+        code = main(
+            ["trace-diff", "--no-validate", str(golden), str(bumped)]
+        )
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, capsys, tmp_path):
+        code = main([
+            "trace-diff",
+            str(self.GOLDEN / "tiny_dike.jsonl"),
+            str(tmp_path / "nope.jsonl"),
+        ])
+        assert code == 2
+        assert capsys.readouterr().err

@@ -1,15 +1,27 @@
-"""Tests for trace loading and same-seed determinism diffing."""
+"""Tests for trace loading, diffing and full divergence analysis."""
 
 from __future__ import annotations
 
+import copy
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.core.dike import dike
-from repro.obs.diff import diff_traces, load_events, render_diff
+from repro.obs.diff import (
+    DivergenceReport,
+    SchemaMismatch,
+    analyze_traces,
+    diff_traces,
+    load_events,
+    render_diff,
+    render_report,
+)
 from repro.obs.events import EventBus
 from repro.obs.sinks import JsonlSink
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
 
 
 def trace_run(run_quickly, workload, topology, path, seed):
@@ -70,3 +82,91 @@ class TestDiffTraces:
         assert diff.divergence.index == 1
         assert diff.divergence.b is None
         assert "no event" in render_diff(diff)
+
+    def test_mixed_schema_versions_refuse_to_compare(self):
+        a = [{"v": 1, "kind": "pair_proposed", "quantum": 0,
+              "time_s": 0.0, "t_l": 1, "t_h": 2}]
+        b = [dict(a[0], v=2)]
+        with pytest.raises(SchemaMismatch, match="schema versions"):
+            diff_traces(a, b)
+
+
+def _golden_dike() -> list[dict]:
+    return load_events(GOLDEN / "tiny_dike.jsonl")
+
+
+def _perturb(events: list[dict]) -> list[dict]:
+    """Inject a mid-run perturbation touching two distinct event kinds."""
+    out = copy.deepcopy(events)
+    swapped = fairness = False
+    for ev in out:
+        if not swapped and ev["kind"] == "swap_executed" and ev["quantum"] >= 2:
+            ev["vcore_a"], ev["vcore_b"] = ev["vcore_b"], ev["vcore_a"]
+            swapped = True
+        if not fairness and ev["kind"] == "fairness_computed" and ev["quantum"] >= 3:
+            ev["value"] += 0.25
+            fairness = True
+    assert swapped and fairness, "golden trace no longer has both kinds"
+    return out
+
+
+class TestAnalyzeTraces:
+    def test_identical_traces_report_identical(self):
+        events = _golden_dike()
+        report = analyze_traces(events, events)
+        assert report.identical
+        assert report.n_divergent_quanta == 0
+        assert report.kind_counts == {}
+        assert "identical" in render_report(report)
+
+    def test_all_perturbed_kinds_reported_with_aligned_ranges(self):
+        a = _golden_dike()
+        b = _perturb(a)
+        report = analyze_traces(a, b)
+        assert not report.identical
+        # every injected kind is charged, not just the first divergence
+        assert set(report.kind_counts) == {"swap_executed", "fairness_computed"}
+        # surrounding quanta re-align: equal regions exist on both flanks
+        ops = [r.op for r in report.regions]
+        assert "equal" in ops and "replace" in ops
+        assert report.n_aligned_quanta > 0
+        assert report.first_divergent_quantum is not None
+        assert report.last_divergent_quantum >= report.first_divergent_quantum
+        # the drill-down names the first mismatching field per kind
+        swap = report.first_mismatch_by_kind["swap_executed"]
+        assert swap.field in ("vcore_a", "vcore_b")
+        fair = report.first_mismatch_by_kind["fairness_computed"]
+        assert fair.field == "value"
+        rendered = render_report(report, "a", "b")
+        assert "swap_executed" in rendered and "fairness_computed" in rendered
+
+    def test_deleted_quantum_resyncs_alignment(self):
+        a = _golden_dike()
+        quanta = sorted({ev["quantum"] for ev in a})
+        mid = quanta[len(quanta) // 2]
+        b = [ev for ev in a if ev["quantum"] != mid]
+        report = analyze_traces(a, b)
+        assert not report.identical
+        delete = [r for r in report.regions if r.op == "delete"]
+        assert delete and delete[0].a_quanta == (mid, mid)
+        # quanta after the deletion still align
+        assert report.regions[-1].op == "equal"
+
+    def test_report_round_trips_through_json(self):
+        a = _golden_dike()
+        report = analyze_traces(a, _perturb(a))
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert DivergenceReport.from_dict(doc).to_dict() == report.to_dict()
+
+    def test_rejects_unknown_report_version(self):
+        a = _golden_dike()
+        doc = analyze_traces(a, a).to_dict()
+        doc["report_version"] = 99
+        with pytest.raises(ValueError, match="report version"):
+            DivergenceReport.from_dict(doc)
+
+    def test_schema_version_mismatch_raises(self):
+        a = _golden_dike()
+        b = [dict(ev, v=ev["v"] + 1) for ev in copy.deepcopy(a)]
+        with pytest.raises(SchemaMismatch):
+            analyze_traces(a, b)
