@@ -14,11 +14,8 @@ from __future__ import annotations
 import sys
 
 from repro import (
+    REGISTRY,
     CFSScheduler,
-    DikeConfig,
-    dike,
-    dike_af,
-    dike_ap,
     fairness,
     run_workload,
     speedup,
@@ -43,20 +40,20 @@ def main() -> None:
     baseline = run_workload(spec, CFSScheduler(), work_scale=work_scale)
 
     # A deliberately mistuned starting point: tiny swapSize, long quanta.
-    mistuned = DikeConfig(swap_size=2, quanta_length_s=1.0)
+    mistuned = {"swap_size": 2, "quanta_length_s": 1.0}
 
     runs = {
         "dike (default <8,500ms>)": run_workload(
-            spec, dike(), work_scale=work_scale
+            spec, REGISTRY.build("dike"), work_scale=work_scale
         ),
         "dike (mistuned <2,1000ms>)": run_workload(
-            spec, dike(mistuned), work_scale=work_scale
+            spec, REGISTRY.build("dike", mistuned), work_scale=work_scale
         ),
         "dike-af (from mistuned)": run_workload(
-            spec, dike_af(mistuned), work_scale=work_scale
+            spec, REGISTRY.build("dike-af", mistuned), work_scale=work_scale
         ),
         "dike-ap (from mistuned)": run_workload(
-            spec, dike_ap(mistuned), work_scale=work_scale
+            spec, REGISTRY.build("dike-ap", mistuned), work_scale=work_scale
         ),
     }
 

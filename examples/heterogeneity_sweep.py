@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import sys
 
-from repro import CFSScheduler, dike, fairness, run_workload, workload
+from repro import REGISTRY, CFSScheduler, fairness, run_workload, workload
 from repro.sim.topology import xeon_e5_heterogeneous
 from repro.util.tables import format_bar_chart, format_table
 
@@ -40,7 +40,7 @@ def main() -> None:
             run_workload(spec, CFSScheduler(), work_scale=work_scale, topology=topo)
         )
         f_dike = fairness(
-            run_workload(spec, dike(), work_scale=work_scale, topology=topo)
+            run_workload(spec, REGISTRY.build("dike"), work_scale=work_scale, topology=topo)
         )
         rows.append([label, f_cfs, f_dike, f_dike - f_cfs])
         gaps[label] = f_dike - f_cfs

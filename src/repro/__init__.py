@@ -7,6 +7,8 @@ Layers (see DESIGN.md):
 * :mod:`repro.workloads` — Rodinia-style phase-trace workloads (Table II);
 * :mod:`repro.schedulers` — CFS / DIO / control baselines;
 * :mod:`repro.core` — the Dike scheduler (the paper's contribution);
+* :mod:`repro.policies` — declarative policy registry: specs, parameter
+  schemas, invariant contracts (:data:`repro.REGISTRY`);
 * :mod:`repro.metrics` — fairness (Eqn. 4), speedup, swaps, prediction error;
 * :mod:`repro.experiments` — per-figure/table regeneration harness;
 * :mod:`repro.obs` — observability: event tracing, metrics, invariant
@@ -33,12 +35,21 @@ from repro.core import (
     dike_ap,
 )
 from repro.experiments.runner import (
-    STANDARD_POLICIES,
     run_policies,
     run_scenario,
     run_standalone,
     run_workload,
 )
+from repro.policies import REGISTRY, ParamSpec, PolicyRegistry, PolicySpec
+
+
+def __getattr__(name: str):
+    # Deprecated re-export; the registry ("standard" tag) replaces it.
+    if name == "STANDARD_POLICIES":
+        from repro.experiments import runner
+
+        return runner.STANDARD_POLICIES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 # Imported after repro.experiments: the campaign package's cache-key
 # module reaches into repro.experiments.serialization, so the experiments
@@ -99,6 +110,10 @@ __all__ = [
     "dike_af",
     "dike_ap",
     "STANDARD_POLICIES",
+    "REGISTRY",
+    "PolicyRegistry",
+    "PolicySpec",
+    "ParamSpec",
     "run_policies",
     "run_scenario",
     "run_standalone",

@@ -65,12 +65,9 @@ class BenchCase:
     seed: int = 1
 
     def scheduler_factory(self) -> Callable:
-        from repro.experiments.runner import STANDARD_POLICIES
-        from repro.schedulers.static import StaticScheduler
+        from repro.policies import REGISTRY
 
-        if self.policy == "static":
-            return StaticScheduler
-        return STANDARD_POLICIES[self.policy]
+        return REGISTRY.factory(self.policy)
 
 
 def _suite(workloads: Sequence[str], policies: Sequence[str]) -> tuple[BenchCase, ...]:

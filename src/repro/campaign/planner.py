@@ -1,23 +1,25 @@
 """Campaign specs and planning: grids in, deduplicated task lists out.
 
 A :class:`CampaignSpec` names a policy × workload × seed grid (optionally
-crossed with the 32-point ⟨swapSize, quantaLength⟩ configuration space)
-and :func:`plan` expands it into a :class:`CampaignPlan` whose tasks are
-**unique by cache key** — the CFS baseline a dozen figures share appears
-exactly once, which is both the dedup guarantee and the DAG: every task
-is independent (metrics that *relate* runs, like speedup-over-baseline,
-are computed by the consumer after gather), so the plan is a single
-parallel wave.
+crossed with the 32-point ⟨swapSize, quantaLength⟩ configuration space,
+or with an arbitrary declarative ``param_grid`` validated against each
+policy's registry schema) and :func:`plan` expands it into a
+:class:`CampaignPlan` whose tasks are **unique by cache key** — the CFS
+baseline a dozen figures share appears exactly once, which is both the
+dedup guarantee and the DAG: every task is independent (metrics that
+*relate* runs, like speedup-over-baseline, are computed by the consumer
+after gather), so the plan is a single parallel wave.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.campaign.cachekey import cache_key
 from repro.campaign.spec import SimParams, TaskSpec
 from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.policies import REGISTRY
 from repro.util.rng import DEFAULT_SEED
 from repro.util.validation import require
 from repro.workloads.suite import WORKLOAD_TABLE, workload
@@ -37,12 +39,21 @@ class CampaignSpec:
 
     name: str = "fig6-grid"
     workloads: tuple[str, ...] = tuple(WORKLOAD_TABLE)
-    policies: tuple[str, ...] = tuple(STANDARD_POLICIES)
+    policies: tuple[str, ...] = tuple(
+        s.name for s in REGISTRY.tagged("standard")
+    )
     seeds: tuple[int, ...] = (DEFAULT_SEED,)
     work_scale: float = 1.0
     sweep: bool = False
-    #: check every run against its policy's invariant contract
-    #: (`repro.obs.invariants.POLICY_RULES`); violation counts surface in
+    #: declarative parameter grid: ``(("swap_size", (4, 8)),
+    #: ("fairness_threshold", (0.05, 0.1)))`` crosses every policy whose
+    #: registry schema covers *all* grid keys with the full cartesian
+    #: product (each point validated via ``PolicySpec.from_params`` at
+    #: planning time and folded into the cache key); policies whose
+    #: schema misses a key get one unparameterised task instead.
+    param_grid: tuple[tuple[str, tuple], ...] = ()
+    #: check every run against its policy's invariant contract (the
+    #: registry spec's ``invariants`` tuple); violation counts surface in
     #: campaign telemetry and ``RunResult.info["invariants"]``
     invariants: bool = False
 
@@ -51,6 +62,13 @@ class CampaignSpec:
         require(len(self.seeds) >= 1, "a campaign needs >= 1 seed")
         for w in self.workloads:
             require(w in WORKLOAD_TABLE, f"unknown workload {w!r}")
+        for p in self.policies:
+            REGISTRY.get(p)  # raises UnknownPolicyError on a bad name
+        for key, values in self.param_grid:
+            require(
+                len(tuple(values)) >= 1,
+                f"param_grid entry {key!r} needs >= 1 value",
+            )
 
 
 @dataclass(frozen=True)
@@ -78,7 +96,13 @@ class CampaignPlan:
             f"{len(self.spec.workloads)} workloads x "
             f"{len(self.spec.policies)} policies x "
             f"{len(self.spec.seeds)} seeds"
-            + (" + config sweep" if self.spec.sweep else ""),
+            + (" + config sweep" if self.spec.sweep else "")
+            + (
+                " + param grid over "
+                + ",".join(k for k, _ in self.spec.param_grid)
+                if self.spec.param_grid
+                else ""
+            ),
             f"  requested {self.n_requested} runs, {self.n_unique} unique "
             f"({self.n_requested - self.n_unique} deduplicated)",
             f"  cached {self.n_unique - self.n_to_run}, to run {self.n_to_run}",
@@ -94,18 +118,51 @@ def dedupe(tasks: list[TaskSpec]) -> tuple[tuple[TaskSpec, ...], tuple[str, ...]
     return tuple(seen.values()), tuple(seen.keys())
 
 
+def _policy_grid_points(
+    policy: str, param_grid: tuple[tuple[str, tuple], ...]
+) -> tuple[dict | None, ...]:
+    """The parameter points ``policy`` contributes to the campaign.
+
+    The full cartesian product when the policy's schema covers every grid
+    key (each point validated against the schema here, at planning time);
+    a single unparameterised point otherwise — a grid over ``swap_size``
+    must not drop the CFS baseline from the campaign, nor force Dike
+    parameters onto it.
+    """
+    if not param_grid:
+        return (None,)
+    policy_spec = REGISTRY.get(policy)
+    known = set(policy_spec.param_names())
+    if any(key not in known for key, _ in param_grid):
+        return (None,)
+    keys = [key for key, _ in param_grid]
+    points = []
+    for combo in itertools.product(*(values for _, values in param_grid)):
+        params = dict(zip(keys, combo))
+        policy_spec.from_params(params)  # validate at planning time
+        points.append(params)
+    return tuple(points)
+
+
 def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
     """Expand a campaign spec into its deduplicated task list."""
     sim = SimParams(work_scale=spec.work_scale)
     inv = spec.invariants
     requested: list[TaskSpec] = []
+    grids = {
+        policy: _policy_grid_points(policy, spec.param_grid)
+        for policy in spec.policies
+    }
     for wl_name in spec.workloads:
         wl = workload(wl_name)
         for seed in spec.seeds:
             for policy in spec.policies:
-                requested.append(
-                    TaskSpec.for_workload(wl, policy, seed, sim=sim, invariants=inv)
-                )
+                for params in grids[policy]:
+                    requested.append(
+                        TaskSpec.for_workload(
+                            wl, policy, seed, params, sim=sim, invariants=inv
+                        )
+                    )
             if spec.sweep:
                 # The sweep's speedups need the CFS baseline — shared, by
                 # dedup, with the policy grid above.

@@ -8,10 +8,14 @@ objects from the spec via :func:`execute_task`, which is the *only*
 execution path of the campaign subsystem; the spec's canonical dict
 (:meth:`TaskSpec.to_dict`) is what the cache key hashes.
 
-Policies are referenced by name (the ``STANDARD_POLICIES`` names plus
-``"static"`` for pinned standalone runs); parameters are passed as a
-sorted tuple of ``(key, value)`` pairs so equal parameterisations compare
-and hash equal regardless of construction order.
+Policies are referenced by their `repro.policies` registry name;
+parameters are passed as a sorted tuple of ``(key, value)`` pairs so
+equal parameterisations compare and hash equal regardless of
+construction order.  Parameters are *validated* against the policy's
+declarative schema when the spec is built (out-of-bounds values fail at
+planning time, in the submitting process) but stored raw — the cache key
+hashes exactly the values the caller supplied, never a coerced form, so
+historical cache entries stay addressable.
 """
 
 from __future__ import annotations
@@ -20,12 +24,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
 
-from repro.core.config import DikeConfig
-from repro.core.dike import dike, dike_af, dike_ap
+from repro.policies import REGISTRY
 from repro.schedulers.base import Scheduler
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.dio import DIOScheduler
-from repro.schedulers.static import StaticScheduler
 from repro.sim.migration import MigrationModel
 from repro.sim.results import RunResult
 from repro.sim.topology import Topology, homogeneous, xeon_e5_heterogeneous
@@ -44,10 +44,10 @@ __all__ = [
     "execute_task",
 ]
 
-#: Policy names the campaign layer can instantiate.
-KNOWN_POLICIES: tuple[str, ...] = (
-    "cfs", "dio", "dike", "dike-af", "dike-ap", "static",
-)
+#: Policy names the campaign layer can instantiate — an import-time
+#: snapshot of the registry (kept as a tuple for backward compatibility;
+#: the registry itself is the source of truth).
+KNOWN_POLICIES: tuple[str, ...] = REGISTRY.names()
 
 #: Named topologies (tasks reference machines by name, never by object).
 TOPOLOGIES: dict[str, object] = {
@@ -137,7 +137,7 @@ class TaskSpec:
 
     ``invariants=True`` makes the worker attach a zero-file-I/O
     :class:`~repro.obs.invariants.InvariantSink` carrying the policy's
-    contract (:data:`~repro.obs.invariants.POLICY_RULES`) for the whole
+    contract (its registry spec's ``invariants`` tuple) for the whole
     run and stamp its digest into ``RunResult.info["invariants"]``.  The
     flag is part of the cache key (only when set, so pre-existing cached
     results keep their keys): an invariant-checked result carries extra
@@ -152,10 +152,12 @@ class TaskSpec:
     invariants: bool = False
 
     def __post_init__(self) -> None:
-        require(
-            self.policy in KNOWN_POLICIES,
-            f"unknown policy {self.policy!r}; known: {KNOWN_POLICIES}",
-        )
+        # Resolves through the registry: unknown names raise
+        # UnknownPolicyError (a ValueError), and parameters are checked
+        # against the policy's schema — but stored raw, never coerced,
+        # so cache keys hash the caller's exact values.
+        spec = REGISTRY.get(self.policy)
+        spec.validate_params(dict(self.policy_params))
         # Normalise parameter order so logically equal tasks hash equal.
         object.__setattr__(
             self, "policy_params", tuple(sorted(self.policy_params))
@@ -209,22 +211,13 @@ class TaskSpec:
 
 
 def build_scheduler(policy: str, params: Mapping[str, object] | None = None) -> Scheduler:
-    """Instantiate a scheduler from its campaign name and parameters."""
-    params = dict(params or {})
-    if policy == "cfs":
-        return CFSScheduler(**params)
-    if policy == "dio":
-        return DIOScheduler(**params)
-    if policy == "static":
-        return StaticScheduler(**params)
-    config = DikeConfig(**params) if params else None
-    if policy == "dike":
-        return dike(config)
-    if policy == "dike-af":
-        return dike_af(config)
-    if policy == "dike-ap":
-        return dike_ap(config)
-    raise ValueError(f"unknown policy {policy!r}; known: {KNOWN_POLICIES}")
+    """Instantiate a scheduler from its registry name and parameters.
+
+    A thin alias of ``repro.policies.REGISTRY.build`` kept for the
+    campaign layer's public surface; unknown names raise
+    :class:`~repro.policies.UnknownPolicyError` (a ``ValueError``).
+    """
+    return REGISTRY.build(policy, params)
 
 
 def build_topology(name: str) -> Topology:

@@ -4,6 +4,11 @@ Subcommands
 -----------
 ``list``
     Show all regenerable experiments.
+``policies [--json|--names|--check]``
+    Show every registered policy with its parameter schema, defaults and
+    invariant contract (the `repro.policies` registry); ``--check``
+    validates the registry itself (factories build, contracts resolve)
+    and exits 1 on drift — the CI policy-matrix gate.
 ``run <experiment-id> [--scale S] [--seed N]``
     Regenerate one table/figure and print its plain-text render.
 ``compare <workload> [--scale S] [--seed N]``
@@ -130,6 +135,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list regenerable experiments")
 
+    p_pol = sub.add_parser(
+        "policies",
+        help="list registered policies (schema, defaults, contracts)",
+    )
+    p_pol.add_argument(
+        "--json", action="store_true",
+        help="print the full registry as a JSON document",
+    )
+    p_pol.add_argument(
+        "--names", action="store_true",
+        help="print canonical policy names only, one per line (scripting)",
+    )
+    p_pol.add_argument(
+        "--check", action="store_true",
+        help="validate the registry (factories build, contracts resolve, "
+             "schemas round-trip); exit 1 on drift",
+    )
+
     p_run = sub.add_parser(
         "run", help="regenerate one experiment", parents=[common, backend]
     )
@@ -255,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also cross every workload with the 32-point config sweep",
     )
     p_camp.add_argument(
+        "--param", action="append", default=None, metavar="KEY=V1[,V2...]",
+        help="declarative parameter grid: repeatable; crosses every "
+             "policy whose schema has all grid keys with the cartesian "
+             "product (e.g. --param swap_size=4,8 "
+             "--param fairness_threshold=0.05,0.1)",
+    )
+    p_camp.add_argument(
         "--dry-run", action="store_true",
         help="print the plan (task counts, dedup, cache state) and exit",
     )
@@ -282,9 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _policy_choices() -> dict:
-    from repro.experiments.runner import STANDARD_POLICIES
+    """name -> default-parameter factory, for every registered policy."""
+    from repro.policies import REGISTRY
 
-    return STANDARD_POLICIES
+    return {s.name: s.from_params({}) for s in REGISTRY}
 
 
 def _resolve_shared_flags(args: argparse.Namespace) -> None:
@@ -357,6 +388,94 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_policies(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.policies import REGISTRY
+
+    if args.check:
+        return _check_registry()
+    if args.names:
+        for name in REGISTRY.names():
+            print(name)
+        return 0
+    if args.json:
+        print(json.dumps(
+            [s.describe() for s in REGISTRY], indent=2, sort_keys=True
+        ))
+        return 0
+    rows = []
+    for s in REGISTRY:
+        params = ", ".join(
+            f"{p.name}={p.default}" for p in s.params
+        ) or "-"
+        rows.append([
+            s.name,
+            ",".join(s.tags) or "-",
+            params,
+            ",".join(s.invariants) or "-",
+            s.doc,
+        ])
+    print(format_table(
+        ["policy", "tags", "parameters (defaults)", "invariant contract",
+         "description"],
+        rows,
+        title=f"{len(REGISTRY)} registered policies",
+    ))
+    return 0
+
+
+def _check_registry() -> int:
+    """Registry completeness / contract-drift gate (CI policy-matrix)."""
+    from repro.obs.invariants import RULES, InvariantSink
+    from repro.policies import REGISTRY
+
+    problems: list[str] = []
+    for s in REGISTRY:
+        try:
+            built = s.build()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(f"{s.name}: default factory failed: {exc}")
+            continue
+        if built.name != s.name and built.name not in s.aliases:
+            problems.append(
+                f"{s.name}: built scheduler reports name {built.name!r}, "
+                "which is neither the policy name nor a declared alias"
+            )
+        unknown_rules = set(s.invariants) - set(RULES)
+        if unknown_rules:
+            problems.append(
+                f"{s.name}: unknown invariant rule(s) {sorted(unknown_rules)}"
+            )
+        if not s.invariants:
+            problems.append(f"{s.name}: empty invariant contract")
+        try:
+            sink = InvariantSink.for_policy(s.name)
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{s.name}: for_policy failed: {exc}")
+        else:
+            if sink.rules != s.invariants:
+                problems.append(
+                    f"{s.name}: for_policy rules {sink.rules} drifted from "
+                    f"the spec contract {s.invariants}"
+                )
+        try:
+            s.from_params(s.defaults())
+        except Exception as exc:  # noqa: BLE001
+            problems.append(
+                f"{s.name}: schema defaults fail their own validation: {exc}"
+            )
+    if problems:
+        print(f"policy registry check FAILED ({len(problems)} problem(s)):",
+              file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(f"policy registry OK ({len(REGISTRY)} policies, "
+          f"{sum(len(s.params) for s in REGISTRY)} parameters checked)")
+    return 0
+
+
 def _cmd_run(exp_id: str, scale: float, seed: int, campaign=None) -> int:
     t0 = time.perf_counter()
     result = run_experiment(exp_id, seed=seed, work_scale=scale, campaign=campaign)
@@ -404,11 +523,13 @@ def _cmd_report(scale: float, seed: int, n_seeds: int = 1, campaign=None) -> int
 
 def _cmd_replicate(wl_name: str, n_seeds: int, scale: float, seed: int) -> int:
     from repro.analysis.replication import compare_policies
-    from repro.experiments.runner import STANDARD_POLICIES
+    from repro.policies import REGISTRY
 
     spec = workload(wl_name)
     seeds = [seed + i for i in range(n_seeds)]
-    policies = {k: v for k, v in STANDARD_POLICIES.items() if k != "cfs"}
+    policies = {
+        k: v for k, v in REGISTRY.standard_factories().items() if k != "cfs"
+    }
     cells = compare_policies(spec, policies, seeds, work_scale=scale)
     rows = []
     for name, cell in cells.items():
@@ -618,9 +739,41 @@ def _cmd_all(scale: float, seed: int, campaign=None) -> int:
     return 0
 
 
+def _parse_param_grid(
+    entries: list[str] | None,
+) -> tuple[tuple[str, tuple], ...]:
+    """``["swap_size=4,8"]`` -> ``(("swap_size", (4, 8)),)``.
+
+    Values parse as int, then float, then bool literals, else string —
+    the policy schema validates types downstream, with the parameter
+    name in the error message.
+    """
+    def parse_value(text: str) -> object:
+        for cast in (int, float):
+            try:
+                return cast(text)
+            except ValueError:
+                pass
+        if text in ("true", "True"):
+            return True
+        if text in ("false", "False"):
+            return False
+        return text
+
+    grid = []
+    for entry in entries or []:
+        key, sep, values = entry.partition("=")
+        if not sep or not key or not values:
+            raise ValueError(
+                f"bad --param {entry!r}; expected KEY=V1[,V2...]"
+            )
+        grid.append((key, tuple(parse_value(v) for v in values.split(","))))
+    return tuple(grid)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import CampaignSpec, TaskFailure, plan
-    from repro.experiments.runner import STANDARD_POLICIES
+    from repro.policies import REGISTRY
     from repro.util.stats import geometric_mean
 
     workloads = (
@@ -629,7 +782,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     policies = (
         tuple(args.policies.split(",")) if args.policies
-        else tuple(STANDARD_POLICIES)
+        else tuple(s.name for s in REGISTRY.tagged("standard"))
     )
     try:
         spec = CampaignSpec(
@@ -639,6 +792,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             seeds=tuple(args.seed + i for i in range(args.seeds)),
             work_scale=args.scale,
             sweep=args.sweep,
+            param_grid=_parse_param_grid(args.param),
             invariants=args.invariants,
         )
         campaign = _make_campaign(args)
@@ -669,6 +823,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 for s in spec.seeds:
                     run = _cell(by_key, spec, wl, p, s, campaign.invariants)
                     base = _cell(by_key, spec, wl, "cfs", s, campaign.invariants)
+                    # A param_grid campaign has no unparameterised cell for
+                    # grid-covered policies (None here); skip those rows.
+                    if run is None or base is None:
+                        continue
                     if isinstance(run, TaskFailure) or isinstance(base, TaskFailure):
                         continue
                     fair_vals.append(fairness(run))
@@ -740,6 +898,8 @@ def _dispatch(args: argparse.Namespace) -> int:
     _resolve_shared_flags(args)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "policies":
+        return _cmd_policies(args)
     if args.command == "run":
         return _with_campaign(
             args, lambda c: _cmd_run(args.experiment, args.scale, args.seed, c)

@@ -1,58 +1,224 @@
 """The Dike scheduler: Observer -> Selector -> Predictor -> Decider ->
 Migrator, with the Optimizer adapting the key parameters (Figure 3).
 
-``DikeScheduler`` wires the five per-quantum components behind the common
-:class:`~repro.schedulers.base.Scheduler` interface, and additionally keeps
-the **closed loop's books**: every accepted swap registers a predicted
-post-swap access rate, and the next quantum's measurement back-fills the
-ground truth — producing the prediction-error records behind Figures 7/8.
+``DikeScheduler`` is a :class:`~repro.schedulers.pipeline.StagePipeline`:
+the five per-quantum components (plus the Optimizer) are a *declared
+stage list* (:data:`DIKE_STAGES`), each stage a thin adapter between the
+shared :class:`~repro.schedulers.pipeline.StageState` dataflow and one
+component.  Ablation variants replace individual stages —
+:data:`NO_PREDICTOR_STAGES` swaps the closed-loop Predictor for
+persistence predictions, :data:`NO_DECIDER_STAGES` accepts every selected
+pair — and the `repro.policies` registry exposes them as policies without
+forking the scheduler.
 
-Three factory functions build the paper's three evaluated instantiations:
+Beyond the stages the scheduler keeps the **closed loop's books**: every
+accepted swap registers a predicted post-swap access rate, and the next
+quantum's measurement back-fills the ground truth — producing the
+prediction-error records behind Figures 7/8.
 
-* :func:`dike` — non-adaptive, fixed ⟨swapSize=8, quantaLength=500 ms⟩;
-* :func:`dike_af` — adaptive, favouring fairness;
-* :func:`dike_ap` — adaptive, favouring performance.
+The module-level factories :func:`dike` / :func:`dike_af` /
+:func:`dike_ap` are **deprecated**: build schedulers through the policy
+registry instead (``repro.policies.REGISTRY.build("dike-af")``), which is
+the single resolution point the runner, CLI, campaign and benchmark
+layers share.  The factories keep working but emit a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
 
 from repro.core.config import AdaptationGoal, DikeConfig
 from repro.core.decider import Decider
 from repro.core.migrator import Migrator
 from repro.core.observer import Observer
 from repro.core.optimizer import Optimizer
-from repro.core.predictor import Predictor
+from repro.core.predictor import PairPrediction, Predictor
 from repro.core.selector import Selector
-from repro.obs.events import NULL_BUS
-from repro.schedulers.base import Action, Scheduler, SchedulingContext
-from repro.sim.counters import QuantumCounters
+from repro.schedulers.base import SchedulingContext
+from repro.schedulers.pipeline import Stage, StagePipeline, StageState
 from repro.sim.results import PredictionRecord
 
-__all__ = ["DikeScheduler", "dike", "dike_af", "dike_ap"]
+__all__ = [
+    "DikeScheduler",
+    "DIKE_STAGES",
+    "NO_PREDICTOR_STAGES",
+    "NO_DECIDER_STAGES",
+    "ObserverStage",
+    "OptimizerStage",
+    "SelectorStage",
+    "PredictorStage",
+    "DeciderStage",
+    "MigratorStage",
+    "PersistencePredictorStage",
+    "AcceptAllStage",
+    "dike",
+    "dike_af",
+    "dike_ap",
+]
 
 
-class _NullTimer:
-    def __enter__(self) -> None:
-        return None
-
-    def __exit__(self, *exc: object) -> None:
-        return None
+# --------------------------------------------------------------- stages
 
 
-_NULL_TIMER = _NullTimer()
+class ObserverStage(Stage):
+    """Digest the quantum's counters into an ``ObserverReport`` and
+    back-fill the previous quantum's predictions with measurements."""
+
+    name = "observer"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.report = pipeline.observer.update(state.counters)
+        pipeline._backfill_predictions(state.counters, state.report)
 
 
-def _maybe_timer(metrics, name: str):
-    """A stage wall-time timer, or a no-op when metrics are off."""
-    return _NULL_TIMER if metrics is None else metrics.timer(name)
+class OptimizerStage(Stage):
+    """Periodically re-tune ⟨swapSize, quantaLength⟩ toward the goal
+    (§III-F) and garbage-collect cooldown state of finished threads."""
+
+    name = "optimizer"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            new_cfg = pipeline.optimizer.maybe_update(state.report)
+        if new_cfg is not pipeline.config:
+            pipeline._set_config(new_cfg, state.counters.quantum_index)
+        # Finished threads drop out of `placement`; forget their cooldowns.
+        for tid in list(pipeline.decider._last_swap):
+            if tid not in state.placement:
+                pipeline.decider.forget_thread(tid)
 
 
-class DikeScheduler(Scheduler):
+class SelectorStage(Stage):
+    """Form violator pairs via the placement rule (Algorithm 1)."""
+
+    name = "selector"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.pairs = pipeline.selector.select(state.report, state.placement)
+
+
+class PredictorStage(Stage):
+    """Estimate per-pair swap profits with the closed-loop model (Eqns 1-3)."""
+
+    name = "predictor"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.predictions = pipeline.predictor.predict(
+                state.pairs, state.report, state.placement
+            )
+
+
+class DeciderStage(Stage):
+    """Filter predictions by cooldown and profit (§III-D)."""
+
+    name = "decider"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.accepted = pipeline.decider.decide(
+                state.predictions,
+                state.counters.quantum_index,
+                state.counters.time_s,
+            )
+
+
+class MigratorStage(Stage):
+    """Turn accepted pairs into engine ``Swap`` actions (§III-E)."""
+
+    name = "migrator"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.actions = pipeline.migrator.build_actions(state.accepted)
+
+
+class PersistencePredictorStage(Stage):
+    """Ablation stand-in for the Predictor: persistence, no model.
+
+    Every selected pair is predicted to keep its current access rates
+    wherever it lands (zero profit either way), so the Decider degenerates
+    to its cooldown rule — isolating how much of Dike's quality the
+    closed-loop profit model (Eqns 1-3) contributes.  Emits no
+    ``ProfitEvaluated`` events: there is no model to audit.
+    """
+
+    name = "predictor"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            rates = state.report.access_rate
+            state.predictions = [
+                PairPrediction(
+                    pair=pair,
+                    profit_l=0.0,
+                    profit_h=0.0,
+                    predicted_rate_l=rates.get(pair.t_l, 0.0),
+                    predicted_rate_h=rates.get(pair.t_h, 0.0),
+                    current_rate_l=rates.get(pair.t_l, 0.0),
+                    current_rate_h=rates.get(pair.t_h, 0.0),
+                )
+                for pair in state.pairs
+            ]
+
+
+class AcceptAllStage(Stage):
+    """Ablation stand-in for the Decider: every predicted pair is swapped.
+
+    Selector pairs are disjoint by construction, so accepting all of them
+    is safe; what disappears is the cooldown rule and the profit veto —
+    isolating how much churn the Decider's judgement avoids.  Without a
+    decider no cooldown contract holds (see the policy's invariant
+    contract in `repro.policies`).
+    """
+
+    name = "decider"
+
+    def run(self, pipeline: "DikeScheduler", state: StageState) -> None:
+        with pipeline.stage_timer(self):
+            state.accepted = list(state.predictions)
+
+
+#: The paper's pipeline (Figure 3), as a declared stage list.
+DIKE_STAGES: tuple[Stage, ...] = (
+    ObserverStage(),
+    OptimizerStage(),
+    SelectorStage(),
+    PredictorStage(),
+    DeciderStage(),
+    MigratorStage(),
+)
+
+#: Fig6-style ablation: the closed-loop Predictor replaced by persistence.
+NO_PREDICTOR_STAGES: tuple[Stage, ...] = tuple(
+    PersistencePredictorStage() if isinstance(s, PredictorStage) else s
+    for s in DIKE_STAGES
+)
+
+#: Fig6-style ablation: the Decider replaced by accept-everything.
+NO_DECIDER_STAGES: tuple[Stage, ...] = tuple(
+    AcceptAllStage() if isinstance(s, DeciderStage) else s for s in DIKE_STAGES
+)
+
+
+# ------------------------------------------------------------ scheduler
+
+
+class DikeScheduler(StagePipeline):
     """Predictive, adaptive contention-aware scheduler (the paper's system)."""
 
-    def __init__(self, config: DikeConfig | None = None, name: str | None = None) -> None:
+    metric_prefix = "dike"
+
+    def __init__(
+        self,
+        config: DikeConfig | None = None,
+        name: str | None = None,
+        stages: tuple[Stage, ...] | None = None,
+    ) -> None:
+        super().__init__(stages if stages is not None else DIKE_STAGES)
         self.config = config or DikeConfig()
         if name is not None:
             self.name = name
@@ -76,14 +242,12 @@ class DikeScheduler(Scheduler):
         self.decider = Decider(self.config)
         self.migrator = Migrator()
         self.optimizer = Optimizer(self.config)
-        # Observability: every stage shares the run's event bus + metrics.
-        self.bus = context.bus
-        self.metrics = context.bus.metrics
-        for stage in (
+        # Observability: every component shares the run's event bus.
+        for component in (
             self.observer, self.selector, self.predictor,
             self.decider, self.migrator, self.optimizer,
         ):
-            stage.bus = context.bus
+            component.bus = context.bus
         #: tid -> (quantum_index_of_prediction, time_s, predicted_rate)
         self._pending: dict[int, tuple[int, float, float]] = {}
         self._records: list[PredictionRecord] = []
@@ -96,38 +260,16 @@ class DikeScheduler(Scheduler):
         return self.config.quanta_length_s
 
     # ------------------------------------------------------------- decision
+    #
+    # `decide` itself is StagePipeline.decide: run the declared stages over
+    # a fresh StageState, bracketed by the two hooks below.
 
-    def decide(
-        self, counters: QuantumCounters, placement: dict[int, int]
-    ) -> Sequence[Action]:
+    def begin_quantum(self, state: StageState) -> None:
         # Anchor this decision cycle's events to the quantum whose
         # counters drive it; stages stamp their events from `bus.now`.
-        self.bus.at(counters.quantum_index, counters.time_s)
-        with _maybe_timer(self.metrics, "dike.observer_s"):
-            report = self.observer.update(counters)
-        self._backfill_predictions(counters, report)
+        self.bus.at(state.counters.quantum_index, state.counters.time_s)
 
-        with _maybe_timer(self.metrics, "dike.optimizer_s"):
-            new_cfg = self.optimizer.maybe_update(report)
-        if new_cfg is not self.config:
-            self._set_config(new_cfg, counters.quantum_index)
-
-        # Finished threads drop out of `placement`; forget their cooldowns.
-        for tid in list(self.decider._last_swap):
-            if tid not in placement:
-                self.decider.forget_thread(tid)
-
-        with _maybe_timer(self.metrics, "dike.selector_s"):
-            pairs = self.selector.select(report, placement)
-        with _maybe_timer(self.metrics, "dike.predictor_s"):
-            predictions = self.predictor.predict(pairs, report, placement)
-        with _maybe_timer(self.metrics, "dike.decider_s"):
-            accepted = self.decider.decide(
-                predictions, counters.quantum_index, counters.time_s
-            )
-        with _maybe_timer(self.metrics, "dike.migrator_s"):
-            actions = self.migrator.build_actions(accepted)
-
+    def end_quantum(self, state: StageState) -> None:
         # Register next-quantum predictions for every live thread — the
         # quantity Figures 7/8 score.  The closed-loop model's stay-case is
         # persistence ("if thread t_l stays on the same core, we expect it
@@ -135,6 +277,7 @@ class DikeScheduler(Scheduler):
         # estimate applies: the destination core's bandwidth, capped by the
         # thread's own demand (a compute thread will not consume a fast
         # core's entire memory bandwidth no matter where it lands).
+        counters, report, placement = state.counters, state.report, state.placement
         demand = report.demand_estimate or {}
         for tid in placement:
             rate = report.access_rate.get(tid)
@@ -144,7 +287,7 @@ class DikeScheduler(Scheduler):
                     counters.time_s,
                     rate,
                 )
-        for pred in accepted:
+        for pred in state.accepted:
             for tid, dest_bw in (
                 (pred.pair.t_l, report.core_bw.get(placement[pred.pair.t_h])),
                 (pred.pair.t_h, report.core_bw.get(placement[pred.pair.t_l])),
@@ -158,7 +301,6 @@ class DikeScheduler(Scheduler):
                         counters.time_s,
                         max(predicted - self.predictor.overhead(predicted), 0.0),
                     )
-        return actions
 
     # ------------------------------------------------------------ internals
 
@@ -172,9 +314,7 @@ class DikeScheduler(Scheduler):
             (quantum_index, cfg.swap_size, cfg.quanta_length_s)
         )
 
-    def _backfill_predictions(
-        self, counters: QuantumCounters, report
-    ) -> None:
+    def _backfill_predictions(self, counters, report) -> None:
         """Match predictions from the previous quantum with measurements."""
         done: list[int] = []
         for tid, (q, t, predicted) in self._pending.items():
@@ -205,7 +345,7 @@ class DikeScheduler(Scheduler):
         return records
 
     def describe(self) -> dict[str, object]:
-        info: dict[str, object] = {"policy": self.name}
+        info = super().describe()
         info.update(self._initial_config.describe())
         history = getattr(self, "_config_history", None)
         if history is not None:
@@ -213,9 +353,24 @@ class DikeScheduler(Scheduler):
         return info
 
 
+# -------------------------------------------------- deprecated factories
+
+
+def _deprecated_factory(name: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated; build schedulers through the policy "
+        f"registry instead: repro.policies.REGISTRY.build(...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def dike(config: DikeConfig | None = None) -> DikeScheduler:
-    """Non-adaptive Dike with the paper's default ⟨8, 500 ms⟩ (or a custom
+    """Deprecated: use ``repro.policies.REGISTRY.build("dike", params)``.
+
+    Non-adaptive Dike with the paper's default ⟨8, 500 ms⟩ (or a custom
     fixed configuration)."""
+    _deprecated_factory("dike")
     cfg = config or DikeConfig()
     if cfg.goal is not AdaptationGoal.NONE:
         raise ValueError("use dike_af()/dike_ap() for adaptive goals")
@@ -223,7 +378,10 @@ def dike(config: DikeConfig | None = None) -> DikeScheduler:
 
 
 def dike_af(config: DikeConfig | None = None) -> DikeScheduler:
-    """Adaptive Dike favouring fairness (Dike-AF)."""
+    """Deprecated: use ``repro.policies.REGISTRY.build("dike-af", params)``.
+
+    Adaptive Dike favouring fairness (Dike-AF)."""
+    _deprecated_factory("dike_af")
     cfg = config or DikeConfig()
     cfg = DikeConfig(
         quanta_length_s=cfg.quanta_length_s,
@@ -241,7 +399,10 @@ def dike_af(config: DikeConfig | None = None) -> DikeScheduler:
 
 
 def dike_ap(config: DikeConfig | None = None) -> DikeScheduler:
-    """Adaptive Dike favouring performance (Dike-AP)."""
+    """Deprecated: use ``repro.policies.REGISTRY.build("dike-ap", params)``.
+
+    Adaptive Dike favouring performance (Dike-AP)."""
+    _deprecated_factory("dike_ap")
     cfg = config or DikeConfig()
     cfg = DikeConfig(
         quanta_length_s=cfg.quanta_length_s,

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.campaign.core import Campaign
 from repro.campaign.spec import SimParams, TaskSpec
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.policies import REGISTRY
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
 from repro.sim.results import RunResult
@@ -28,6 +28,9 @@ from repro.workloads.suite import all_workloads
 __all__ = ["Fig6Row", "Fig6Result", "run_fig6", "POLICY_ORDER"]
 
 POLICY_ORDER: tuple[str, ...] = ("dio", "dike", "dike-af", "dike-ap")
+
+#: The five standard policies, in registry (figure) order.
+_STANDARD: tuple[str, ...] = tuple(s.name for s in REGISTRY.tagged("standard"))
 
 
 @dataclass(frozen=True)
@@ -121,7 +124,7 @@ def run_fig6(
         (spec, s, policy)
         for spec in specs
         for s in seed_list
-        for policy in STANDARD_POLICIES
+        for policy in _STANDARD
     ]
     gathered = camp.gather(
         [TaskSpec.for_workload(spec, policy, s, sim=sim) for spec, s, policy in cells]
@@ -131,7 +134,7 @@ def run_fig6(
         for (spec, s, policy), res in zip(cells, gathered)
     }
     rows: list[Fig6Row] = []
-    results: dict[str, dict[str, RunResult]] = {p: {} for p in STANDARD_POLICIES}
+    results: dict[str, dict[str, RunResult]] = {p: {} for p in _STANDARD}
     for spec in specs:
         acc_fair: dict[str, list[float]] = {p: [] for p in POLICY_ORDER}
         acc_speed: dict[str, list[float]] = {p: [] for p in POLICY_ORDER}
@@ -139,7 +142,7 @@ def run_fig6(
         base_fair: list[float] = []
         for s in seed_list:
             by_policy = {
-                p: by_cell[(spec.name, s, p)] for p in STANDARD_POLICIES
+                p: by_cell[(spec.name, s, p)] for p in _STANDARD
             }
             base = by_policy["cfs"]
             base_fair.append(fairness(base))

@@ -15,13 +15,12 @@ parallel execution and retries on top of exactly this function
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+import warnings
+from typing import Mapping
 
-from repro.core.dike import dike, dike_af, dike_ap
 from repro.obs.events import EventBus
+from repro.policies import REGISTRY, PolicyFactory
 from repro.schedulers.base import Scheduler
-from repro.schedulers.cfs import CFSScheduler
-from repro.schedulers.dio import DIOScheduler
 from repro.schedulers.static import StaticScheduler
 from repro.sim.engine import SimulationEngine
 from repro.sim.memory import MemoryModelConfig
@@ -41,16 +40,20 @@ __all__ = [
     "run_standalone",
 ]
 
-PolicyFactory = Callable[[], Scheduler]
 
-#: The paper's five evaluated policies (Figure 6 / Table III), by name.
-STANDARD_POLICIES: dict[str, PolicyFactory] = {
-    "cfs": CFSScheduler,
-    "dio": DIOScheduler,
-    "dike": dike,
-    "dike-af": dike_af,
-    "dike-ap": dike_ap,
-}
+def __getattr__(name: str):
+    # STANDARD_POLICIES is deprecated: the policy registry is the single
+    # source of truth, and the "standard" tag marks the paper's five.
+    if name == "STANDARD_POLICIES":
+        warnings.warn(
+            "STANDARD_POLICIES is deprecated; use "
+            "repro.policies.REGISTRY.standard_factories() (or iterate "
+            "REGISTRY.tagged('standard')) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return REGISTRY.standard_factories()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def run_workload(
@@ -105,7 +108,7 @@ def run_policies(
     **kwargs: object,
 ) -> dict[str, RunResult]:
     """Run one workload under several policies (same build, same seed)."""
-    policies = dict(policies or STANDARD_POLICIES)
+    policies = dict(policies or REGISTRY.standard_factories())
     return {
         name: run_workload(
             spec, factory(), seed=seed, work_scale=work_scale, **kwargs

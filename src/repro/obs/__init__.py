@@ -44,7 +44,6 @@ from repro.obs.events import (
     validate_event_dict,
 )
 from repro.obs.invariants import (
-    POLICY_RULES,
     RULES,
     InvariantError,
     InvariantSink,
@@ -52,6 +51,16 @@ from repro.obs.invariants import (
 )
 from repro.obs.metrics import MetricsRegistry, timed
 from repro.obs.sinks import ChromeTraceSink, JsonlSink, KindTallySink, RingBufferSink
+
+
+def __getattr__(name: str):
+    # Deprecated: POLICY_RULES now lives in the policy registry; resolving
+    # it lazily here avoids importing `repro.policies` during package init.
+    if name == "POLICY_RULES":
+        from repro.obs import invariants
+
+        return invariants.POLICY_RULES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "attach",

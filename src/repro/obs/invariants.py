@@ -59,23 +59,15 @@ RULES = (
     "permutation",
 )
 
-#: Per-policy contract: which rules hold by design for each campaign
-#: policy.  Dike's pipeline promises all five; DIO swaps every thread in
-#: every quantum (cooldown and budget are off by design); CFS rebalances
-#: with unilateral moves the event stream does not record, so placement
-#: cannot be replayed from swaps alone (no permutation rule).  Policies
-#: not listed get the event-local rules only.
-POLICY_RULES: dict[str, tuple[str, ...]] = {
-    "dike": RULES,
-    "dike-af": RULES,
-    "dike-ap": RULES,
-    "dio": ("no-third-core", "profit-arithmetic", "permutation"),
-    "static": RULES,
-    "cfs": ("no-third-core", "cooldown", "swap-budget", "profit-arithmetic"),
-}
+def __getattr__(name: str):
+    # POLICY_RULES moved into the policy registry (each PolicySpec carries
+    # its invariant contract); this lazy view keeps the old read-only
+    # mapping importable without a module-level import cycle.
+    if name == "POLICY_RULES":
+        from repro.policies import REGISTRY
 
-#: Fallback for policies without a registered contract.
-DEFAULT_RULES = ("no-third-core", "profit-arithmetic")
+        return {spec.name: spec.invariants for spec in REGISTRY}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -152,13 +144,20 @@ class InvariantSink:
         swap_size: int | None = None,
         strict: bool = False,
     ) -> "InvariantSink":
-        """The sink encoding ``policy``'s contract (see :data:`POLICY_RULES`).
+        """The sink encoding ``policy``'s contract.
+
+        The contract is the resolved :class:`~repro.policies.PolicySpec`'s
+        ``invariants`` tuple; unknown policy names raise
+        :class:`~repro.policies.UnknownPolicyError` — a typo'd ``--policy``
+        must fail loudly, not run with a silently weakened contract.
 
         ``swap_size`` overrides the initial budget for Dike-family
         policies (the paper's default 8 otherwise); non-Dike policies
         have no budget rule, so their budget is always ``None``.
         """
-        rules = POLICY_RULES.get(policy, DEFAULT_RULES)
+        from repro.policies import REGISTRY  # lazy: avoids import cycle
+
+        rules = REGISTRY.get(policy).invariants
         budget: int | None = None
         if "swap-budget" in rules:
             budget = swap_size if swap_size is not None else 8

@@ -1,0 +1,27 @@
+"""Unified policy framework: registry, declarative specs, stage pipelines.
+
+One import gives every layer the same view of what a policy *is*::
+
+    from repro.policies import REGISTRY
+
+    scheduler = REGISTRY.build("dike-af", {"fairness_threshold": 0.2})
+    factory   = REGISTRY.factory("dio")          # validated, zero-arg
+    contract  = REGISTRY.invariants("dike")      # invariant rule names
+    names     = REGISTRY.names()                 # all registered policies
+
+See `docs/policies.md` for the registry/stage-pipeline architecture and
+how to add a policy.
+"""
+
+from repro.policies.builtin import REGISTRY
+from repro.policies.registry import PolicyRegistry, UnknownPolicyError
+from repro.policies.spec import ParamSpec, PolicyFactory, PolicySpec
+
+__all__ = [
+    "REGISTRY",
+    "PolicyRegistry",
+    "PolicySpec",
+    "ParamSpec",
+    "PolicyFactory",
+    "UnknownPolicyError",
+]

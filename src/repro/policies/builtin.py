@@ -1,0 +1,280 @@
+"""The built-in policy catalogue.
+
+Registers every scheduler the repo ships into :data:`REGISTRY`:
+
+* the five **standard** policies of the paper's evaluation — ``cfs``,
+  ``dio``, ``dike``, ``dike-af``, ``dike-ap`` (tagged ``standard``, in
+  the canonical figure order);
+* the **baseline/control** policies — ``static``, ``oracle``, ``random``,
+  ``suspension``;
+* the fig6-style **ablations** built by swapping Dike pipeline stages —
+  ``dike-no-predictor`` (persistence instead of the closed-loop model)
+  and ``dike-no-decider`` (every selected pair accepted).
+
+Adding a policy is one :func:`~repro.policies.registry.PolicyRegistry.register`
+call: the name immediately works for ``--policy`` on every CLI verb, in
+campaign grids (with the parameter schema validated at planning time and
+folded into cache keys), in the benchmark suite, and with its invariant
+contract enforced by ``InvariantSink.for_policy``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AdaptationGoal, DikeConfig
+from repro.core.dike import NO_DECIDER_STAGES, NO_PREDICTOR_STAGES, DikeScheduler
+from repro.obs.invariants import RULES
+from repro.policies.registry import PolicyRegistry
+from repro.policies.spec import ParamSpec, PolicySpec
+from repro.schedulers.cfs import CFSScheduler
+from repro.schedulers.dio import DIOScheduler
+from repro.schedulers.oracle import OracleStaticScheduler
+from repro.schedulers.random_policy import RandomSwapScheduler
+from repro.schedulers.static import StaticScheduler
+from repro.schedulers.suspension import SuspensionScheduler
+
+__all__ = ["REGISTRY"]
+
+#: The process-wide policy registry (import this, don't build your own).
+REGISTRY = PolicyRegistry()
+
+
+def _positive_float(name: str, default: float, doc: str) -> ParamSpec:
+    return ParamSpec(
+        name, float, default, doc, minimum=0.0, exclusive_min=True
+    )
+
+
+def _fraction(name: str, default: float, doc: str) -> ParamSpec:
+    return ParamSpec(name, float, default, doc, minimum=0.0, maximum=1.0)
+
+
+# ------------------------------------------------------------- dike family
+
+#: Schema of every ``DikeConfig`` field except ``goal`` (the goal is what
+#: distinguishes the dike/dike-af/dike-ap registry entries).  Bounds
+#: mirror ``DikeConfig.__post_init__`` exactly.
+_DIKE_PARAMS: tuple[ParamSpec, ...] = (
+    _positive_float(
+        "quanta_length_s", 0.5, "time between scheduling decisions (s)"
+    ),
+    ParamSpec(
+        "swap_size", int, 8, "threads migrated per quantum (even)",
+        minimum=2, multiple_of=2,
+    ),
+    ParamSpec(
+        "fairness_threshold", float, 0.1,
+        "θ_f — fair (no action) below this access-rate CoV",
+        minimum=0.0, maximum=10.0,
+    ),
+    ParamSpec(
+        "adaptation_period", int, 5,
+        "quanta between Optimizer invocations", minimum=1,
+    ),
+    _fraction(
+        "classification_miss_threshold", 0.10,
+        "LLC miss-rate boundary between C and M threads",
+    ),
+    ParamSpec(
+        "corebw_window", int, 8,
+        "quanta window of the CoreBW moving mean", minimum=1,
+    ),
+    ParamSpec(
+        "swap_overhead_belief_s", float, 0.005,
+        "scheduler's belief of per-migration lost time (swapOH)",
+        minimum=0.0,
+    ),
+    ParamSpec(
+        "cooldown_quanta", int, 1,
+        "quanta a swapped thread stays ineligible", minimum=0,
+    ),
+    ParamSpec(
+        "cooldown_s", float, 1.0,
+        "wall-clock floor on per-thread re-swap interval", minimum=0.0,
+    ),
+    ParamSpec(
+        "require_positive_profit", bool, True,
+        "veto pairs with negative predicted totalProfit",
+    ),
+    ParamSpec(
+        "rotation_fallback", bool, True,
+        "fill missing violator pairs by rotating sorted extremes",
+    ),
+    ParamSpec(
+        "contention_metric", str, "access_rate",
+        "progress signal fed to Selector and fairness gate",
+        choices=("access_rate", "ipc"),
+    ),
+)
+
+
+def _dike_factory(goal: AdaptationGoal, name: str, stages=None):
+    def build(**params) -> DikeScheduler:
+        cfg = DikeConfig(goal=goal, **params)
+        return DikeScheduler(cfg, name=name, stages=stages)
+
+    return build
+
+
+# --------------------------------------------------- standard (paper) five
+
+REGISTRY.register(PolicySpec(
+    name="cfs",
+    doc="Linux-like contention-blind baseline (wake-order spread, "
+        "idle-core rebalance only)",
+    factory=CFSScheduler,
+    params=(
+        _positive_float(
+            "rebalance_interval_s", 0.1, "run-queue rebalance interval (s)"
+        ),
+    ),
+    # CFS swaps nothing, so cooldown/budget hold trivially; it emits no
+    # pair events, so the permutation rule has nothing to check against
+    # its Move-based rebalancing.
+    invariants=("no-third-core", "cooldown", "swap-budget",
+                "profit-arithmetic"),
+    tags=("standard", "baseline"),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dio",
+    doc="Distributed Intensity Online (Zhuravlev et al.) — miss-rate "
+        "sort, top/bottom pairing, swap all pairs every quantum",
+    factory=DIOScheduler,
+    params=(
+        _positive_float("quantum_s", 1.0, "DIO's scheduling interval (s)"),
+        ParamSpec(
+            "max_pairs", int, None,
+            "cap on pairs swapped per quantum (None = all, as published)",
+            minimum=0, nullable=True,
+        ),
+    ),
+    # DIO has no cooldown and no swap budget by design.
+    invariants=("no-third-core", "profit-arithmetic", "permutation"),
+    tags=("standard", "baseline"),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dike",
+    doc="non-adaptive Dike: fixed ⟨swapSize=8, quantaLength=500 ms⟩ "
+        "five-stage pipeline",
+    factory=_dike_factory(AdaptationGoal.NONE, "dike"),
+    params=_DIKE_PARAMS,
+    invariants=RULES,
+    tags=("standard",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dike-af",
+    doc="adaptive Dike, Optimizer favouring fairness",
+    factory=_dike_factory(AdaptationGoal.FAIRNESS, "dike-af"),
+    params=_DIKE_PARAMS,
+    invariants=RULES,
+    tags=("standard",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dike-ap",
+    doc="adaptive Dike, Optimizer favouring performance",
+    factory=_dike_factory(AdaptationGoal.PERFORMANCE, "dike-ap"),
+    params=_DIKE_PARAMS,
+    invariants=RULES,
+    tags=("standard",),
+))
+
+# --------------------------------------------------- baselines and controls
+
+REGISTRY.register(PolicySpec(
+    name="static",
+    doc="pin threads at their initial placement, never migrate",
+    factory=StaticScheduler,
+    params=(
+        _positive_float("quantum_s", 0.5, "observation granularity (s)"),
+        ParamSpec(
+            "fastest_first", bool, False,
+            "place on fastest cores first (standalone-run convention)",
+        ),
+    ),
+    invariants=RULES,
+    tags=("baseline",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="oracle",
+    doc="ideal static mapping from ground-truth application classes "
+        "(a-priori-knowledge cheating baseline)",
+    factory=OracleStaticScheduler,
+    params=(
+        _positive_float("quantum_s", 0.5, "observation granularity (s)"),
+    ),
+    invariants=RULES,
+    aliases=("oracle-static",),
+    tags=("baseline",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="random",
+    doc="swap k uniformly random disjoint pairs per quantum (churn "
+        "without signal — the DIO control)",
+    factory=RandomSwapScheduler,
+    params=(
+        _positive_float("quantum_s", 0.5, "scheduling interval (s)"),
+        ParamSpec(
+            "pairs_per_quantum", int, 4,
+            "random disjoint pairs swapped per quantum", minimum=0,
+        ),
+    ),
+    # Random swaps every quantum without cooldown, and its budget is
+    # pairs_per_quantum, not Dike's swap_size.
+    invariants=("no-third-core", "profit-arithmetic", "permutation"),
+    tags=("baseline",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="suspension",
+    doc="suspend ahead-of-group threads until stragglers catch up "
+        "(the enforcement the paper argues against, §III-E)",
+    factory=SuspensionScheduler,
+    params=(
+        _positive_float("quantum_s", 0.5, "scheduling interval (s)"),
+        _fraction(
+            "lead_threshold", 0.10,
+            "suspend when progress leads the group laggard by this fraction",
+        ),
+        _fraction(
+            "max_suspended_fraction", 0.25,
+            "cap on the fraction of live threads suspended per quantum",
+        ),
+    ),
+    invariants=RULES,
+    aliases=("suspend",),
+    tags=("baseline",),
+))
+
+# ------------------------------------------------------ stage-built ablations
+
+REGISTRY.register(PolicySpec(
+    name="dike-no-predictor",
+    doc="Dike ablation: persistence predictions instead of the "
+        "closed-loop profit model (Eqns 1–3)",
+    factory=_dike_factory(
+        AdaptationGoal.NONE, "dike-no-predictor", stages=NO_PREDICTOR_STAGES
+    ),
+    params=_DIKE_PARAMS,
+    # No ProfitEvaluated events are emitted, so profit-arithmetic holds
+    # vacuously; all placement/cooldown/budget rules still bind.
+    invariants=RULES,
+    tags=("ablation",),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dike-no-decider",
+    doc="Dike ablation: every selected pair is swapped (no cooldown "
+        "rule, no profit veto)",
+    factory=_dike_factory(
+        AdaptationGoal.NONE, "dike-no-decider", stages=NO_DECIDER_STAGES
+    ),
+    params=_DIKE_PARAMS,
+    # Without a Decider there is no cooldown contract to enforce.
+    invariants=tuple(r for r in RULES if r != "cooldown"),
+    tags=("ablation",),
+))

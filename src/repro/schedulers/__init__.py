@@ -1,4 +1,9 @@
-"""Baseline scheduling policies and the shared scheduler interface."""
+"""Baseline scheduling policies and the shared scheduler interface.
+
+`repro.schedulers.pipeline` adds the composable :class:`StagePipeline`
+base multi-stage schedulers (Dike and its ablations) declare their
+per-quantum stage list on.
+"""
 
 from repro.schedulers.base import (
     Action,
@@ -10,6 +15,7 @@ from repro.schedulers.base import (
     ThreadInfo,
     spread_placement,
 )
+from repro.schedulers.pipeline import Stage, StagePipeline, StageState
 from repro.schedulers.oracle import OracleStaticScheduler
 from repro.schedulers.suspension import SuspensionScheduler
 from repro.schedulers.cfs import CFSScheduler
@@ -26,6 +32,9 @@ __all__ = [
     "Swap",
     "ThreadInfo",
     "spread_placement",
+    "Stage",
+    "StagePipeline",
+    "StageState",
     "OracleStaticScheduler",
     "SuspensionScheduler",
     "CFSScheduler",

@@ -18,7 +18,7 @@ from repro.analysis.replication import (
     replicate,
 )
 from repro.analysis.report import build_report
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.runner import run_workload
 from repro.schedulers.static import StaticScheduler
@@ -63,7 +63,7 @@ class TestMetricSummary:
 class TestReplicate:
     @pytest.fixture(scope="class")
     def cell(self):
-        return replicate(SMALL, dike, seeds=(1, 2, 3), work_scale=0.02)
+        return replicate(SMALL, DikeScheduler, seeds=(1, 2, 3), work_scale=0.02)
 
     def test_metadata(self, cell):
         assert cell.workload == "small"
@@ -82,12 +82,12 @@ class TestReplicate:
 
     def test_requires_seeds(self):
         with pytest.raises(ValueError):
-            replicate(SMALL, dike, seeds=())
+            replicate(SMALL, DikeScheduler, seeds=())
 
     def test_compare_policies(self):
         cells = compare_policies(
             SMALL,
-            {"dike": dike, "static": StaticScheduler},
+            {"dike": DikeScheduler, "static": StaticScheduler},
             seeds=(1, 2),
             work_scale=0.02,
         )
@@ -99,7 +99,7 @@ class TestConvergence:
     @pytest.fixture(scope="class")
     def traced_run(self):
         return run_workload(
-            SMALL, dike(), work_scale=0.05, record_timeseries=True
+            SMALL, DikeScheduler(), work_scale=0.05, record_timeseries=True
         )
 
     def test_swap_phases_front_loaded(self, traced_run):

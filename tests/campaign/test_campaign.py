@@ -16,7 +16,7 @@ import pytest
 from repro.campaign.cachekey import cache_key
 from repro.campaign.core import Campaign, CampaignError
 from repro.campaign.executor import ExecutorConfig, TaskFailure
-from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.spec import SimParams, TaskSpec, WorkloadRef
 from repro.campaign.store import ResultStore
 from repro.campaign.telemetry import Telemetry
 from repro.experiments.fig1 import run_fig1
@@ -28,6 +28,12 @@ TINY = WorkloadSpec(
     name="tiny", apps=("jacobi", "srad"), include_kmeans=False, threads_per_app=2
 )
 SIM = SimParams(work_scale=0.02)
+
+#: Fails only at execution time: the app name resolves in the worker,
+#: when the by-value WorkloadRef is rebuilt into a live WorkloadSpec.
+BAD_WORKLOAD = WorkloadRef(
+    name="bad", apps=("no-such-app",), include_kmeans=False, threads_per_app=2
+)
 
 
 def _tasks() -> list[TaskSpec]:
@@ -100,18 +106,17 @@ class TestCachingAndResume:
 
 class TestFailurePolicy:
     def test_strict_gather_raises_campaign_error(self):
-        bad = TaskSpec.for_workload(
-            TINY, "dike", seed=7, policy_params={"no_such_field": 1}, sim=SIM
-        )
+        # Policy params are validated at spec-construction time now, so an
+        # execution-time failure needs a workload that only fails in the
+        # worker (WorkloadRef is by-value and unvalidated until rebuilt).
+        bad = TaskSpec(workload=BAD_WORKLOAD, policy="dike", seed=7, sim=SIM)
         camp = Campaign(executor=ExecutorConfig(retries=0))
         with pytest.raises(CampaignError) as err:
             camp.gather([bad])
         assert err.value.failures[0].kind == "error"
 
     def test_lenient_gather_returns_failure_records_in_order(self):
-        bad = TaskSpec.for_workload(
-            TINY, "dike", seed=7, policy_params={"no_such_field": 1}, sim=SIM
-        )
+        bad = TaskSpec(workload=BAD_WORKLOAD, policy="dike", seed=7, sim=SIM)
         good = _tasks()[0]
         out = Campaign(executor=ExecutorConfig(retries=0)).gather(
             [good, bad], strict=False

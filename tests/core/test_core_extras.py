@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import DikeConfig
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.core.migrator import Migrator
 from repro.core.observer import Observer
 from repro.core.predictor import PairPrediction
@@ -53,7 +53,7 @@ class TestIpcMetric:
             name="t", apps=("jacobi", "srad"), include_kmeans=False,
             threads_per_app=2,
         )
-        sched = dike(DikeConfig(contention_metric="ipc"))
+        sched = DikeScheduler(DikeConfig(contention_metric="ipc"))
         result = run_workload(spec, sched, work_scale=0.02)
         assert result.n_quanta > 0
 
@@ -69,7 +69,7 @@ class TestPredictionBookkeeping:
             name="t", apps=("jacobi", "srad"), include_kmeans=False,
             threads_per_app=2,
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, DikeScheduler(), work_scale=0.02)
         tids = {r.tid for r in result.predictions}
         assert len(tids) == 4  # every thread appears in the error records
 
@@ -80,6 +80,6 @@ class TestPredictionBookkeeping:
         spec = WorkloadSpec(
             name="t", apps=("jacobi",), include_kmeans=False, threads_per_app=2
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, DikeScheduler(), work_scale=0.02)
         for r in result.predictions:
             assert 0 <= r.quantum_index < result.n_quanta

@@ -7,12 +7,12 @@ import pytest
 
 from repro.core.config import DikeConfig
 from repro.experiments.runner import (
-    STANDARD_POLICIES,
     run_policies,
     run_standalone,
     run_workload,
 )
 from repro.experiments.sweep import sweep_configurations
+from repro.policies import REGISTRY
 from repro.schedulers.static import StaticScheduler
 from repro.workloads.suite import WorkloadSpec
 
@@ -36,12 +36,22 @@ class TestRunWorkload:
         assert a.makespan_s == b.makespan_s
 
     def test_standard_policies_cover_paper(self):
-        assert set(STANDARD_POLICIES) == {"cfs", "dio", "dike", "dike-af", "dike-ap"}
+        standard = {s.name for s in REGISTRY.tagged("standard")}
+        assert standard == {"cfs", "dio", "dike", "dike-af", "dike-ap"}
+
+    def test_standard_policies_shim_warns(self):
+        # Backward compatibility: the old constant still resolves (to the
+        # registry's standard factories) but flags itself as deprecated.
+        import repro.experiments.runner as runner
+
+        with pytest.warns(DeprecationWarning):
+            legacy = runner.STANDARD_POLICIES
+        assert set(legacy) == {s.name for s in REGISTRY.tagged("standard")}
 
     def test_run_policies_same_workload_build(self):
         results = run_policies(SMALL, work_scale=0.01)
         names = {r.policy_name for r in results.values()}
-        assert names == set(STANDARD_POLICIES)
+        assert names == {s.name for s in REGISTRY.tagged("standard")}
         # all runs see the same benchmarks
         benchset = {tuple(r.benchmark_names) for r in results.values()}
         assert len(benchset) == 1

@@ -9,7 +9,7 @@ import pytest
 
 import numpy as np
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.experiments.runner import run_workload
 from repro.experiments.serialization import (
     SCHEMA_VERSION,
@@ -34,7 +34,7 @@ SMALL = WorkloadSpec(
 
 @pytest.fixture(scope="module")
 def result():
-    return run_workload(SMALL, dike(), work_scale=0.02)
+    return run_workload(SMALL, DikeScheduler(), work_scale=0.02)
 
 
 class TestToDict:
@@ -107,7 +107,7 @@ class TestFullRoundTrip:
 
     def test_trace_is_not_serialised(self):
         traced = run_workload(
-            SMALL, dike(), work_scale=0.02, record_timeseries=True
+            SMALL, DikeScheduler(), work_scale=0.02, record_timeseries=True
         )
         assert traced.trace is not None
         back = run_result_from_json(run_result_to_full_json(traced))

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 import repro
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.obs import (
     EventBus,
     InvariantSink,
@@ -22,7 +22,7 @@ from repro.sim.engine import SimulationEngine
 def _engine(tiny_workload, small_topology, bus=None) -> SimulationEngine:
     groups = tiny_workload.build(seed=7, work_scale=0.01)
     return SimulationEngine(
-        topology=small_topology, groups=groups, scheduler=dike(),
+        topology=small_topology, groups=groups, scheduler=DikeScheduler(),
         seed=7, workload_name=tiny_workload.name, bus=bus,
     )
 
@@ -108,7 +108,7 @@ class TestAttachOptions:
     ):
         att = attach(invariants="dike")
         result = run_quickly(
-            tiny_workload, dike(), small_topology, work_scale=0.02, bus=att.bus
+            tiny_workload, DikeScheduler(), small_topology, work_scale=0.02, bus=att.bus
         )
         att.finalize(result)
         digest = result.info["invariants"]
@@ -121,7 +121,7 @@ class TestAttachOptions:
     ):
         att = attach(ring=True)
         result = run_quickly(
-            tiny_workload, dike(), small_topology, work_scale=0.01, bus=att.bus
+            tiny_workload, DikeScheduler(), small_topology, work_scale=0.01, bus=att.bus
         )
         att.finalize(result)
         assert "invariants" not in result.info
@@ -159,7 +159,7 @@ class TestRunWorkloadAcceptsAttachment:
 
         att = attach(tally=True)
         run_workload(
-            tiny_workload, dike(), seed=7, work_scale=0.01,
+            tiny_workload, DikeScheduler(), seed=7, work_scale=0.01,
             topology=small_topology, bus=att,
         )
         assert att.tally.total() > 0

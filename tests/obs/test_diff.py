@@ -8,7 +8,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.obs.diff import (
     DivergenceReport,
     SchemaMismatch,
@@ -27,7 +27,7 @@ GOLDEN = Path(__file__).resolve().parent.parent / "golden"
 def trace_run(run_quickly, workload, topology, path, seed):
     bus = EventBus()
     bus.attach(JsonlSink(path))
-    run_quickly(workload, dike(), topology, work_scale=0.02, seed=seed, bus=bus)
+    run_quickly(workload, DikeScheduler(), topology, work_scale=0.02, seed=seed, bus=bus)
     bus.close()
     return load_events(path)
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sinks import RingBufferSink
@@ -23,7 +23,7 @@ class TestDikeRun:
         self, run_quickly, small_workload, small_topology
     ):
         result, events = traced_run(
-            run_quickly, small_workload, small_topology, dike()
+            run_quickly, small_workload, small_topology, DikeScheduler()
         )
         kinds = [e.kind for e in events]
         # The engine frames every quantum...
@@ -44,7 +44,7 @@ class TestDikeRun:
         self, run_quickly, small_workload, small_topology
     ):
         result, _ = traced_run(
-            run_quickly, small_workload, small_topology, dike()
+            run_quickly, small_workload, small_topology, DikeScheduler()
         )
         metrics = result.info["metrics"]
         assert metrics["engine.quanta"] == result.n_quanta
@@ -56,15 +56,15 @@ class TestDikeRun:
         self, run_quickly, tiny_workload, small_topology
     ):
         result = run_quickly(
-            tiny_workload, dike(), small_topology, work_scale=0.02
+            tiny_workload, DikeScheduler(), small_topology, work_scale=0.02
         )
         assert "metrics" not in result.info
 
     def test_same_seed_streams_identical(
         self, run_quickly, tiny_workload, small_topology
     ):
-        _, a = traced_run(run_quickly, tiny_workload, small_topology, dike())
-        _, b = traced_run(run_quickly, tiny_workload, small_topology, dike())
+        _, a = traced_run(run_quickly, tiny_workload, small_topology, DikeScheduler())
+        _, b = traced_run(run_quickly, tiny_workload, small_topology, DikeScheduler())
         assert [e.to_dict() for e in a] == [e.to_dict() for e in b]
 
 

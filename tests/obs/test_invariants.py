@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.obs.events import (
     ArrivalPlaced,
     EventBus,
@@ -47,7 +47,7 @@ class TestCleanRuns:
     def test_dike_run_has_zero_violations(
         self, run_quickly, small_workload, small_topology, seed
     ):
-        scheduler = dike()
+        scheduler = DikeScheduler()
         bus = EventBus()
         sink = bus.attach(
             InvariantSink(swap_size=scheduler.config.swap_size, strict=True)

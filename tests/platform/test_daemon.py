@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.platform.daemon import SchedulingDaemon
 from repro.platform.iface import AffinityBackend, CounterWindow, PerfBackend
 from repro.schedulers.dio import DIOScheduler
@@ -148,7 +148,7 @@ class TestDaemonEnforcement:
         assert after[103] == before[100]
 
     def test_dike_runs_against_backends(self, topo):
-        daemon, _, _, _ = make_daemon(dike(), topo)
+        daemon, _, _, _ = make_daemon(DikeScheduler(), topo)
         daemon.apply_initial_placement()
         stats = daemon.run(duration_s=5.0)
         assert stats.quanta == 10

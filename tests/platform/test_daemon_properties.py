@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.platform.daemon import SchedulingDaemon
 from repro.schedulers.dio import DIOScheduler
 from repro.sim.topology import SocketSpec, Topology
@@ -68,7 +68,7 @@ class TestDaemonProperties:
         threads, profiles = tp
         clock = FakeClock()
         daemon = SchedulingDaemon(
-            dike(),
+            DikeScheduler(),
             FakePerf(profiles),
             FakeAffinity(TOPO.n_vcores),
             TOPO,

@@ -1,0 +1,224 @@
+"""Tests for the policy registry: resolution, schemas, contracts.
+
+The registry is the single resolution point for every layer (runner,
+CLI, campaign, benchmarks, invariant checker), so these tests are mostly
+*completeness properties* quantified over every registered spec — a new
+policy registered with a broken schema or contract fails here before it
+fails in a campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.invariants import RULES, InvariantSink
+from repro.policies import (
+    REGISTRY,
+    ParamSpec,
+    PolicyRegistry,
+    PolicySpec,
+    UnknownPolicyError,
+)
+from repro.schedulers.base import Scheduler
+
+
+class TestRegistryContents:
+    def test_standard_policies_in_figure_order(self):
+        standard = tuple(s.name for s in REGISTRY.tagged("standard"))
+        assert standard == ("cfs", "dio", "dike", "dike-af", "dike-ap")
+
+    def test_baselines_registered(self):
+        names = set(REGISTRY.names())
+        assert {"static", "oracle", "random", "suspension"} <= names
+
+    def test_ablations_registered(self):
+        names = {s.name for s in REGISTRY.tagged("ablation")}
+        assert names == {"dike-no-predictor", "dike-no-decider"}
+
+    def test_aliases_resolve_to_canonical_spec(self):
+        assert REGISTRY.get("oracle-static") is REGISTRY.get("oracle")
+        assert REGISTRY.get("suspend") is REGISTRY.get("suspension")
+
+    def test_contains_and_len(self):
+        assert "dike" in REGISTRY
+        assert "oracle-static" in REGISTRY  # aliases count as known
+        assert "no-such-policy" not in REGISTRY
+        assert len(REGISTRY) == len(REGISTRY.names())
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(UnknownPolicyError) as exc:
+            REGISTRY.get("no-such-policy")
+        assert exc.value.name == "no-such-policy"
+        assert "dike" in exc.value.known
+        # Existing call sites catch ValueError; the subclass must satisfy
+        # them.
+        assert isinstance(exc.value, ValueError)
+
+
+class TestEverySpec:
+    """Properties every registered policy must satisfy."""
+
+    @pytest.fixture(params=[s.name for s in REGISTRY.specs()])
+    def spec(self, request) -> PolicySpec:
+        return REGISTRY.get(request.param)
+
+    def test_default_build_succeeds(self, spec):
+        scheduler = spec.build()
+        assert isinstance(scheduler, Scheduler)
+
+    def test_scheduler_name_matches_registry_name(self, spec):
+        built = spec.build()
+        assert built.name == spec.name or built.name in spec.aliases
+
+    def test_contract_nonempty_and_known(self, spec):
+        assert spec.invariants, f"{spec.name} has an empty contract"
+        assert set(spec.invariants) <= set(RULES)
+
+    def test_doc_is_one_line(self, spec):
+        assert spec.doc.strip()
+        assert "\n" not in spec.doc
+
+    def test_defaults_pass_own_schema(self, spec):
+        factory = spec.from_params(spec.defaults())
+        assert factory.policy_name == spec.name
+        assert isinstance(factory(), Scheduler)
+
+    def test_for_policy_uses_contract(self, spec):
+        sink = InvariantSink.for_policy(spec.name)
+        assert sink.rules == spec.invariants
+
+    def test_describe_is_self_contained(self, spec):
+        desc = spec.describe()
+        assert desc["name"] == spec.name
+        assert desc["invariants"] == list(spec.invariants)
+        assert [p["name"] for p in desc["params"]] == list(spec.param_names())
+
+
+class TestFromParams:
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            REGISTRY.get("dike").from_params({"no_such_field": 1})
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            REGISTRY.get("dike").from_params({"swap_size": 3})  # odd
+        with pytest.raises(ValueError):
+            REGISTRY.get("dike").from_params({"swap_size": 0})
+        with pytest.raises(ValueError):
+            REGISTRY.get("dike").from_params({"quanta_length_s": 0.0})
+
+    def test_params_reach_the_scheduler(self):
+        built = REGISTRY.build(
+            "dike", {"swap_size": 4, "quanta_length_s": 0.25}
+        )
+        assert built.config.swap_size == 4
+        assert built.config.quanta_length_s == 0.25
+
+    def test_factory_carries_provenance(self):
+        factory = REGISTRY.factory("dike", {"swap_size": 4})
+        assert factory.policy_name == "dike"
+        assert factory.policy_params == {"swap_size": 4}
+
+    def test_build_via_alias(self):
+        assert REGISTRY.build("suspend").name in ("suspension", "suspend")
+
+    def test_goal_not_a_parameter(self):
+        # The goal is what distinguishes dike / dike-af / dike-ap; it is
+        # fixed per registry entry, never swept.
+        for name in ("dike", "dike-af", "dike-ap"):
+            assert "goal" not in REGISTRY.get(name).param_names()
+
+
+class TestStandardFactories:
+    def test_covers_the_paper_figures(self):
+        factories = REGISTRY.standard_factories()
+        assert tuple(factories) == ("cfs", "dio", "dike", "dike-af", "dike-ap")
+
+    def test_factories_build_fresh_instances(self):
+        factories = REGISTRY.standard_factories()
+        a, b = factories["dike"](), factories["dike"]()
+        assert a is not b
+        assert a.name == b.name == "dike"
+
+
+class TestParamSpecValidation:
+    def test_bool_is_not_int(self):
+        p = ParamSpec(name="n", type=int, default=1)
+        with pytest.raises(ValueError):
+            p.validate(True)
+
+    def test_int_is_not_bool(self):
+        p = ParamSpec(name="flag", type=bool, default=False)
+        with pytest.raises(ValueError):
+            p.validate(1)
+
+    def test_float_accepts_int(self):
+        p = ParamSpec(name="x", type=float, default=1.0)
+        assert p.validate(2) == 2
+
+    def test_exclusive_minimum(self):
+        p = ParamSpec(
+            name="x", type=float, default=1.0, minimum=0.0, exclusive_min=True
+        )
+        with pytest.raises(ValueError):
+            p.validate(0.0)
+        assert p.validate(0.1) == 0.1
+
+    def test_multiple_of(self):
+        p = ParamSpec(name="n", type=int, default=2, multiple_of=2)
+        with pytest.raises(ValueError):
+            p.validate(3)
+
+    def test_choices(self):
+        p = ParamSpec(
+            name="m", type=str, default="a", choices=("a", "b")
+        )
+        with pytest.raises(ValueError):
+            p.validate("c")
+
+    def test_nullable(self):
+        p = ParamSpec(name="n", type=int, default=None, nullable=True)
+        assert p.validate(None) is None
+        strict = ParamSpec(name="n", type=int, default=0)
+        with pytest.raises(ValueError):
+            strict.validate(None)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        reg = PolicyRegistry()
+        spec = REGISTRY.get("cfs")
+        reg.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(spec)
+
+    def test_alias_collision_rejected(self):
+        reg = PolicyRegistry()
+        reg.register(REGISTRY.get("oracle"))  # claims alias oracle-static
+        clashing = PolicySpec(
+            name="oracle-static",
+            doc="clashes with an existing alias",
+            factory=REGISTRY.get("oracle").factory,
+            invariants=("no-third-core",),
+        )
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(clashing)
+
+
+class TestInvariantSinkResolution:
+    def test_unknown_policy_raises_not_fallback(self):
+        # The pre-registry behaviour silently fell back to default rules;
+        # typos must now fail loudly.
+        with pytest.raises(UnknownPolicyError):
+            InvariantSink.for_policy("no-such-policy")
+
+    def test_swap_budget_uses_swap_size(self):
+        sink = InvariantSink.for_policy("dike", swap_size=4)
+        assert sink.swap_size == 4
+
+    def test_no_budget_rule_means_no_budget(self):
+        # DIO swaps everything by design — no swap-budget rule, and an
+        # override must not invent one.
+        assert "swap-budget" not in REGISTRY.get("dio").invariants
+        sink = InvariantSink.for_policy("dio", swap_size=4)
+        assert sink.swap_size is None

@@ -93,7 +93,7 @@ class TestSuspensionScheduler:
     ):
         """§III-E: suspension equalises but wastes cycles — Dike's
         migration-based enforcement must win on performance."""
-        from repro.core.dike import dike
+        from repro.core.dike import DikeScheduler
 
         base = quick_run(
             small_workload, CFSScheduler(), paper_topology, work_scale=0.05
@@ -101,7 +101,7 @@ class TestSuspensionScheduler:
         r_susp = quick_run(
             small_workload, SuspensionScheduler(), paper_topology, work_scale=0.05
         )
-        r_dike = quick_run(small_workload, dike(), paper_topology, work_scale=0.05)
+        r_dike = quick_run(small_workload, DikeScheduler(), paper_topology, work_scale=0.05)
         assert speedup(r_dike, base) > speedup(r_susp, base)
 
 
@@ -144,10 +144,10 @@ class TestOracleStatic:
     ):
         """Dike, with zero a-priori knowledge, should land within ~10% of
         the cheating static optimum's fairness."""
-        from repro.core.dike import dike
+        from repro.core.dike import DikeScheduler
 
         r_oracle = quick_run(
             small_workload, OracleStaticScheduler(), paper_topology, work_scale=0.15
         )
-        r_dike = quick_run(small_workload, dike(), paper_topology, work_scale=0.15)
+        r_dike = quick_run(small_workload, DikeScheduler(), paper_topology, work_scale=0.15)
         assert fairness(r_dike) > 0.9 * fairness(r_oracle)

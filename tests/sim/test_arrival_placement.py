@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.policies import REGISTRY
 from repro.obs.events import EventBus
 from repro.sim.engine import SimulationEngine
 from repro.sim.topology import xeon_e5_heterogeneous
@@ -73,7 +73,7 @@ def run_stagger(engine_cls=SimulationEngine):
     engine = engine_cls(
         topology=xeon_e5_heterogeneous(),
         groups=wl.build(seed=3, work_scale=0.05),
-        scheduler=STANDARD_POLICIES["dio"](),
+        scheduler=REGISTRY.build("dio"),
         seed=3,
         counter_noise=0.06,
         record_timeseries=False,

@@ -26,7 +26,7 @@ from pathlib import Path
 import pytest
 
 from repro.cli import main as cli_main
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.policies import REGISTRY
 from repro.obs.diff import diff_traces, load_events
 from repro.obs.events import EventBus
 from repro.obs.sinks import JsonlSink
@@ -36,7 +36,7 @@ from repro.sim.topology import SocketSpec, Topology
 from repro.workloads.suite import WorkloadSpec
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
-POLICIES = ("cfs", "dio", "dike")
+POLICIES = ("cfs", "dio", "dike", "dike-af", "dike-ap")
 SEED = 7
 WORK_SCALE = 0.02
 
@@ -69,7 +69,7 @@ def golden_run(policy: str, trace_path: Path | None = None) -> RunResult:
     engine = SimulationEngine(
         topology=_topology(),
         groups=groups,
-        scheduler=STANDARD_POLICIES[policy](),
+        scheduler=REGISTRY.build(policy),
         seed=SEED,
         workload_name="golden-tiny",
         bus=bus,

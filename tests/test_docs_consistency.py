@@ -13,7 +13,7 @@ import pytest
 
 from repro.cli import build_parser
 from repro.experiments.registry import EXPERIMENTS
-from repro.experiments.runner import STANDARD_POLICIES
+from repro.policies import REGISTRY
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -70,7 +70,7 @@ class TestReadme:
         assert "python -m repro report" in readme_md
 
     def test_policies_named(self, readme_md):
-        for policy in STANDARD_POLICIES:
+        for policy in (s.name for s in REGISTRY.tagged("standard")):
             assert policy.replace("dike-", "Dike-").replace("dike", "Dike") in (
                 readme_md
             ) or policy in readme_md.lower()

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.core.dike import dike, dike_af
+from repro.policies import REGISTRY
 from repro.experiments.runner import run_workload
 from repro.metrics.fairness import fairness
 from repro.schedulers.cfs import CFSScheduler
@@ -30,7 +30,7 @@ class TestDegenerateMixes:
             name="allm", apps=("jacobi", "streamcluster", "needle", "stream_omp"),
             include_kmeans=False, threads_per_app=2,
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02)
         assert finished(result)
 
     def test_all_compute_workload(self):
@@ -38,7 +38,7 @@ class TestDegenerateMixes:
             name="allc", apps=("srad", "hotspot", "lavaMD", "heartwall"),
             include_kmeans=False, threads_per_app=2,
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02)
         assert finished(result)
         # compute apps barely touch memory: few or no swaps needed
         assert result.swap_count < 200
@@ -47,7 +47,8 @@ class TestDegenerateMixes:
         spec = WorkloadSpec(
             name="one", apps=("jacobi",), include_kmeans=False, threads_per_app=4
         )
-        for factory in (dike, dike_af, DIOScheduler, CFSScheduler):
+        for factory in (REGISTRY.factory("dike"), REGISTRY.factory("dike-af"),
+                        DIOScheduler, CFSScheduler):
             result = run_workload(spec, factory(), work_scale=0.02)
             assert finished(result)
 
@@ -55,7 +56,7 @@ class TestDegenerateMixes:
         spec = WorkloadSpec(
             name="pair", apps=("jacobi",), include_kmeans=False, threads_per_app=2
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02)
         assert finished(result)
         assert math.isfinite(fairness(result))
 
@@ -65,7 +66,7 @@ class TestDegenerateMixes:
             name="dup", apps=("jacobi", "jacobi"), include_kmeans=False,
             threads_per_app=2,
         )
-        result = run_workload(spec, dike(), work_scale=0.02)
+        result = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02)
         assert finished(result)
         assert len(result.benchmarks) == 2
         assert result.benchmarks[0].group_id != result.benchmarks[1].group_id
@@ -78,7 +79,7 @@ class TestDegenerateMachines:
             name="t", apps=("jacobi", "srad"), include_kmeans=False,
             threads_per_app=2,
         )
-        result = run_workload(spec, dike(), work_scale=0.02, topology=topo)
+        result = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02, topology=topo)
         assert finished(result)
 
     def test_no_smt(self):
@@ -104,7 +105,7 @@ class TestDegenerateMachines:
             threads_per_app=2,
         )
         result = run_workload(
-            spec, dike(), work_scale=0.005, topology=topo, max_time_s=3000.0
+            spec, REGISTRY.build("dike"), work_scale=0.005, topology=topo, max_time_s=3000.0
         )
         assert finished(result)
 
@@ -118,7 +119,7 @@ class TestDegenerateMachines:
             threads_per_app=2,
         )
         r_cfs = run_workload(spec, CFSScheduler(), work_scale=0.02, topology=topo)
-        r_dike = run_workload(spec, dike(), work_scale=0.02, topology=topo)
+        r_dike = run_workload(spec, REGISTRY.build("dike"), work_scale=0.02, topology=topo)
         assert finished(r_cfs) and finished(r_dike)
         assert fairness(r_dike) > fairness(r_cfs)
 

@@ -16,7 +16,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import DikeConfig
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.metrics.fairness import fairness
 from repro.sim.engine import SimulationEngine
 from repro.sim.memory import MemorySystem, waterfill
@@ -63,7 +63,7 @@ class TestEndToEndInvariants:
     def test_any_mix_completes_under_dike(self, topo, spec, seed):
         groups = spec.build(seed=seed, work_scale=0.004)
         engine = SimulationEngine(
-            topology=topo, groups=groups, scheduler=dike(),
+            topology=topo, groups=groups, scheduler=DikeScheduler(),
             seed=seed, workload_name=spec.name, max_time_s=600.0,
         )
         result = engine.run()
@@ -100,7 +100,7 @@ class TestEndToEndInvariants:
         def once():
             groups = spec.build(seed=seed, work_scale=0.004)
             return SimulationEngine(
-                topology=topo, groups=groups, scheduler=dike(),
+                topology=topo, groups=groups, scheduler=DikeScheduler(),
                 seed=seed, workload_name=spec.name,
             ).run()
 
@@ -155,7 +155,7 @@ class TestConfigSpaceInvariants:
         cfg = DikeConfig(swap_size=swap_size, quanta_length_s=qlen)
         groups = spec.build(seed=seed, work_scale=0.004)
         result = SimulationEngine(
-            topology=topo, groups=groups, scheduler=dike(cfg),
+            topology=topo, groups=groups, scheduler=DikeScheduler(cfg),
             seed=seed, workload_name=spec.name,
         ).run()
         assert not result.info["truncated"]

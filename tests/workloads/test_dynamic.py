@@ -9,7 +9,7 @@ import pytest
 from repro.experiments.runner import run_workload
 from repro.metrics.fairness import fairness
 from repro.schedulers.static import StaticScheduler
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.workloads.dynamic import (
     DynamicWorkload,
     phased_workload,
@@ -90,7 +90,7 @@ class TestDynamicExecution:
             entries=(("jacobi", 0.0), ("srad", 0.0), ("stream_omp", 5.0)),
             threads_per_app=2,
         )
-        result = run_workload(wl, dike(), work_scale=0.05)
+        result = run_workload(wl, DikeScheduler(), work_scale=0.05)
         assert all(
             math.isfinite(t)
             for b in result.benchmarks

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.core.dike import dike
+from repro.core.dike import DikeScheduler
 from repro.experiments.runner import run_workload
 from repro.schedulers.static import StaticScheduler
 from repro.sim.phases import PhaseTrace
@@ -112,7 +112,7 @@ class TestRecordReplay:
             threads_per_app=2,
         )
         original = run_workload(
-            spec, dike(), work_scale=0.02, record_timeseries=True
+            spec, DikeScheduler(), work_scale=0.02, record_timeseries=True
         )
         samples = record_benchmark_trace(original, "jacobi", member=0)
         assert len(samples) > 1
@@ -131,7 +131,7 @@ class TestRecordReplay:
         result = SimulationEngine(
             topology=xeon_e5_heterogeneous(),
             groups=groups,
-            scheduler=dike(),
+            scheduler=DikeScheduler(),
             seed=2,
         ).run()
         assert all(
