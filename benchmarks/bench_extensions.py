@@ -21,7 +21,7 @@ from repro.schedulers.cfs import CFSScheduler
 from repro.schedulers.oracle import OracleStaticScheduler
 from repro.schedulers.suspension import SuspensionScheduler
 from repro.util.tables import format_table
-from repro.workloads.dynamic import phased_workload
+from repro.traffic import phased_workload
 from repro.workloads.suite import workload
 
 SCALE = 0.25

@@ -26,7 +26,7 @@ from repro import (
     speedup,
 )
 from repro.util.tables import format_table
-from repro.workloads.dynamic import phased_workload
+from repro.traffic import phased_workload
 
 
 def main() -> None:

@@ -14,7 +14,9 @@ Layers (see DESIGN.md):
 * :mod:`repro.obs` — observability: event tracing, metrics, invariant
   contracts and trace divergence analysis, attached via one call
   (:func:`repro.attach`);
-* :mod:`repro.campaign` — parallel, cached, fault-tolerant grids.
+* :mod:`repro.campaign` — parallel, cached, fault-tolerant grids;
+* :mod:`repro.traffic` — open-loop load generation (arrival-process
+  generators, job traces), lifecycle tracking and tail-latency metrics.
 
 Quickstart::
 
@@ -49,6 +51,18 @@ def __getattr__(name: str):
         from repro.experiments import runner
 
         return runner.STANDARD_POLICIES
+    # Deprecated open-system names: the shim module warns and delegates
+    # to repro.traffic (see docs/traffic.md).
+    if name in ("DynamicWorkload", "phased_workload", "poisson_arrivals"):
+        from repro.workloads import dynamic
+
+        return getattr(dynamic, name)
+    # Traffic subsystem entry points, resolved lazily to keep base import
+    # cost flat (repro.traffic pulls in the campaign integration).
+    if name in ("TrafficWorkload", "TrafficSpec", "JobTracker", "summarize_result"):
+        from repro import traffic
+
+        return getattr(traffic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 # Imported after repro.experiments: the campaign package's cache-key
@@ -90,11 +104,8 @@ from repro.sim import (
     xeon_e5_heterogeneous,
 )
 from repro.workloads import (
-    DynamicWorkload,
     WorkloadSpec,
     all_workloads,
-    phased_workload,
-    poisson_arrivals,
     random_workload,
     workload,
     workload_with_mix,
@@ -151,5 +162,9 @@ __all__ = [
     "random_workload",
     "workload",
     "workload_with_mix",
+    "TrafficWorkload",
+    "TrafficSpec",
+    "JobTracker",
+    "summarize_result",
     "__version__",
 ]

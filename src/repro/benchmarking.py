@@ -78,17 +78,33 @@ def _suite(workloads: Sequence[str], policies: Sequence[str]) -> tuple[BenchCase
     )
 
 
+def _wl_poisson():
+    """Canonical open-loop bench load: 16 Poisson jobs at 0.2 jobs/s.
+
+    Exercises the arrival-queue + live-window compaction path the closed
+    suite workloads never touch (threads entering and leaving mid-run).
+    """
+    from repro.traffic import TrafficSpec
+
+    return TrafficSpec.at_rate(0.2, n_jobs=16, trace_seed=0).workload()
+
+
+#: Bench workloads that are not in the closed suite table: name -> builder.
+OPEN_LOOP_WORKLOADS: dict[str, Callable] = {"wl-poisson": _wl_poisson}
+
+
 #: Full tracked suite: the 40-thread Table II workload (wl1), a UM-heavy
 #: mix (wl7) and a UC-heavy mix (wl12), each under the three policy cost
-#: classes plus CFS.
+#: classes plus CFS, plus the open-loop Poisson scenario under CFS/Dike.
 FULL_SUITE: tuple[BenchCase, ...] = _suite(
     ("wl1", "wl7", "wl12"), ("static", "cfs", "dike", "dio")
-)
+) + _suite(("wl-poisson",), ("cfs", "dike"))
 
-#: CI smoke subset: the 40-thread workload only (the acceptance target).
+#: CI smoke subset: the 40-thread workload (the acceptance target) plus
+#: one open-loop case so the arrival path is perf-gated too.
 QUICK_SUITE: tuple[BenchCase, ...] = _suite(
     ("wl1",), ("static", "cfs", "dike", "dio")
-)
+) + _suite(("wl-poisson",), ("cfs",))
 
 
 def run_case(case: BenchCase, repeats: int = 3) -> dict:
@@ -98,7 +114,10 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict:
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    spec = workload(case.workload)
+    if case.workload in OPEN_LOOP_WORKLOADS:
+        spec = OPEN_LOOP_WORKLOADS[case.workload]()
+    else:
+        spec = workload(case.workload)
     factory = case.scheduler_factory()
 
     def once() -> tuple[float, int]:

@@ -64,12 +64,36 @@ class WorkloadRef:
     runs, test workloads) serialise identically — the reference carries
     the full recipe, so a worker process can rebuild the spec without any
     registry lookup.
+
+    Open-system workloads add ``arrivals`` (one arrival time per entry of
+    ``apps``, which then lists each *job's* application in order) and
+    optionally ``sizes`` (per-job work multipliers); both serialise only
+    when set, so closed workloads keep their historical cache keys.
     """
 
     name: str
     apps: tuple[str, ...]
     include_kmeans: bool = True
     threads_per_app: int = 8
+    arrivals: tuple[float, ...] = ()
+    sizes: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arrivals:
+            require(
+                len(self.arrivals) == len(self.apps),
+                "arrivals must align 1:1 with apps",
+            )
+            require(
+                not self.include_kmeans,
+                "open-system workloads carry no implicit kmeans instance",
+            )
+        if self.sizes:
+            require(
+                len(self.sizes) == len(self.apps),
+                "sizes must align 1:1 with apps",
+            )
+            require(bool(self.arrivals), "sizes require arrivals")
 
     @classmethod
     def from_spec(cls, spec: WorkloadSpec) -> "WorkloadRef":
@@ -80,7 +104,53 @@ class WorkloadRef:
             threads_per_app=spec.threads_per_app,
         )
 
-    def to_spec(self) -> WorkloadSpec:
+    @classmethod
+    def from_traffic(cls, workload) -> "WorkloadRef":
+        """Reference an open-system `repro.traffic.TrafficWorkload`.
+
+        Jobs must share one thread count (the grid path generates uniform
+        jobs); per-job sizes are kept only when any differ from 1.0.
+        """
+        jobs = workload.jobs
+        threads = {j.n_threads for j in jobs}
+        require(
+            len(threads) == 1,
+            "campaign traffic workloads need a uniform per-job thread count",
+        )
+        sizes = tuple(j.size for j in jobs)
+        return cls(
+            name=workload.name,
+            apps=tuple(j.app for j in jobs),
+            include_kmeans=False,
+            threads_per_app=threads.pop(),
+            arrivals=tuple(j.arrival_s for j in jobs),
+            sizes=sizes if any(s != 1.0 for s in sizes) else (),
+        )
+
+    def to_spec(self):
+        if self.arrivals:
+            # Late import: repro.traffic depends on repro.workloads, which
+            # sits below this module; importing it lazily keeps the
+            # campaign package import-order agnostic.
+            from repro.traffic.replay import TrafficWorkload
+            from repro.traffic.trace import Job
+
+            sizes = self.sizes or (1.0,) * len(self.apps)
+            return TrafficWorkload(
+                name=self.name,
+                jobs=tuple(
+                    Job(
+                        i,
+                        app,
+                        arrival,
+                        n_threads=self.threads_per_app,
+                        size=size,
+                    )
+                    for i, (app, arrival, size) in enumerate(
+                        zip(self.apps, self.arrivals, sizes)
+                    )
+                ),
+            )
         return WorkloadSpec(
             name=self.name,
             apps=self.apps,
@@ -89,12 +159,18 @@ class WorkloadRef:
         )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "apps": list(self.apps),
             "include_kmeans": self.include_kmeans,
             "threads_per_app": self.threads_per_app,
         }
+        # Only present when set, preserving historical closed-system keys.
+        if self.arrivals:
+            out["arrivals"] = list(self.arrivals)
+        if self.sizes:
+            out["sizes"] = list(self.sizes)
+        return out
 
 
 @dataclass(frozen=True)
@@ -150,6 +226,9 @@ class TaskSpec:
     policy_params: tuple[tuple[str, object], ...] = ()
     sim: SimParams = field(default_factory=SimParams)
     invariants: bool = False
+    #: open-loop task: the worker stamps p50/p95/p99 job-slowdown metrics
+    #: into ``RunResult.info["traffic"]`` before the result is cached
+    traffic: bool = False
 
     def __post_init__(self) -> None:
         # Resolves through the registry: unknown names raise
@@ -183,6 +262,27 @@ class TaskSpec:
             invariants=invariants,
         )
 
+    @classmethod
+    def for_traffic(
+        cls,
+        workload,
+        policy: str,
+        seed: int = DEFAULT_SEED,
+        policy_params: Mapping[str, object] | None = None,
+        sim: SimParams | None = None,
+        invariants: bool = False,
+    ) -> "TaskSpec":
+        """An open-loop task from a live `repro.traffic.TrafficWorkload`."""
+        return cls(
+            workload=WorkloadRef.from_traffic(workload),
+            policy=policy,
+            seed=seed,
+            policy_params=tuple(sorted((policy_params or {}).items())),
+            sim=sim or SimParams(),
+            invariants=invariants,
+            traffic=True,
+        )
+
     @property
     def params(self) -> dict[str, object]:
         return dict(self.policy_params)
@@ -200,6 +300,8 @@ class TaskSpec:
         # cache keys; invariant-checked results are distinct entries.
         if self.invariants:
             out["invariants"] = True
+        if self.traffic:
+            out["traffic"] = True
         return out
 
     def label(self) -> str:
@@ -280,4 +382,13 @@ def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
     if attachment is not None:
         attachment.close()
         attachment.finalize(result)
+    if task.traffic:
+        from repro.traffic.tracker import summarize_result
+
+        result.info["traffic"] = summarize_result(  # type: ignore[index]
+            result,
+            work_scale=sim.work_scale,
+            topology=sim.topology,
+            seed=task.seed,
+        ).to_dict()
     return result

@@ -41,6 +41,12 @@ Subcommands
     suite (`repro.benchmarking`).  With ``--baseline`` the run fails
     (exit 1) if any case regresses beyond the threshold — the CI
     perf-smoke gate against the committed ``BENCH_engine.json``.
+``traffic [--processes P,..] [--rate R,..] [--policy P,..] [--jobs N] ...``
+    Open-loop load sweeps (`repro.traffic`): cross arrival processes ×
+    rates × policies, run each cell through the campaign subsystem
+    (cached, parallel) and report p50/p95/p99 job slowdown, throughput
+    and queue depth per cell.  ``--out`` writes the JSON report,
+    ``--emit-traces DIR`` additionally writes each generated job trace.
 
 Shared flags (see docs/README.md): ``run``/``report``/``all``/
 ``campaign``/``bench``/``trace`` uniformly accept ``--quick`` (smoke
@@ -256,6 +262,74 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 0.30)",
     )
 
+    p_tr = sub.add_parser(
+        "traffic",
+        help="open-loop arrival sweeps: process x rate x policy with "
+             "tail-latency metrics",
+        parents=[common, backend],
+    )
+    p_tr.add_argument(
+        "--processes", default="poisson,bursty,diurnal",
+        help="comma-separated arrival processes "
+             "(poisson, bursty, diurnal, fixed)",
+    )
+    p_tr.add_argument(
+        "--rate", default="0.2",
+        help="comma-separated arrival rates in jobs/s at work scale 1 "
+             "(arrival times scale with --scale, like job lengths)",
+    )
+    p_tr.add_argument(
+        "--policy", "--policies", dest="policies", default="cfs,dio,dike",
+        help="comma-separated open-loop policies (default: cfs,dio,dike)",
+    )
+    p_tr.add_argument(
+        "--jobs", type=int, default=16, help="jobs per generated trace"
+    )
+    p_tr.add_argument(
+        "--threads-per-job", type=int, default=8,
+        help="threads per job (default: 8, the paper's instance size)",
+    )
+    p_tr.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="seed of the arrival sampling (the engine seed is --seed)",
+    )
+    p_tr.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of engine seeds per cell (seed, seed+1, ...)",
+    )
+    p_tr.add_argument(
+        "--out", default=None, help="write the JSON traffic report here"
+    )
+    p_tr.add_argument(
+        "--emit-traces", default=None, metavar="DIR",
+        help="write each generated job trace (schema-versioned JSONL) "
+             "into DIR",
+    )
+    p_tr.add_argument(
+        "--dry-run", action="store_true",
+        help="print the plan (task counts, dedup, cache state) and exit",
+    )
+    p_tr.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (still dedups in memory)",
+    )
+    p_tr.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (default: none)",
+    )
+    p_tr.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failing task (default: 2)",
+    )
+    p_tr.add_argument(
+        "--events", default=None,
+        help="events JSONL path (default: <cache-dir>/events.jsonl)",
+    )
+    p_tr.add_argument(
+        "--verbose", action="store_true",
+        help="one progress line per task instead of ~1/second",
+    )
+
     p_camp = sub.add_parser(
         "campaign",
         help="parallel, cached, fault-tolerant experiment grids",
@@ -323,7 +397,7 @@ def _resolve_shared_flags(args: argparse.Namespace) -> None:
     if getattr(args, "scale", "absent") is None:
         args.scale = QUICK_SCALE if getattr(args, "quick", False) else 1.0
     if getattr(args, "workers", "absent") is None:
-        args.workers = 2 if args.command == "campaign" else 1
+        args.workers = 2 if args.command in ("campaign", "traffic") else 1
 
 
 def _note_inprocess_flags(args: argparse.Namespace) -> None:
@@ -353,14 +427,14 @@ def _make_campaign(args: argparse.Namespace):
     cache_dir = args.cache_dir
     if getattr(args, "no_cache", False):
         cache_dir = None
-    elif cache_dir is None and args.command == "campaign":
+    elif cache_dir is None and args.command in ("campaign", "traffic"):
         cache_dir = DEFAULT_CACHE_DIR
     if (
         cache_dir is None
         and args.workers <= 1
         and not invariants
         and trace_dir is None
-        and args.command != "campaign"
+        and args.command not in ("campaign", "traffic")
     ):
         return None
     events = getattr(args, "events", None)
@@ -862,6 +936,135 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffic(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign import TaskFailure
+    from repro.traffic import (
+        TrafficCampaignSpec,
+        TrafficSpec,
+        plan_traffic,
+        write_trace,
+    )
+
+    try:
+        processes = tuple(args.processes.split(","))
+        rates = tuple(float(r) for r in args.rate.split(","))
+        load = tuple(
+            TrafficSpec.at_rate(
+                rate,
+                process=proc,
+                n_jobs=args.jobs,
+                trace_seed=args.trace_seed,
+                n_threads=args.threads_per_job,
+            )
+            for proc in processes
+            for rate in rates
+        )
+        spec = TrafficCampaignSpec(
+            traffic=load,
+            policies=tuple(args.policies.split(",")),
+            seeds=tuple(args.seed + i for i in range(args.seeds)),
+            work_scale=args.scale,
+            invariants=args.invariants,
+        )
+        campaign = _make_campaign(args)
+        the_plan = plan_traffic(spec)
+    except ValueError as exc:  # bad process/rate/policy flags, not a crash
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if campaign.store is not None:
+        the_plan = replace(
+            the_plan,
+            cached=frozenset(k for k in the_plan.keys if k in campaign.store),
+        )
+    print(the_plan.describe())
+    if args.emit_traces:
+        trace_dir = Path(args.emit_traces)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for t in load:
+            path = write_trace(t.trace(), trace_dir / f"{t.name}.jsonl")
+            print(f"[traffic] trace -> {path}")
+    if args.dry_run:
+        return 0
+
+    results = campaign.gather(list(the_plan.tasks), strict=False)
+    failures = [r for r in results if isinstance(r, TaskFailure)]
+    campaign.telemetry.close()
+
+    by_name = {t.name: t for t in load}
+    rows, cells = [], []
+    for task, res in zip(the_plan.tasks, results):
+        if isinstance(res, TaskFailure):
+            continue
+        t = by_name[task.workload.name]
+        summary = res.info.get("traffic", {})
+        rows.append([
+            t.process,
+            t.rate_per_s,
+            task.policy,
+            task.seed,
+            summary.get("slowdown_p50"),
+            summary.get("slowdown_p95"),
+            summary.get("slowdown_p99"),
+            summary.get("throughput_jobs_per_s"),
+            summary.get("queue_depth_peak"),
+        ])
+        cells.append({
+            "traffic": task.workload.name,
+            "process": t.process,
+            "rate_per_s": t.rate_per_s,
+            "n_jobs": t.n_jobs,
+            "trace_seed": t.trace_seed,
+            "policy": task.policy,
+            "seed": task.seed,
+            "makespan_s": res.makespan_s,
+            "summary": summary,
+        })
+    if rows:
+        print(
+            format_table(
+                [
+                    "process", "rate/s", "policy", "seed",
+                    "slow p50", "slow p95", "slow p99",
+                    "jobs/s", "queue peak",
+                ],
+                rows,
+                title=f"traffic {spec.name!r}: tail latency by cell "
+                      f"({len(load)} loads x {len(spec.policies)} policies "
+                      f"x {len(spec.seeds)} seeds)",
+            )
+        )
+    if args.out:
+        report = {
+            "name": spec.name,
+            "work_scale": spec.work_scale,
+            "processes": list(processes),
+            "rates_per_s": list(rates),
+            "policies": list(spec.policies),
+            "seeds": list(spec.seeds),
+            "cells": cells,
+        }
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"[traffic] report -> {out}")
+    print(f"\n[traffic] {campaign.telemetry.render_summary()}")
+    if failures:
+        print(f"[traffic] {len(failures)} task(s) failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f.label} [{f.kind} x{f.attempts}]: {f.error}", file=sys.stderr)
+        return 1
+    if campaign.telemetry.invariant_violations:
+        print(
+            f"[traffic] {campaign.telemetry.invariant_violations} invariant "
+            "violation(s) — the scheduling contract does not hold",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cell(
     by_key: dict, spec, wl_name: str, policy: str, seed: int,
     invariants: bool = False,
@@ -920,6 +1123,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "traffic":
+        return _cmd_traffic(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "trace-diff":

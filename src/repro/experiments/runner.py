@@ -27,8 +27,8 @@ from repro.sim.memory import MemoryModelConfig
 from repro.sim.migration import MigrationModel
 from repro.sim.results import RunResult
 from repro.sim.topology import Topology, xeon_e5_heterogeneous
+from repro.traffic.replay import TrafficWorkload
 from repro.util.rng import DEFAULT_SEED
-from repro.workloads.dynamic import DynamicWorkload
 from repro.workloads.suite import WorkloadSpec
 
 __all__ = [
@@ -57,7 +57,7 @@ def __getattr__(name: str):
 
 
 def run_workload(
-    spec: WorkloadSpec | DynamicWorkload,
+    spec: WorkloadSpec | TrafficWorkload,
     scheduler: Scheduler,
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,
@@ -101,7 +101,7 @@ run_scenario = run_workload
 
 
 def run_policies(
-    spec: WorkloadSpec | DynamicWorkload,
+    spec: WorkloadSpec | TrafficWorkload,
     policies: Mapping[str, PolicyFactory] | None = None,
     seed: int = DEFAULT_SEED,
     work_scale: float = 1.0,

@@ -38,6 +38,7 @@ __all__ = [
     "SwapExecuted",
     "OptimizerStep",
     "ArrivalPlaced",
+    "JobCompleted",
     "EVENT_TYPES",
     "EventBus",
     "NULL_BUS",
@@ -46,7 +47,9 @@ __all__ = [
 ]
 
 #: Version stamped into every serialised event (bump on field changes).
-SCHEMA_VERSION = 1
+#: v2: ``arrival_placed`` gained ``arrival_s``/``wait_s``/``queue_depth``
+#: and ``job_completed`` was added (open-loop job lifecycle tracking).
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -101,13 +104,43 @@ class QuantumEnd(Event):
 
 @dataclass(frozen=True)
 class ArrivalPlaced(Event):
-    """An open-system process group woke and was placed by the engine."""
+    """An open-system process group woke and was placed by the engine.
+
+    ``arrival_s`` is the job's scheduled arrival time; ``wait_s`` the
+    placement delay imposed by quantum rounding (placement happens at
+    ``arrival_s + wait_s``, the first quantum boundary at or after the
+    arrival); ``queue_depth`` counts jobs in system — arrived, not yet
+    finished — *including* this one, immediately after placement.
+    """
 
     kind: ClassVar[str] = "arrival_placed"
 
     group: int
     tids: tuple[int, ...]
     vcores: tuple[int, ...]
+    arrival_s: float
+    wait_s: float
+    queue_depth: int
+
+
+@dataclass(frozen=True)
+class JobCompleted(Event):
+    """An open-system process group's last thread finished.
+
+    ``latency_s`` is completion minus scheduled arrival (the numerator of
+    job slowdown); ``queue_depth`` counts jobs still in system after this
+    one left.  Emitted for every group, including t=0 arrivals, so closed
+    workloads gain completion events too.
+    """
+
+    kind: ClassVar[str] = "job_completed"
+
+    group: int
+    benchmark: str
+    n_threads: int
+    arrival_s: float
+    latency_s: float
+    queue_depth: int
 
 
 @dataclass(frozen=True)
@@ -231,6 +264,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         QuantumStart,
         QuantumEnd,
         ArrivalPlaced,
+        JobCompleted,
         ObserverSample,
         ClassificationChanged,
         FairnessComputed,

@@ -132,7 +132,7 @@ REGISTRY.register(PolicySpec(
     # its Move-based rebalancing.
     invariants=("no-third-core", "cooldown", "swap-budget",
                 "profit-arithmetic"),
-    tags=("standard", "baseline"),
+    tags=("standard", "baseline", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -150,7 +150,7 @@ REGISTRY.register(PolicySpec(
     ),
     # DIO has no cooldown and no swap budget by design.
     invariants=("no-third-core", "profit-arithmetic", "permutation"),
-    tags=("standard", "baseline"),
+    tags=("standard", "baseline", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -160,7 +160,7 @@ REGISTRY.register(PolicySpec(
     factory=_dike_factory(AdaptationGoal.NONE, "dike"),
     params=_DIKE_PARAMS,
     invariants=RULES,
-    tags=("standard",),
+    tags=("standard", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -169,7 +169,7 @@ REGISTRY.register(PolicySpec(
     factory=_dike_factory(AdaptationGoal.FAIRNESS, "dike-af"),
     params=_DIKE_PARAMS,
     invariants=RULES,
-    tags=("standard",),
+    tags=("standard", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -178,7 +178,7 @@ REGISTRY.register(PolicySpec(
     factory=_dike_factory(AdaptationGoal.PERFORMANCE, "dike-ap"),
     params=_DIKE_PARAMS,
     invariants=RULES,
-    tags=("standard",),
+    tags=("standard", "open-loop"),
 ))
 
 # --------------------------------------------------- baselines and controls
@@ -195,7 +195,7 @@ REGISTRY.register(PolicySpec(
         ),
     ),
     invariants=RULES,
-    tags=("baseline",),
+    tags=("baseline", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -208,6 +208,9 @@ REGISTRY.register(PolicySpec(
     ),
     invariants=RULES,
     aliases=("oracle-static",),
+    # NOT open-loop: the oracle statically maps the whole thread
+    # population from ground truth at t=0, which an open system with
+    # future arrivals cannot provide.
     tags=("baseline",),
 ))
 
@@ -226,7 +229,7 @@ REGISTRY.register(PolicySpec(
     # Random swaps every quantum without cooldown, and its budget is
     # pairs_per_quantum, not Dike's swap_size.
     invariants=("no-third-core", "profit-arithmetic", "permutation"),
-    tags=("baseline",),
+    tags=("baseline", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -247,7 +250,7 @@ REGISTRY.register(PolicySpec(
     ),
     invariants=RULES,
     aliases=("suspend",),
-    tags=("baseline",),
+    tags=("baseline", "open-loop"),
 ))
 
 # ------------------------------------------------------ stage-built ablations
@@ -263,7 +266,7 @@ REGISTRY.register(PolicySpec(
     # No ProfitEvaluated events are emitted, so profit-arithmetic holds
     # vacuously; all placement/cooldown/budget rules still bind.
     invariants=RULES,
-    tags=("ablation",),
+    tags=("ablation", "open-loop"),
 ))
 
 REGISTRY.register(PolicySpec(
@@ -276,5 +279,5 @@ REGISTRY.register(PolicySpec(
     params=_DIKE_PARAMS,
     # Without a Decider there is no cooldown contract to enforce.
     invariants=tuple(r for r in RULES if r != "cooldown"),
-    tags=("ablation",),
+    tags=("ablation", "open-loop"),
 ))

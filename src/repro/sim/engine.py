@@ -36,6 +36,7 @@ import numpy as np
 from repro.obs.events import (
     ArrivalPlaced,
     EventBus,
+    JobCompleted,
     NULL_BUS,
     QuantumEnd,
     QuantumStart,
@@ -158,6 +159,20 @@ class SimulationEngine:
         self.suspension_count = 0
         self.truncated = False
 
+        self._group_by_id = {g.group_id: g for g in self.groups}
+        #: future arrivals sorted by arrival time (stable, so groups with
+        #: equal arrivals keep workload order); consumed by a pointer so
+        #: arrival handling never rescans the full group list.
+        self._arrival_queue = sorted(
+            (g for g in self.groups if g.arrival_s > 0.0),
+            key=lambda g: g.arrival_s,
+        )
+        self._next_arrival = 0
+        #: jobs in system (arrived, not yet finished) — the queue depth
+        #: stamped into lifecycle events
+        self._in_system = 0
+        self._peak_in_system = 0
+
     # ------------------------------------------------------------------ setup
 
     def _make_context(self) -> SchedulingContext:
@@ -192,16 +207,34 @@ class SimulationEngine:
         cores (fastest first), then idle virtual cores, then the least
         loaded virtual cores.  The scheduler takes over from the next
         quantum boundary.  Per-vcore occupancy is maintained incrementally
-        by :class:`SimState` (on place/migrate/finish), so arrival handling
-        never rescans the thread population.
+        by :class:`SimState` (on place/migrate/finish), and pending
+        arrivals are consumed from a sorted queue, so arrival handling
+        never rescans the thread or group population.
+
+        **Rounding rule.**  The engine is quantum-discrete, so a group
+        whose arrival time falls strictly inside a quantum ``(t_k,
+        t_{k+1}]`` wakes at the *end* boundary ``t_{k+1}`` — arrivals
+        round up (ceil) to the next boundary, and the placement delay
+        ``wait_s = t_{k+1} − arrival_s`` is in ``[0, quantum_length)``.
+        A group arriving exactly on a boundary is placed at that boundary
+        with zero wait.  The rounding delay is *observable* (``wait_s``
+        on the v2 ``arrival_placed`` event) but not simulated as queueing:
+        the thread simply does not exist until the boundary.
         """
-        arrivals = [
-            g
-            for g in self.groups
-            if not g.placed and g.arrival_s <= self.time_s
-        ]
-        if not arrivals:
+        queue = self._arrival_queue
+        i = self._next_arrival
+        n_queue = len(queue)
+        if i >= n_queue or queue[i].arrival_s > self.time_s:
             return
+        arrivals = []
+        while i < n_queue and queue[i].arrival_s <= self.time_s:
+            arrivals.append(queue[i])
+            i += 1
+        self._next_arrival = i
+        # Place in workload (group id) order: groups released by the same
+        # boundary wake in the order the workload lists them, independent
+        # of arrival-time sorting.
+        arrivals.sort(key=lambda g: g.group_id)
         occupied = self.state.occupancy  # updated in place by state.place()
         phys_load = np.zeros(self.topology.n_physical_cores, dtype=np.int64)
         np.add.at(phys_load, self.topology.vcore_physical, occupied)
@@ -220,6 +253,9 @@ class SimulationEngine:
                 self.state.place(t.tid, target.vcore_id)
                 phys_load[target.physical_id] += 1
             g.placed = True
+            self._in_system += 1
+            if self._in_system > self._peak_in_system:
+                self._peak_in_system = self._in_system
             if self.bus.enabled:
                 self.bus.emit(
                     ArrivalPlaced(
@@ -230,8 +266,42 @@ class SimulationEngine:
                         vcores=tuple(
                             int(self.state.vcore[t.tid]) for t in g.threads
                         ),
+                        arrival_s=g.arrival_s,
+                        wait_s=self.time_s - g.arrival_s,
+                        queue_depth=self._in_system,
                     )
                 )
+
+    def _drain_completed(self) -> None:
+        """Retire groups whose last thread finished this quantum.
+
+        Always runs (the in-system counter feeds arrival queue depths even
+        with the bus off); with sinks attached each retirement emits a
+        ``job_completed`` event stamped with the group's latency and the
+        queue depth *after* it left.
+        """
+        completed = self.state.completed_groups
+        if not completed:
+            return
+        for gid in completed:
+            self._in_system -= 1
+            if self.bus.enabled:
+                g = self._group_by_id[gid]
+                members = self.state.group_members(gid)
+                finish = float(np.max(self.state.finish_time[members]))
+                self.bus.emit(
+                    JobCompleted(
+                        quantum=self.quantum_index,
+                        time_s=self.time_s,
+                        group=gid,
+                        benchmark=g.benchmark,
+                        n_threads=int(members.size),
+                        arrival_s=g.arrival_s,
+                        latency_s=finish - g.arrival_s,
+                        queue_depth=self._in_system,
+                    )
+                )
+        completed.clear()
 
     # ------------------------------------------------------------- main loop
 
@@ -243,6 +313,8 @@ class SimulationEngine:
         for g in self.groups:
             if g.arrival_s <= 0.0:
                 g.placed = True
+                self._in_system += 1
+        self._peak_in_system = self._in_system
 
         while not self.state.all_finished():
             if self.time_s >= self.max_time_s:
@@ -281,7 +353,7 @@ class SimulationEngine:
         # so snapshot the live set before progress is applied.  Skipped on
         # the zero-observer fast path.
         observing = self.trace.record_timeseries or self.bus.enabled
-        live_idx = np.flatnonzero(st.live_mask()) if observing else None
+        live_idx = st.live_indices() if observing else None
 
         samples: list[ThreadSample] = []
         core_bw = np.zeros(self.topology.n_vcores, dtype=np.float64)
@@ -380,9 +452,7 @@ class SimulationEngine:
         # Barrier-waiting and suspended threads appear in the sample with
         # zero activity — a real perf window would show them idle, and
         # schedulers must cope.
-        idle = np.flatnonzero(
-            st.arrived & ~st.finished & (st.waiting | (st.suspend_left > 0))
-        )
+        idle = st.idle_indices()
         for tid in idle.tolist():
             samples.append(
                 ThreadSample(
@@ -399,6 +469,7 @@ class SimulationEngine:
         st.tick_suspensions()
 
         self.time_s += qlen
+        self._drain_completed()
         counters = QuantumCounters(
             quantum_index=self.quantum_index,
             time_s=self.time_s,
@@ -553,6 +624,8 @@ class SimulationEngine:
         info["truncated"] = self.truncated
         info["suspension_count"] = self.suspension_count
         info["smt_efficiency"] = self.smt_efficiency
+        info["peak_in_system"] = self._peak_in_system
+        info["peak_window"] = self.state.peak_window
         if self.metrics is not None:
             self.metrics.counter("engine.quanta").inc(self.quantum_index)
             self.metrics.counter("engine.swaps").inc(self.swap_count)

@@ -122,36 +122,86 @@ class SimState:
         self.waiting = np.zeros(n, dtype=bool)
         self.suspend_left = np.zeros(n, dtype=np.int64)
         self.n_suspended = 0
+        self.n_finished = 0
 
         #: live (placed, unfinished) threads per virtual core — maintained
         #: on place/migrate/finish so arrival placement never rescans
         self.occupancy = np.zeros(topology.n_vcores, dtype=np.int64)
+
+        # --- live window (completed-job compaction) ---------------------
+        # Open-system workloads assign tids in arrival order, so at any
+        # instant the interesting threads sit in the half-open window
+        # ``[_live_lo, _arrived_hi)``: everything below ``_live_lo`` is a
+        # finished prefix, everything at or above ``_arrived_hi`` has not
+        # arrived yet.  Per-quantum mask work scans only the window, so a
+        # long-horizon run with many short-lived jobs costs per quantum
+        # what its *concurrent* job count warrants, not its total.
+        self._live_lo = 0
+        self._arrived_hi = 0
+        #: widest window ever observed (a compaction-effectiveness stat)
+        self.peak_window = 0
 
         # tid lists per group, for barrier release
         self._group_members: dict[int, np.ndarray] = {
             int(g): np.flatnonzero(self.group_of == g)
             for g in np.unique(self.group_of)
         }
+        #: unfinished-member countdown per group; a group draining to zero
+        #: lands on ``completed_groups`` for the engine to emit lifecycle
+        #: events from (drained every quantum, even with the bus off)
+        self.group_remaining: dict[int, int] = {
+            g: int(m.size) for g, m in self._group_members.items()
+        }
+        self.completed_groups: list[int] = []
 
     # ------------------------------------------------------------- masks
 
+    def window_bounds(self) -> tuple[int, int]:
+        """The current live window ``[lo, hi)`` of tids worth scanning."""
+        return self._live_lo, self._arrived_hi
+
+    def group_members(self, group: int) -> np.ndarray:
+        """Tids of ``group`` (ascending)."""
+        return self._group_members[group]
+
     def runnable_indices(self) -> np.ndarray:
         """Tids able to execute this quantum, in ascending order."""
-        mask = self.arrived & ~self.finished & ~self.waiting
+        lo, hi = self._live_lo, self._arrived_hi
+        mask = (
+            self.arrived[lo:hi]
+            & ~self.finished[lo:hi]
+            & ~self.waiting[lo:hi]
+        )
         if self.n_suspended:
-            mask &= self.suspend_left == 0
-        return np.flatnonzero(mask)
+            mask &= self.suspend_left[lo:hi] == 0
+        return np.flatnonzero(mask) + lo
 
     def live_mask(self) -> np.ndarray:
-        """Placed, unfinished threads (runnable or not)."""
+        """Placed, unfinished threads (runnable or not), over all tids."""
         return self.arrived & ~self.finished
 
+    def live_indices(self) -> np.ndarray:
+        """Tids of placed, unfinished threads (windowed ``live_mask``)."""
+        lo, hi = self._live_lo, self._arrived_hi
+        mask = self.arrived[lo:hi] & ~self.finished[lo:hi]
+        return np.flatnonzero(mask) + lo
+
+    def idle_indices(self) -> np.ndarray:
+        """Live threads pinned this quantum (barrier wait or suspension)."""
+        lo, hi = self._live_lo, self._arrived_hi
+        mask = (
+            self.arrived[lo:hi]
+            & ~self.finished[lo:hi]
+            & (self.waiting[lo:hi] | (self.suspend_left[lo:hi] > 0))
+        )
+        return np.flatnonzero(mask) + lo
+
     def all_finished(self) -> bool:
-        return bool(self.finished.all())
+        return self.n_finished == self.n
 
     def live_placement(self) -> dict[int, int]:
         """tid -> vcore for every live thread (the scheduler's view)."""
-        idx = np.flatnonzero(self.live_mask())
+        idx = self.live_indices()
         return dict(zip(idx.tolist(), self.vcore[idx].tolist()))
 
     # --------------------------------------------------------- placement
@@ -161,6 +211,11 @@ class SimState:
         self.vcore[tid] = vcore
         self.arrived[tid] = True
         self.occupancy[vcore] += 1
+        if tid + 1 > self._arrived_hi:
+            self._arrived_hi = tid + 1
+            width = self._arrived_hi - self._live_lo
+            if width > self.peak_window:
+                self.peak_window = width
 
     def migrate(self, tid: int, vcore: int, penalty_s: float, warmup: float) -> None:
         """Move a live thread, paying the context-switch + warm-up cost."""
@@ -217,6 +272,18 @@ class SimState:
             self.finished[fidx] = True
             self.finish_time[fidx] = now[done]
             np.subtract.at(self.occupancy, self.vcore[fidx], 1)
+            self.n_finished += int(fidx.size)
+            for tid in fidx.tolist():
+                g = int(self.group_of[tid])
+                left = self.group_remaining[g] - 1
+                self.group_remaining[g] = left
+                if left == 0:
+                    self.completed_groups.append(g)
+            # Advance the window over the newly finished prefix.
+            lo, finished = self._live_lo, self.finished
+            while lo < self.n and finished[lo]:
+                lo += 1
+            self._live_lo = lo
 
     def consume_quantum(self, idx: np.ndarray, work: np.ndarray) -> None:
         """Drain warm-up by attempted work; clear one-shot penalties."""
@@ -252,13 +319,16 @@ class SimState:
         unfinished member is waiting at index >= ``k``; members at exactly
         ``k`` pass.  Returns the number of threads released.
         """
-        if not self.waiting.any():
+        lo, hi = self._live_lo, self._arrived_hi
+        waiting_ids = np.flatnonzero(self.waiting[lo:hi]) + lo
+        if waiting_ids.size == 0:
             return 0
         released = 0
-        for members in self._group_members.values():
+        # Only groups with at least one waiter can release — with many
+        # finished or unarrived groups this visits a handful, not all.
+        for g in np.unique(self.group_of[waiting_ids]).tolist():
+            members = self._group_members[int(g)]
             waiting = members[self.waiting[members]]
-            if waiting.size == 0:
-                continue
             k = self.barriers_passed[waiting].min()
             unfinished = members[~self.finished[members]]
             if not (

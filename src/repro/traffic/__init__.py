@@ -1,0 +1,70 @@
+"""Open-loop load: arrival generation, replay, and tail-latency metrics.
+
+The traffic subsystem turns the engine's closed-system world (everything
+arrives at t=0, run to completion) into an open one: arrival-process
+generators (`.generators`) sample schema-versioned JSONL job traces
+(`.trace`), the replayer (`.replay`) loads a trace back as an engine
+workload, the tracker (`.tracker`) follows each job arrival → placement
+→ completion into p50/p95/p99 slowdown metrics normalised against cached
+solo baselines (`.baseline`), and the spec layer (`.spec`) crosses load
+points with policies into ordinary cached campaigns — the ``repro
+traffic`` CLI verb end to end.
+
+See ``docs/traffic.md`` for the trace format and the slowdown
+methodology.
+"""
+
+from repro.traffic.baseline import solo_runtime, solo_runtimes
+from repro.traffic.generators import (
+    GENERATORS,
+    ArrivalProcess,
+    BurstyProcess,
+    DiurnalProcess,
+    FixedRateProcess,
+    PoissonProcess,
+    make_process,
+)
+from repro.traffic.replay import (
+    TrafficWorkload,
+    phased_workload,
+    workload_from_trace,
+)
+from repro.traffic.spec import TrafficCampaignSpec, TrafficSpec, plan_traffic
+from repro.traffic.trace import (
+    TRACE_SCHEMA_VERSION,
+    Job,
+    JobTrace,
+    dumps_trace,
+    load_trace,
+    validate_trace_record,
+    write_trace,
+)
+from repro.traffic.tracker import JobTracker, TrafficSummary, summarize_result
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Job",
+    "JobTrace",
+    "dumps_trace",
+    "write_trace",
+    "load_trace",
+    "validate_trace_record",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "BurstyProcess",
+    "DiurnalProcess",
+    "FixedRateProcess",
+    "GENERATORS",
+    "make_process",
+    "TrafficWorkload",
+    "workload_from_trace",
+    "phased_workload",
+    "solo_runtime",
+    "solo_runtimes",
+    "JobTracker",
+    "TrafficSummary",
+    "summarize_result",
+    "TrafficSpec",
+    "TrafficCampaignSpec",
+    "plan_traffic",
+]

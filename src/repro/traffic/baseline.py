@@ -1,0 +1,97 @@
+"""Cached solo-run baselines for job-slowdown accounting.
+
+A job's **slowdown** is its observed latency (arrival to completion)
+divided by the runtime the same job would have had *alone* on the same
+machine — the standard normalisation of tail-latency studies, and the
+same denominator Figure 1 uses for per-benchmark slowdown.  This module
+computes and memoises those denominators: one deterministic standalone
+run per distinct ``(app, n_threads, size, work_scale, topology, seed)``
+combination, placed fastest-cores-first and never migrated (the
+``run_standalone`` convention).
+
+The cache is process-local (`functools.lru_cache`); campaign workers each
+warm their own copy, which costs a handful of sub-second solo runs per
+worker — negligible next to the open-loop runs themselves and free of
+cross-process coordination.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.schedulers.static import StaticScheduler
+from repro.sim.engine import SimulationEngine
+from repro.sim.topology import Topology, homogeneous, xeon_e5_heterogeneous
+from repro.traffic.replay import TrafficWorkload
+from repro.traffic.trace import Job
+from repro.util.validation import require
+
+__all__ = ["solo_runtime", "solo_runtimes"]
+
+#: Named topologies for baseline runs (mirrors campaign's TOPOLOGIES —
+#: duplicated by value to keep `repro.traffic` import-independent of the
+#: campaign layer).
+_TOPOLOGIES = {
+    "heterogeneous": xeon_e5_heterogeneous,
+    "homogeneous": homogeneous,
+}
+
+
+def _build_topology(name: str) -> Topology:
+    try:
+        return _TOPOLOGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; known: {sorted(_TOPOLOGIES)}"
+        ) from None
+
+
+@lru_cache(maxsize=4096)
+def solo_runtime(
+    app: str,
+    n_threads: int,
+    work_scale: float = 1.0,
+    topology: str = "heterogeneous",
+    seed: int = 0,
+    size: float = 1.0,
+) -> float:
+    """Runtime (seconds) of one job running alone on ``topology``.
+
+    Deterministic in its arguments — the run uses the same seed-derived
+    per-thread jitter as a traffic run's group 0, a fastest-first static
+    placement and zero counter noise (noise only affects the scheduler's
+    view, and the static scheduler ignores it anyway).
+    """
+    wl = TrafficWorkload(
+        name=f"solo-{app}",
+        jobs=(Job(0, app, 0.0, n_threads=n_threads, size=size),),
+    )
+    engine = SimulationEngine(
+        topology=_build_topology(topology),
+        groups=wl.build(seed=seed, work_scale=work_scale),
+        scheduler=StaticScheduler(fastest_first=True),
+        seed=seed,
+        counter_noise=0.0,
+        record_timeseries=False,
+        workload_name=wl.name,
+    )
+    result = engine.run()
+    require(not result.info.get("truncated"), f"solo run of {app!r} truncated")
+    return float(result.makespan_s)
+
+
+def solo_runtimes(
+    jobs,
+    work_scale: float = 1.0,
+    topology: str = "heterogeneous",
+    seed: int = 0,
+) -> dict[tuple[str, int, float], float]:
+    """Baselines for every distinct ``(app, n_threads, size)`` in ``jobs``."""
+    out: dict[tuple[str, int, float], float] = {}
+    for job in jobs:
+        key = (job.app, job.n_threads, job.size)
+        if key not in out:
+            out[key] = solo_runtime(
+                job.app, job.n_threads, work_scale, topology, seed, job.size
+            )
+    return out

@@ -1,0 +1,236 @@
+"""Schema-versioned JSONL job traces: the on-disk unit of open-loop load.
+
+A **job trace** is the serialised form of an arrival schedule: one header
+record describing how the trace was produced (generator kind, parameters,
+seed) followed by one record per job (id, application, arrival time,
+thread count, size multiplier, priority).  Traces are the interchange
+format between the generators (`repro.traffic.generators`), the replayer
+(`repro.traffic.replay`) and external tooling: a trace generated once can
+be replayed under any policy, diffed byte-for-byte, or produced by a
+third-party tool and fed straight into the engine.
+
+Determinism contract: serialisation is canonical — records are emitted
+with sorted keys and shortest-round-trip floats — so the same generator
+at the same seed produces a **byte-identical** file, which is what the
+golden test in ``tests/traffic/`` pins down.
+
+Schema evolution mirrors `repro.obs.events`: ``TRACE_SCHEMA_VERSION`` is
+stamped into every record and :func:`validate_trace_record` checks
+version, kind and exact field sets, so the CI traffic-smoke job can
+validate an emitted trace line by line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.util.validation import check_non_negative, check_positive, require
+from repro.workloads.rodinia import APP_REGISTRY
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Job",
+    "JobTrace",
+    "dumps_trace",
+    "write_trace",
+    "load_trace",
+    "validate_trace_record",
+]
+
+#: Version stamped into every job-trace record (bump on field changes).
+TRACE_SCHEMA_VERSION = 1
+
+#: Exact field sets per record kind (the schema the validator enforces).
+_HEADER_FIELDS = frozenset({"name", "process", "params", "seed", "n_jobs"})
+_JOB_FIELDS = frozenset(
+    {"id", "app", "arrival_s", "n_threads", "size", "priority"}
+)
+
+
+@dataclass(frozen=True)
+class Job:
+    """One job of an open-loop workload.
+
+    ``size`` multiplies the application's nominal work (1.0 = the full
+    Table II instance); ``priority`` is carried through to the trace for
+    consumers that weight jobs (the engine itself is priority-agnostic).
+    """
+
+    job_id: int
+    app: str
+    arrival_s: float
+    n_threads: int = 8
+    size: float = 1.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        require(self.job_id >= 0, "job_id must be >= 0")
+        require(self.app in APP_REGISTRY, f"unknown application {self.app!r}")
+        check_non_negative(self.arrival_s, "arrival")
+        require(self.n_threads >= 1, "n_threads must be >= 1")
+        check_positive(self.size, "size")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "kind": "job",
+            "id": self.job_id,
+            "app": self.app,
+            "arrival_s": self.arrival_s,
+            "n_threads": self.n_threads,
+            "size": self.size,
+            "priority": self.priority,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "Job":
+        return cls(
+            job_id=int(record["id"]),
+            app=str(record["app"]),
+            arrival_s=float(record["arrival_s"]),
+            n_threads=int(record["n_threads"]),
+            size=float(record["size"]),
+            priority=int(record["priority"]),
+        )
+
+
+@dataclass(frozen=True)
+class JobTrace:
+    """A generated arrival schedule plus its provenance header.
+
+    ``params`` records the generator's parameters verbatim so a trace is
+    self-describing (and regenerable); jobs carry dense ids in arrival
+    order.
+    """
+
+    name: str
+    process: str
+    seed: int
+    jobs: tuple[Job, ...]
+    params: tuple[tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        require(len(self.jobs) >= 1, "a job trace needs >= 1 job")
+        ids = [j.job_id for j in self.jobs]
+        require(ids == list(range(len(ids))), "job ids must be dense from 0")
+        arrivals = [j.arrival_s for j in self.jobs]
+        require(
+            all(b >= a for a, b in zip(arrivals, arrivals[1:])),
+            "job arrivals must be non-decreasing",
+        )
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def horizon_s(self) -> float:
+        return self.jobs[-1].arrival_s
+
+    def header_dict(self) -> dict[str, Any]:
+        return {
+            "v": TRACE_SCHEMA_VERSION,
+            "kind": "traffic_header",
+            "name": self.name,
+            "process": self.process,
+            "params": {str(k): v for k, v in self.params},
+            "seed": self.seed,
+            "n_jobs": len(self.jobs),
+        }
+
+
+def dumps_trace(trace: JobTrace) -> str:
+    """Canonical JSONL serialisation (byte-stable for a given trace)."""
+    lines = [json.dumps(trace.header_dict(), sort_keys=True)]
+    lines.extend(json.dumps(j.to_dict(), sort_keys=True) for j in trace.jobs)
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(trace: JobTrace, path: str | Path) -> Path:
+    """Write the canonical JSONL form of ``trace`` to ``path``."""
+    path = Path(path)
+    path.write_text(dumps_trace(trace))
+    return path
+
+
+def validate_trace_record(record: Mapping[str, Any]) -> str:
+    """Check one serialised record against the schema; return its kind.
+
+    Raises ``ValueError`` on unknown kind, version mismatch, missing or
+    unexpected fields, or out-of-domain values — the per-line checks the
+    CI traffic-smoke job runs on every emitted trace.
+    """
+    kind = record.get("kind")
+    if kind not in ("traffic_header", "job"):
+        raise ValueError(f"unknown job-trace record kind {kind!r}")
+    version = record.get("v")
+    if version != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"job-trace schema mismatch: trace has {version!r}, "
+            f"library speaks {TRACE_SCHEMA_VERSION}"
+        )
+    expected = _HEADER_FIELDS if kind == "traffic_header" else _JOB_FIELDS
+    got = set(record) - {"v", "kind"}
+    if got != expected:
+        missing, extra = expected - got, got - expected
+        raise ValueError(
+            f"{kind}: field mismatch (missing={sorted(missing)}, "
+            f"unexpected={sorted(extra)})"
+        )
+    if kind == "job":
+        if record["app"] not in APP_REGISTRY:
+            raise ValueError(f"job: unknown application {record['app']!r}")
+        if not math.isfinite(record["arrival_s"]) or record["arrival_s"] < 0:
+            raise ValueError(
+                f"job: arrival_s must be finite and >= 0, "
+                f"got {record['arrival_s']!r}"
+            )
+    return kind  # type: ignore[return-value]
+
+
+def load_trace(path: str | Path, validate: bool = True) -> JobTrace:
+    """Load a JSONL job trace; inverse of :func:`write_trace`.
+
+    With ``validate`` every record is checked against the schema before
+    being trusted; monotone arrivals and dense ids are enforced either
+    way (by :class:`JobTrace`).
+    """
+    header: dict[str, Any] | None = None
+    jobs: list[Job] = []
+    lines: Iterable[str] = Path(path).read_text().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: bad JSON: {exc}") from None
+        if validate:
+            try:
+                validate_trace_record(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+        if record.get("kind") == "traffic_header":
+            if header is not None:
+                raise ValueError(f"{path}:{lineno}: duplicate trace header")
+            header = record
+        else:
+            jobs.append(Job.from_dict(record))
+    if header is None:
+        raise ValueError(f"{path}: missing traffic_header record")
+    if len(jobs) != int(header["n_jobs"]):
+        raise ValueError(
+            f"{path}: header claims {header['n_jobs']} jobs, "
+            f"found {len(jobs)}"
+        )
+    return JobTrace(
+        name=str(header["name"]),
+        process=str(header["process"]),
+        seed=int(header["seed"]),
+        jobs=tuple(jobs),
+        params=tuple(sorted(header["params"].items())),
+    )

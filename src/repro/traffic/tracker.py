@@ -1,0 +1,300 @@
+"""Job lifecycle tracking and tail-latency metrics.
+
+Two complementary paths produce the same :class:`TrafficSummary`:
+
+* :class:`JobTracker` — an `repro.obs` event sink that follows each job
+  *live* through ``arrival_placed`` (arrival + first-placement wait +
+  queue depth) and ``job_completed`` (latency + queue depth), updating
+  the run's metrics registry as it goes (``traffic.*`` instruments); and
+* :func:`summarize_result` — the post-hoc path that reconstructs the
+  same per-job latencies and the queue-depth step function from a bare
+  :class:`~repro.sim.results.RunResult` (every group carries its arrival
+  and finish stamps), which is what campaign workers use so cached
+  results carry their traffic metrics without any event plumbing.
+
+Slowdown is latency divided by the job's cached solo-run baseline
+(`repro.traffic.baseline`); percentiles use NumPy's default linear
+interpolation and are therefore deterministic per run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.sim.results import RunResult
+from repro.util.validation import require
+
+__all__ = ["JobRecord", "JobTracker", "TrafficSummary", "summarize_result"]
+
+
+def _finite_or_none(value: float | None) -> float | None:
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+@dataclass
+class JobRecord:
+    """One job's observed lifecycle (fields NaN until observed)."""
+
+    group: int
+    app: str = ""
+    n_threads: int = 0
+    size: float = 1.0
+    arrival_s: float = math.nan
+    wait_s: float = math.nan
+    finish_s: float = math.nan
+    queue_depth_at_arrival: int = -1
+    queue_depth_at_completion: int = -1
+
+    @property
+    def completed(self) -> bool:
+        return math.isfinite(self.finish_s)
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """Percentile metrics of one open-loop run (the ``info["traffic"]``
+    payload; every field JSON-safe, undefined values ``None``)."""
+
+    n_jobs: int
+    n_completed: int
+    horizon_s: float | None
+    throughput_jobs_per_s: float | None
+    latency_p50_s: float | None
+    latency_p95_s: float | None
+    latency_p99_s: float | None
+    slowdown_p50: float | None
+    slowdown_p95: float | None
+    slowdown_p99: float | None
+    slowdown_mean: float | None
+    slowdown_max: float | None
+    queue_depth_mean: float | None
+    queue_depth_peak: int
+    wait_mean_s: float | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_jobs": self.n_jobs,
+            "n_completed": self.n_completed,
+            "horizon_s": _finite_or_none(self.horizon_s),
+            "throughput_jobs_per_s": _finite_or_none(self.throughput_jobs_per_s),
+            "latency_p50_s": _finite_or_none(self.latency_p50_s),
+            "latency_p95_s": _finite_or_none(self.latency_p95_s),
+            "latency_p99_s": _finite_or_none(self.latency_p99_s),
+            "slowdown_p50": _finite_or_none(self.slowdown_p50),
+            "slowdown_p95": _finite_or_none(self.slowdown_p95),
+            "slowdown_p99": _finite_or_none(self.slowdown_p99),
+            "slowdown_mean": _finite_or_none(self.slowdown_mean),
+            "slowdown_max": _finite_or_none(self.slowdown_max),
+            "queue_depth_mean": _finite_or_none(self.queue_depth_mean),
+            "queue_depth_peak": self.queue_depth_peak,
+            "wait_mean_s": _finite_or_none(self.wait_mean_s),
+        }
+
+
+def _queue_depth_stats(
+    arrivals: np.ndarray, finishes: np.ndarray
+) -> tuple[float | None, int]:
+    """Time-weighted mean and peak of the jobs-in-system step function.
+
+    Built from arrival (+1) and finite finish (-1) stamps; simultaneous
+    events process departures first, so a back-to-back handoff does not
+    inflate the peak.
+    """
+    finite = finishes[np.isfinite(finishes)]
+    times = np.concatenate([arrivals, finite])
+    deltas = np.concatenate(
+        [np.ones(arrivals.size), -np.ones(finite.size)]
+    )
+    # Departures (-1) before arrivals (+1) at equal timestamps, so a
+    # back-to-back handoff does not inflate the peak.
+    order = np.lexsort((deltas, times))
+    times, deltas = times[order], deltas[order]
+    depth = np.cumsum(deltas)
+    peak = int(depth.max(initial=0))
+    horizon = float(times[-1]) if times.size else 0.0
+    if horizon <= 0.0:
+        return None, peak
+    mean = float(np.sum(depth[:-1] * np.diff(times)) / horizon)
+    return mean, peak
+
+
+def _summarize(
+    records: list[JobRecord],
+    baseline_s: Mapping[tuple[str, int, float], float],
+) -> TrafficSummary:
+    require(len(records) >= 1, "cannot summarise zero jobs")
+    arrivals = np.array([r.arrival_s for r in records])
+    finishes = np.array([r.finish_s for r in records])
+    done = [r for r in records if r.completed]
+
+    latencies = np.array([r.latency_s for r in done])
+    slowdowns = np.array(
+        [
+            r.latency_s / baseline_s[(r.app, r.n_threads, r.size)]
+            for r in done
+        ]
+    )
+    waits = np.array(
+        [r.wait_s for r in records if math.isfinite(r.wait_s)]
+    )
+    depth_mean, depth_peak = _queue_depth_stats(arrivals, finishes)
+
+    horizon = float(np.max(finishes[np.isfinite(finishes)])) if done else None
+    if done and horizon and horizon > 0.0:
+        throughput = len(done) / horizon
+    else:
+        throughput = None
+
+    def pct(values: np.ndarray, q: float) -> float | None:
+        return float(np.percentile(values, q)) if values.size else None
+
+    return TrafficSummary(
+        n_jobs=len(records),
+        n_completed=len(done),
+        horizon_s=horizon,
+        throughput_jobs_per_s=throughput,
+        latency_p50_s=pct(latencies, 50),
+        latency_p95_s=pct(latencies, 95),
+        latency_p99_s=pct(latencies, 99),
+        slowdown_p50=pct(slowdowns, 50),
+        slowdown_p95=pct(slowdowns, 95),
+        slowdown_p99=pct(slowdowns, 99),
+        slowdown_mean=float(slowdowns.mean()) if slowdowns.size else None,
+        slowdown_max=float(slowdowns.max()) if slowdowns.size else None,
+        queue_depth_mean=depth_mean,
+        queue_depth_peak=depth_peak,
+        wait_mean_s=float(waits.mean()) if waits.size else None,
+    )
+
+
+def summarize_result(
+    result: RunResult,
+    work_scale: float,
+    topology: str = "heterogeneous",
+    seed: int | None = None,
+) -> TrafficSummary:
+    """Traffic metrics reconstructed from a finished :class:`RunResult`.
+
+    Per-job latency comes from each group's ``arrival_s`` and slowest
+    thread finish stamp; slowdown divides by the solo baseline at the
+    same ``work_scale``/``topology``/``seed`` (default: the run's own
+    seed).  Incomplete jobs (truncated runs) count toward queue depth
+    but are excluded from latency/slowdown percentiles and throughput.
+    """
+    from repro.traffic.baseline import solo_runtime
+
+    seed = result.seed if seed is None else seed
+    records: list[JobRecord] = []
+    baselines: dict[tuple[str, int, float], float] = {}
+    for b in result.benchmarks:
+        n_threads = len(b.thread_finish_times)
+        record = JobRecord(
+            group=b.group_id,
+            app=b.benchmark,
+            n_threads=n_threads,
+            arrival_s=b.arrival_s,
+            finish_s=b.finish_time,
+        )
+        records.append(record)
+        key = (b.benchmark, n_threads, record.size)
+        if key not in baselines and math.isfinite(b.finish_time):
+            baselines[key] = solo_runtime(
+                b.benchmark, n_threads, work_scale, topology, seed, record.size
+            )
+    return _summarize(records, baselines)
+
+
+class JobTracker:
+    """Event-sink job tracker: arrival → first placement → completion.
+
+    Attach to a run's bus alongside other sinks::
+
+        tracker = JobTracker(metrics=bus.metrics)
+        bus.attach(tracker)
+        ...run...
+        summary = tracker.summarize(
+            work_scale=0.05, topology="heterogeneous", seed=7)
+
+    Consumes the v2 lifecycle events (``arrival_placed`` with wait and
+    queue depth, ``job_completed`` with latency and queue depth); when a
+    metrics registry is supplied, maintains live ``traffic.*``
+    instruments (arrived/completed counters, queue-depth gauge and peak,
+    latency histogram) that land in ``RunResult.info["metrics"]`` via the
+    engine's end-of-run snapshot.
+    """
+
+    def __init__(self, metrics: Any | None = None) -> None:
+        self.records: dict[int, JobRecord] = {}
+        self.metrics = metrics
+        self.queue_depth_peak = 0
+
+    # ------------------------------------------------------------- sink
+
+    def accept(self, event: Any) -> None:
+        kind = getattr(event, "kind", None)
+        if kind == "arrival_placed":
+            record = self.records.setdefault(event.group, JobRecord(event.group))
+            record.arrival_s = event.arrival_s
+            record.wait_s = event.wait_s
+            record.n_threads = len(event.tids)
+            record.queue_depth_at_arrival = event.queue_depth
+            self._saw_depth(event.queue_depth)
+            if self.metrics is not None:
+                self.metrics.counter("traffic.jobs_arrived").inc()
+        elif kind == "job_completed":
+            record = self.records.setdefault(event.group, JobRecord(event.group))
+            record.app = event.benchmark
+            record.n_threads = event.n_threads
+            record.arrival_s = event.arrival_s
+            record.finish_s = event.arrival_s + event.latency_s
+            record.queue_depth_at_completion = event.queue_depth
+            self._saw_depth(event.queue_depth)
+            if self.metrics is not None:
+                self.metrics.counter("traffic.jobs_completed").inc()
+                self.metrics.histogram("traffic.latency_s").observe(
+                    event.latency_s
+                )
+
+    def _saw_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+            if self.metrics is not None:
+                self.metrics.gauge("traffic.queue_depth_peak").set(depth)
+        if self.metrics is not None:
+            self.metrics.gauge("traffic.queue_depth").set(depth)
+
+    # ---------------------------------------------------------- summary
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for r in self.records.values() if r.completed)
+
+    def summarize(
+        self,
+        work_scale: float,
+        topology: str = "heterogeneous",
+        seed: int = 0,
+    ) -> TrafficSummary:
+        """Percentile summary of everything tracked so far."""
+        from repro.traffic.baseline import solo_runtime
+
+        records = [self.records[g] for g in sorted(self.records)]
+        baselines: dict[tuple[str, int, float], float] = {}
+        for r in records:
+            key = (r.app, r.n_threads, r.size)
+            if r.completed and key not in baselines:
+                baselines[key] = solo_runtime(
+                    r.app, r.n_threads, work_scale, topology, seed, r.size
+                )
+        return _summarize(records, baselines)

@@ -1,7 +1,6 @@
 """Workload models: Rodinia application traces and the Table II suite."""
 
 from repro.workloads.benchmark import BenchmarkSpec, instantiate
-from repro.workloads.dynamic import DynamicWorkload, phased_workload, poisson_arrivals
 from repro.workloads.generator import random_workload, workload_with_mix
 from repro.workloads.trace_replay import (
     benchmark_from_csv,
@@ -22,6 +21,19 @@ from repro.workloads.suite import (
     workload,
     workloads_of_class,
 )
+
+#: Deprecated open-system names (now repro.traffic); resolved lazily so
+#: importing the package stays warning-free — the shim module warns on use.
+_DEPRECATED_DYNAMIC = ("DynamicWorkload", "phased_workload", "poisson_arrivals")
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_DYNAMIC:
+        from repro.workloads import dynamic
+
+        return getattr(dynamic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "BenchmarkSpec",

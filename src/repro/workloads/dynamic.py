@@ -1,120 +1,57 @@
-"""Open-system (dynamic) workloads: applications arriving over time.
+"""Deprecated shim: open-system workloads moved to :mod:`repro.traffic`.
 
-The paper motivates runtime adaptation with exactly this scenario: "we
-expect application workload to vary as a function of time as threads will
-enter and leave the systems" (§III-F).  A :class:`DynamicWorkload` is a
-timetable of benchmark instances; building it produces process groups with
-staggered ``arrival_s`` values that the engine activates on time.
+The traffic subsystem subsumes this module: arrival processes
+(:mod:`repro.traffic.generators`) sample schema-versioned job traces,
+:class:`repro.traffic.TrafficWorkload` replays them through the engine,
+and :mod:`repro.traffic.tracker` computes per-job latency/slowdown tail
+metrics.  The historical names keep working here — with a
+``DeprecationWarning`` on first access — and behave bit-identically:
+
+* ``DynamicWorkload(name, entries, threads_per_app)`` constructs a
+  :class:`~repro.traffic.replay.TrafficWorkload` (one ``Job`` per entry);
+  ``build`` produces the same process groups as before.
+* ``poisson_arrivals(...)`` delegates to
+  :class:`~repro.traffic.generators.PoissonProcess` with the historical
+  RNG label path ``("dynamic", "poisson")`` — same timetable per seed.
+* ``phased_workload(...)`` is re-exported from
+  :mod:`repro.traffic.replay` unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.sim.process import ProcessGroup
-from repro.workloads.benchmark import BenchmarkSpec, instantiate
-from repro.workloads.rodinia import APP_REGISTRY, app
-from repro.util.rng import make_rng
-from repro.util.validation import check_non_negative, require
+import warnings
+from typing import Any
 
 __all__ = ["DynamicWorkload", "phased_workload", "poisson_arrivals"]
 
-
-@dataclass(frozen=True)
-class DynamicWorkload:
-    """A timetable of ``(application, arrival_s)`` entries.
-
-    Unlike :class:`~repro.workloads.suite.WorkloadSpec` (closed system,
-    everything starts at t=0), instances arrive at their scheduled time and
-    the machine's load — and therefore the optimal scheduler configuration
-    — changes as the run progresses.
-    """
-
-    name: str
-    entries: tuple[tuple[str, float], ...]
-    threads_per_app: int = 8
-
-    def __post_init__(self) -> None:
-        require(len(self.entries) >= 1, "a dynamic workload needs entries")
-        for app_name, arrival in self.entries:
-            require(app_name in APP_REGISTRY, f"unknown application {app_name!r}")
-            check_non_negative(arrival, "arrival")
-        require(self.threads_per_app >= 1, "threads_per_app must be >= 1")
-
-    @property
-    def n_threads(self) -> int:
-        return len(self.entries) * self.threads_per_app
-
-    def build(self, seed: int, work_scale: float = 1.0) -> list[ProcessGroup]:
-        """Instantiate process groups with dense global thread ids.
-
-        Arrival times scale with ``work_scale`` so reduced-scale runs keep
-        the same arrival pattern relative to benchmark lengths.
-        """
-        groups: list[ProcessGroup] = []
-        tid = 0
-        for gid, (app_name, arrival) in enumerate(self.entries):
-            spec = app(app_name)
-            if spec.n_threads != self.threads_per_app:
-                spec = BenchmarkSpec(
-                    spec.name,
-                    spec.intensity,
-                    spec.build_trace,
-                    n_threads=self.threads_per_app,
-                    barrier_fractions=spec.barrier_fractions,
-                    thread_jitter=spec.thread_jitter,
-                )
-            group = instantiate(spec, gid, tid, seed, work_scale)
-            group.arrival_s = arrival * work_scale
-            groups.append(group)
-            tid += spec.n_threads
-        return groups
+_REPLACEMENTS = {
+    "DynamicWorkload": "repro.traffic.TrafficWorkload",
+    "phased_workload": "repro.traffic.phased_workload",
+    "poisson_arrivals": "repro.traffic.PoissonProcess",
+}
 
 
-def phased_workload(
-    name: str = "phased",
-    threads_per_app: int = 8,
-) -> DynamicWorkload:
-    """A workload whose class changes mid-run.
+def _resolve(name: str) -> Any:
+    from repro.traffic import replay
 
-    Phase 1 (t=0) is compute-leaning (UC-ish); at t=40 the memory apps
-    arrive and flip the system toward UM — the configuration that was right
-    for phase 1 is wrong for phase 2, which is what the Optimizer exists
-    to fix.  Arrival times assume ``work_scale=1`` and scale with it.
-    """
-    return DynamicWorkload(
-        name=name,
-        entries=(
-            ("srad", 0.0),
-            ("leukocyte", 0.0),
-            ("jacobi", 0.0),
-            ("kmeans", 0.0),
-            ("stream_omp", 40.0),
-            ("streamcluster", 40.0),
-            ("needle", 55.0),
-        ),
-        threads_per_app=threads_per_app,
-    )
+    return {
+        "DynamicWorkload": replay._LegacyDynamicWorkload,
+        "phased_workload": replay.phased_workload,
+        "poisson_arrivals": replay._legacy_poisson_arrivals,
+    }[name]
 
 
-def poisson_arrivals(
-    n_instances: int = 8,
-    mean_interarrival_s: float = 15.0,
-    seed: int = 0,
-    name: str | None = None,
-    threads_per_app: int = 8,
-) -> DynamicWorkload:
-    """Random open-system trace: apps drawn uniformly, Poisson arrivals."""
-    require(n_instances >= 1, "n_instances must be >= 1")
-    rng = make_rng(seed, "dynamic", "poisson")
-    apps = sorted(APP_REGISTRY)
-    t = 0.0
-    entries = []
-    for _ in range(n_instances):
-        entries.append((apps[int(rng.integers(len(apps)))], t))
-        t += float(rng.exponential(mean_interarrival_s))
-    return DynamicWorkload(
-        name=name or f"poisson-{n_instances}-s{seed}",
-        entries=tuple(entries),
-        threads_per_app=threads_per_app,
-    )
+def __getattr__(name: str) -> Any:
+    if name in _REPLACEMENTS:
+        warnings.warn(
+            f"repro.workloads.dynamic.{name} is deprecated; use "
+            f"{_REPLACEMENTS[name]} instead (see docs/traffic.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _resolve(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

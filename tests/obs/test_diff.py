@@ -35,14 +35,14 @@ def trace_run(run_quickly, workload, topology, path, seed):
 class TestLoadEvents:
     def test_rejects_bad_json_with_line_number(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text('{"v": 1, "kind": "pair_proposed", "quantum": 0, '
+        path.write_text('{"v": 2, "kind": "pair_proposed", "quantum": 0, '
                         '"time_s": 0.0, "t_l": 1, "t_h": 2}\nnot json\n')
         with pytest.raises(ValueError, match=r"t\.jsonl:2: invalid JSON"):
             load_events(path)
 
     def test_rejects_schema_violations_with_line_number(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text(json.dumps({"v": 1, "kind": "martian"}) + "\n")
+        path.write_text(json.dumps({"v": 2, "kind": "martian"}) + "\n")
         with pytest.raises(ValueError, match=r"t\.jsonl:1: unknown event kind"):
             load_events(path)
         assert load_events(path, validate=False)  # opt-out still parses
@@ -75,7 +75,7 @@ class TestDiffTraces:
         assert "diverge at quantum" in report and "a.jsonl" in report
 
     def test_truncated_stream_reports_missing_side(self):
-        ev = {"v": 1, "kind": "pair_proposed", "quantum": 0,
+        ev = {"v": 2, "kind": "pair_proposed", "quantum": 0,
               "time_s": 0.0, "t_l": 1, "t_h": 2}
         diff = diff_traces([ev, ev], [ev])
         assert not diff.identical
@@ -84,9 +84,9 @@ class TestDiffTraces:
         assert "no event" in render_diff(diff)
 
     def test_mixed_schema_versions_refuse_to_compare(self):
-        a = [{"v": 1, "kind": "pair_proposed", "quantum": 0,
+        a = [{"v": 2, "kind": "pair_proposed", "quantum": 0,
               "time_s": 0.0, "t_l": 1, "t_h": 2}]
-        b = [dict(a[0], v=2)]
+        b = [dict(a[0], v=3)]
         with pytest.raises(SchemaMismatch, match="schema versions"):
             diff_traces(a, b)
 

@@ -140,7 +140,8 @@ class TestCorruptedStreams:
             InvariantSink(),
             end(0, {1: 0}),
             ArrivalPlaced(
-                quantum=0, time_s=0.6, group=1, tids=(5, 6), vcores=(2, 3)
+                quantum=0, time_s=0.6, group=1, tids=(5, 6), vcores=(2, 3),
+                arrival_s=0.4, wait_s=0.2, queue_depth=2,
             ),
             end(1, {1: 0, 5: 2, 6: 3}),
         )

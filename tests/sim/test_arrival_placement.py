@@ -15,25 +15,31 @@ optimization changed nothing observable:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+import pytest
 
 from repro.policies import REGISTRY
 from repro.obs.events import EventBus
 from repro.sim.engine import SimulationEngine
 from repro.sim.topology import xeon_e5_heterogeneous
-from repro.workloads.dynamic import DynamicWorkload
+from repro.traffic import Job, TrafficWorkload
 
 
-def stagger_workload() -> DynamicWorkload:
-    return DynamicWorkload(
+def stagger_workload() -> TrafficWorkload:
+    entries = (
+        ("jacobi", 0.0),
+        ("srad", 2.0),
+        ("streamcluster", 30.0),
+        ("hotspot", 60.0),
+    )
+    return TrafficWorkload(
         name="stagger",
-        entries=(
-            ("jacobi", 0.0),
-            ("srad", 2.0),
-            ("streamcluster", 30.0),
-            ("hotspot", 60.0),
+        jobs=tuple(
+            Job(i, app, arrival, n_threads=8)
+            for i, (app, arrival) in enumerate(entries)
         ),
-        threads_per_app=8,
     )
 
 
@@ -106,3 +112,89 @@ def test_placement_sequence_unchanged_from_rescanning_engine():
 
 def test_same_seed_placement_deterministic():
     assert run_stagger() == run_stagger()
+
+
+# --------------------------------------------------------------- rounding rule
+#
+# The engine is quantum-discrete: a group arriving strictly inside a
+# quantum ``(t_k, t_{k+1}]`` wakes at the end boundary ``t_{k+1}`` (ceil),
+# with the delay observable as ``wait_s`` on the v2 ``arrival_placed``
+# event; an exactly-on-boundary arrival waits zero.  See
+# ``SimulationEngine._place_arrivals`` for the contract these tests pin.
+
+from repro.schedulers.static import StaticScheduler
+from repro.sim.phases import PhaseSegment, PhaseTrace
+from repro.sim.process import ProcessGroup
+from repro.sim.thread import SimThread
+from repro.sim.topology import homogeneous
+
+QLEN = 0.5  # StaticScheduler's fixed quantum length
+
+
+class LifecycleTap:
+    def __init__(self) -> None:
+        self.arrivals = []
+
+    def accept(self, event) -> None:
+        if event.kind == "arrival_placed":
+            self.arrivals.append(event)
+
+
+def run_with_arrivals(arrival_times):
+    """One-thread jobs at exact arrival times, plus a t=0 anchor job."""
+    groups = []
+    for gid, arrival in enumerate([0.0, *arrival_times]):
+        trace = PhaseTrace(
+            [PhaseSegment(work=2.0e9, cpi=1.0, api=0.01, miss_ratio=0.1)]
+        )
+        thread = SimThread(
+            tid=gid, benchmark="jacobi", group=gid, member=0, trace=trace
+        )
+        group = ProcessGroup(group_id=gid, benchmark="jacobi", threads=[thread])
+        group.arrival_s = arrival
+        groups.append(group)
+    tap = LifecycleTap()
+    bus = EventBus()
+    bus.attach(tap)
+    SimulationEngine(
+        topology=homogeneous(),
+        groups=groups,
+        scheduler=StaticScheduler(),
+        seed=0,
+        counter_noise=0.0,
+        record_timeseries=False,
+        bus=bus,
+    ).run()
+    return tap.arrivals
+
+
+def test_mid_quantum_arrival_rounds_up_to_boundary():
+    (ev,) = run_with_arrivals([0.2])
+    assert ev.time_s == QLEN
+    assert ev.arrival_s == 0.2
+    assert ev.wait_s == ev.time_s - ev.arrival_s
+    assert ev.wait_s == 0.3
+
+
+def test_boundary_arrival_waits_zero():
+    (ev,) = run_with_arrivals([QLEN])
+    assert ev.time_s == QLEN
+    assert ev.wait_s == 0.0
+
+
+def test_just_past_boundary_waits_almost_full_quantum():
+    (ev,) = run_with_arrivals([QLEN + 1e-9])
+    assert ev.time_s == 2 * QLEN
+    assert ev.wait_s == pytest.approx(QLEN, abs=1e-6)
+
+
+def test_wait_always_in_zero_to_quantum():
+    arrivals = [0.05, 0.49999, 0.75, 1.0, 1.25, 2.2]
+    events = run_with_arrivals(arrivals)
+    assert len(events) == len(arrivals)
+    for ev in events:
+        # wake boundary = ceil(arrival / qlen) * qlen
+        expected = math.ceil(ev.arrival_s / QLEN - 1e-12) * QLEN
+        assert ev.time_s == pytest.approx(expected)
+        assert 0.0 <= ev.wait_s < QLEN
+        assert ev.queue_depth >= 1

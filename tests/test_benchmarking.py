@@ -125,9 +125,16 @@ class TestCommittedReport:
         report = load_report(root / "BENCH_engine.json")
         assert set(r.name for r in FULL_SUITE) == set(report["results"])
         # The committed before/after claim: >= 2x on the 40-thread
-        # Table II workload for every policy class.
+        # Table II workload for every policy class.  The reference block
+        # is the pre-SoA engine, so cases added later (the open-loop
+        # wl-poisson scenario) have no entry to compare against.
         ref = report["reference"]["results"]
+        compared = 0
         for case in (c.name for c in QUICK_SUITE):
+            if case not in ref:
+                continue
             cur = report["results"][case]["quanta_per_s"]
             old = ref[case]["quanta_per_s"]
             assert cur >= 2.0 * old, f"{case} below the 2x acceptance bar"
+            compared += 1
+        assert compared >= 4  # the original wl1 x 4-policy quick suite

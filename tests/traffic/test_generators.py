@@ -1,0 +1,129 @@
+"""Arrival-process generators: determinism, shape, parameter handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic import (
+    BurstyProcess,
+    DiurnalProcess,
+    FixedRateProcess,
+    GENERATORS,
+    PoissonProcess,
+    dumps_trace,
+    make_process,
+)
+
+ALL_KINDS = tuple(sorted(GENERATORS))
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_same_seed_byte_identical(self, kind):
+        a = GENERATORS[kind]().generate(n_jobs=12, seed=9)
+        b = GENERATORS[kind]().generate(n_jobs=12, seed=9)
+        assert dumps_trace(a) == dumps_trace(b)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_different_seeds_differ(self, kind):
+        a = GENERATORS[kind]().generate(n_jobs=12, seed=1)
+        b = GENERATORS[kind]().generate(n_jobs=12, seed=2)
+        assert dumps_trace(a) != dumps_trace(b)
+
+    def test_kinds_have_independent_streams(self):
+        """Same seed, different process => different samples (the kind is
+        part of the RNG label path)."""
+        a = PoissonProcess().generate(n_jobs=8, seed=3)
+        b = DiurnalProcess().generate(n_jobs=8, seed=3)
+        assert [j.arrival_s for j in a.jobs] != [j.arrival_s for j in b.jobs]
+
+
+class TestShape:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_monotone_from_zero(self, kind):
+        trace = GENERATORS[kind]().generate(n_jobs=10, seed=4)
+        times = [j.arrival_s for j in trace.jobs]
+        assert times[0] == 0.0
+        assert times == sorted(times)
+        assert [j.job_id for j in trace.jobs] == list(range(10))
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_header_records_provenance(self, kind):
+        proc = GENERATORS[kind]()
+        trace = proc.generate(n_jobs=5, seed=2)
+        assert trace.process == kind
+        assert trace.seed == 2
+        params = dict(trace.params)
+        assert params["mean_interarrival_s"] == proc.mean_interarrival_s
+
+    def test_fixed_rate_is_exact(self):
+        trace = FixedRateProcess(mean_interarrival_s=4.0).generate(
+            n_jobs=5, seed=0
+        )
+        gaps = np.diff([j.arrival_s for j in trace.jobs])
+        assert np.allclose(gaps, 4.0)
+
+    def test_poisson_mean_gap_statistical(self):
+        trace = PoissonProcess(mean_interarrival_s=5.0).generate(
+            n_jobs=400, seed=1
+        )
+        gaps = np.diff([j.arrival_s for j in trace.jobs])
+        assert 4.0 < gaps.mean() < 6.0  # ~5 +- sampling noise
+
+    def test_bursty_has_heavier_tail_than_poisson(self):
+        """MMPP bursts compress gaps: the gap distribution's coefficient
+        of variation must exceed the exponential's (= 1)."""
+        trace = BurstyProcess(mean_interarrival_s=5.0).generate(
+            n_jobs=600, seed=1
+        )
+        gaps = np.diff([j.arrival_s for j in trace.jobs])
+        assert gaps.std() / gaps.mean() > 1.1
+
+    def test_diurnal_rate_oscillates(self):
+        """Arrival counts in peak half-periods must exceed trough ones."""
+        proc = DiurnalProcess(
+            mean_interarrival_s=1.0, amplitude=0.8, period_s=100.0
+        )
+        trace = proc.generate(n_jobs=500, seed=2)
+        times = np.array([j.arrival_s for j in trace.jobs])
+        phase = (times % 100.0) / 100.0
+        peak = int(((phase > 0.0) & (phase < 0.5)).sum())     # sin > 0
+        trough = int(((phase >= 0.5) & (phase < 1.0)).sum())  # sin < 0
+        assert peak > 1.5 * trough
+
+    def test_apps_restriction_and_sizes(self):
+        trace = PoissonProcess(apps=("jacobi",)).generate(
+            n_jobs=6, seed=0, n_threads=3, size=0.25
+        )
+        assert all(j.app == "jacobi" for j in trace.jobs)
+        assert all(j.n_threads == 3 and j.size == 0.25 for j in trace.jobs)
+
+
+class TestConstruction:
+    def test_at_rate(self):
+        assert PoissonProcess.at_rate(0.2).mean_interarrival_s == 5.0
+        assert PoissonProcess.at_rate(0.2).rate_per_s == pytest.approx(0.2)
+
+    def test_make_process(self):
+        proc = make_process("bursty", 10.0, burst_factor=4.0)
+        assert isinstance(proc, BurstyProcess)
+        assert proc.burst_factor == 4.0
+
+    def test_make_process_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_process("lunar", 10.0)
+
+    def test_make_process_unknown_param(self):
+        with pytest.raises(ValueError, match="poisson"):
+            make_process("poisson", 10.0, burst_factor=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(mean_interarrival_s=0.0)
+        with pytest.raises(ValueError, match="unknown application"):
+            PoissonProcess(apps=("nope",))
+        with pytest.raises(ValueError, match="burst_factor"):
+            BurstyProcess(burst_factor=1.0)
+        with pytest.raises(ValueError, match="amplitude"):
+            DiurnalProcess(amplitude=1.5)

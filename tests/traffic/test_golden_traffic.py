@@ -1,0 +1,137 @@
+"""Golden determinism gate for open-loop traffic runs.
+
+Extends the engine goldens (``tests/sim/test_golden_determinism.py``) to
+the traffic subsystem: a checked-in **job trace** (the generator output
+must stay byte-identical per seed) plus full engine event traces and
+result fingerprints for replaying it under CFS and Dike.  Regenerate
+intentional changes with:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/traffic/test_golden_traffic.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.diff import diff_traces, load_events
+from repro.obs.events import EventBus
+from repro.obs.sinks import JsonlSink
+from repro.policies import REGISTRY
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.topology import SocketSpec, Topology
+from repro.traffic import (
+    JobTrace,
+    PoissonProcess,
+    dumps_trace,
+    load_trace,
+    workload_from_trace,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+JOB_TRACE_GOLDEN = GOLDEN_DIR / "traffic_poisson.jsonl"
+POLICIES = ("cfs", "dike")
+SEED = 7
+WORK_SCALE = 0.02
+
+
+def job_trace() -> JobTrace:
+    return PoissonProcess(mean_interarrival_s=20.0).generate(
+        n_jobs=5, seed=5, n_threads=2
+    )
+
+
+def _topology() -> Topology:
+    return Topology(
+        (
+            SocketSpec(2.0, 2, 2, interconnect_gbps=8.0),
+            SocketSpec(1.0, 2, 2, interconnect_gbps=3.0),
+        ),
+        memory_controller_gbps=10.0,
+    )
+
+
+def golden_run(policy: str, trace_path: Path | None = None) -> RunResult:
+    bus = EventBus()
+    if trace_path is not None:
+        bus.attach(JsonlSink(trace_path))
+    wl = workload_from_trace(job_trace())
+    engine = SimulationEngine(
+        topology=_topology(),
+        groups=wl.build(seed=SEED, work_scale=WORK_SCALE),
+        scheduler=REGISTRY.build(policy),
+        seed=SEED,
+        workload_name=wl.name,
+        bus=bus,
+    )
+    result = engine.run()
+    bus.close()
+    return result
+
+
+def fingerprint(result: RunResult) -> dict:
+    return {
+        "policy": result.policy_name,
+        "makespan_s": repr(result.makespan_s),
+        "n_quanta": result.n_quanta,
+        "peak_in_system": result.info["peak_in_system"],
+        "peak_window": result.info["peak_window"],
+        "benchmarks": [
+            {
+                "benchmark": b.benchmark,
+                "group_id": b.group_id,
+                "arrival_s": repr(b.arrival_s),
+                "thread_finish_times": [repr(t) for t in b.thread_finish_times],
+            }
+            for b in result.benchmarks
+        ],
+    }
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    JOB_TRACE_GOLDEN.write_text(dumps_trace(job_trace()))
+    fingerprints = {}
+    for policy in POLICIES:
+        result = golden_run(policy, GOLDEN_DIR / f"traffic_{policy}.jsonl")
+        fingerprints[policy] = fingerprint(result)
+    (GOLDEN_DIR / "traffic_results.json").write_text(
+        json.dumps(fingerprints, indent=1, sort_keys=True) + "\n"
+    )
+
+
+if os.environ.get("REPRO_REGEN_GOLDEN"):
+
+    def test_regenerate_goldens():
+        _regen()
+        pytest.skip(f"traffic goldens regenerated under {GOLDEN_DIR}")
+
+else:
+
+    def test_job_trace_byte_identical_to_golden():
+        assert dumps_trace(job_trace()) == JOB_TRACE_GOLDEN.read_text()
+
+    def test_golden_job_trace_loads_and_validates():
+        trace = load_trace(JOB_TRACE_GOLDEN)
+        assert trace == job_trace()
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_result_matches_checked_in_golden(policy):
+        golden = json.loads((GOLDEN_DIR / "traffic_results.json").read_text())
+        assert fingerprint(golden_run(policy)) == golden[policy]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_trace_diff_against_golden_is_clean(policy, tmp_path, capsys):
+        trace = tmp_path / f"{policy}.jsonl"
+        golden_run(policy, trace)
+        golden = GOLDEN_DIR / f"traffic_{policy}.jsonl"
+        diff = diff_traces(load_events(golden), load_events(trace))
+        assert diff.identical, f"trace diverged from golden: {diff}"
+        assert cli_main(["trace-diff", str(golden), str(trace)]) == 0
+        capsys.readouterr()

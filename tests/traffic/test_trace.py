@@ -1,0 +1,113 @@
+"""Job-trace format: canonical JSONL, schema validation, round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.traffic import (
+    TRACE_SCHEMA_VERSION,
+    Job,
+    JobTrace,
+    dumps_trace,
+    load_trace,
+    validate_trace_record,
+    write_trace,
+)
+
+
+def tiny_trace() -> JobTrace:
+    return JobTrace(
+        name="tiny",
+        process="fixed",
+        seed=3,
+        jobs=(
+            Job(0, "jacobi", 0.0, n_threads=2),
+            Job(1, "srad", 10.0, n_threads=4, size=0.5, priority=1),
+        ),
+        params=(("mean_interarrival_s", 10.0),),
+    )
+
+
+class TestModel:
+    def test_job_validation(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            Job(0, "nonexistent", 0.0)
+        with pytest.raises(ValueError):
+            Job(0, "jacobi", -1.0)
+        with pytest.raises(ValueError, match="n_threads"):
+            Job(0, "jacobi", 0.0, n_threads=0)
+        with pytest.raises(ValueError, match="size"):
+            Job(0, "jacobi", 0.0, size=0.0)
+
+    def test_trace_requires_dense_ids(self):
+        with pytest.raises(ValueError, match="dense"):
+            JobTrace(
+                name="x", process="fixed", seed=0,
+                jobs=(Job(1, "jacobi", 0.0),),
+            )
+
+    def test_trace_requires_monotone_arrivals(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            JobTrace(
+                name="x", process="fixed", seed=0,
+                jobs=(Job(0, "jacobi", 5.0), Job(1, "srad", 1.0)),
+            )
+
+    def test_horizon_and_counts(self):
+        trace = tiny_trace()
+        assert trace.n_jobs == 2
+        assert trace.horizon_s == 10.0
+
+
+class TestSerialisation:
+    def test_dumps_is_canonical_and_versioned(self):
+        text = dumps_trace(tiny_trace())
+        assert text == dumps_trace(tiny_trace())  # byte-stable
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["kind"] for r in records] == ["traffic_header", "job", "job"]
+        assert all(r["v"] == TRACE_SCHEMA_VERSION for r in records)
+        for r in records:
+            validate_trace_record(r)
+
+    def test_round_trip(self, tmp_path):
+        trace = tiny_trace()
+        path = write_trace(trace, tmp_path / "t.jsonl")
+        assert load_trace(path) == trace
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        path = write_trace(tiny_trace(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["v"] = TRACE_SCHEMA_VERSION + 1
+        path.write_text("\n".join([lines[0], json.dumps(bad)] + lines[2:]))
+        with pytest.raises(ValueError, match="schema mismatch"):
+            load_trace(path)
+
+    def test_load_rejects_field_drift(self, tmp_path):
+        path = write_trace(tiny_trace(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        bad = json.loads(lines[1])
+        bad["surprise"] = 1
+        path.write_text("\n".join([lines[0], json.dumps(bad)] + lines[2:]))
+        with pytest.raises(ValueError, match="field mismatch"):
+            load_trace(path)
+
+    def test_load_rejects_job_count_mismatch(self, tmp_path):
+        path = write_trace(tiny_trace(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop last job
+        with pytest.raises(ValueError, match="header claims"):
+            load_trace(path)
+
+    def test_load_requires_header(self, tmp_path):
+        path = write_trace(tiny_trace(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="missing traffic_header"):
+            load_trace(path)
+
+    def test_validate_record_kinds(self):
+        with pytest.raises(ValueError, match="unknown job-trace record kind"):
+            validate_trace_record({"kind": "mystery", "v": TRACE_SCHEMA_VERSION})

@@ -1,0 +1,147 @@
+"""Job lifecycle tracking: percentile math, queue depth, both summary paths."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import run_workload
+from repro.obs.events import ArrivalPlaced, EventBus, JobCompleted
+from repro.obs.metrics import MetricsRegistry
+from repro.schedulers.static import StaticScheduler
+from repro.traffic import (
+    JobTracker,
+    PoissonProcess,
+    summarize_result,
+    workload_from_trace,
+)
+from repro.traffic.tracker import JobRecord, _queue_depth_stats, _summarize
+
+import numpy as np
+
+
+def record(group, app="jacobi", n_threads=1, arrival=0.0, finish=10.0, wait=0.0):
+    return JobRecord(
+        group=group, app=app, n_threads=n_threads,
+        arrival_s=arrival, wait_s=wait, finish_s=finish,
+    )
+
+
+class TestSummaryMath:
+    def test_latency_and_slowdown_percentiles(self):
+        # Latencies 10, 20, 30 against a solo baseline of 10s.
+        records = [
+            record(0, finish=10.0),
+            record(1, arrival=5.0, finish=25.0),
+            record(2, arrival=10.0, finish=40.0),
+        ]
+        s = _summarize(records, {("jacobi", 1, 1.0): 10.0})
+        assert s.n_jobs == 3 and s.n_completed == 3
+        assert s.latency_p50_s == pytest.approx(20.0)
+        assert s.slowdown_p50 == pytest.approx(2.0)
+        assert s.slowdown_max == pytest.approx(3.0)
+        assert s.slowdown_mean == pytest.approx(2.0)
+        assert s.horizon_s == pytest.approx(40.0)
+        assert s.throughput_jobs_per_s == pytest.approx(3 / 40.0)
+
+    def test_incomplete_jobs_excluded_from_percentiles(self):
+        records = [
+            record(0, finish=10.0),
+            record(1, arrival=5.0, finish=math.inf),  # truncated
+        ]
+        s = _summarize(records, {("jacobi", 1, 1.0): 10.0})
+        assert s.n_jobs == 2 and s.n_completed == 1
+        assert s.latency_p50_s == pytest.approx(10.0)
+        d = s.to_dict()
+        assert all(
+            v is None or isinstance(v, (int, float)) and math.isfinite(v)
+            for v in d.values()
+        )
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="zero jobs"):
+            _summarize([], {})
+
+    def test_queue_depth_step_function(self):
+        # Jobs: [0, 10), [0, 4), [4, 8) — simultaneous handoff at t=4
+        # must process the departure first (depth never exceeds 2).
+        arrivals = np.array([0.0, 0.0, 4.0])
+        finishes = np.array([10.0, 4.0, 8.0])
+        mean, peak = _queue_depth_stats(arrivals, finishes)
+        assert peak == 2
+        # depth: 2 on [0,4), 2 on [4,8), 1 on [8,10) => (8*2 + 2*1)/10
+        assert mean == pytest.approx(1.8)
+
+    def test_queue_depth_ignores_unfinished(self):
+        mean, peak = _queue_depth_stats(
+            np.array([0.0, 1.0]), np.array([math.inf, math.inf])
+        )
+        assert peak == 2
+
+
+class TestTrackerPaths:
+    """The live (event-sink) and post-hoc paths must agree."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        trace = PoissonProcess(mean_interarrival_s=10.0).generate(
+            n_jobs=4, seed=5, n_threads=2
+        )
+        bus = EventBus()
+        metrics = MetricsRegistry()
+        tracker = JobTracker(metrics=metrics)
+        bus.attach(tracker)
+        result = run_workload(
+            workload_from_trace(trace), StaticScheduler(),
+            seed=5, work_scale=0.02, bus=bus,
+        )
+        return tracker, metrics, result
+
+    def test_tracker_followed_every_job(self, run):
+        tracker, _, result = run
+        assert sorted(tracker.records) == [b.group_id for b in result.benchmarks]
+        assert tracker.n_completed == 4
+
+    def test_live_matches_posthoc(self, run):
+        tracker, _, result = run
+        live = tracker.summarize(work_scale=0.02, seed=5)
+        post = summarize_result(result, work_scale=0.02, seed=5)
+        assert live.n_completed == post.n_completed
+        assert live.latency_p50_s == pytest.approx(post.latency_p50_s)
+        assert live.latency_p99_s == pytest.approx(post.latency_p99_s)
+        assert live.slowdown_p50 == pytest.approx(post.slowdown_p50)
+        assert live.queue_depth_peak == post.queue_depth_peak
+        # Only the live path observes first-placement waits.
+        assert live.wait_mean_s is not None and live.wait_mean_s >= 0.0
+        assert post.wait_mean_s is None
+
+    def test_metrics_instruments_updated(self, run):
+        _, metrics, _ = run
+        snap = metrics.snapshot()
+        assert snap["traffic.jobs_completed"] == 4
+        # Three of the four jobs arrive after t=0 (job 0 starts placed).
+        assert snap["traffic.jobs_arrived"] == 3
+        assert snap["traffic.latency_s"]["count"] == 4
+        assert snap["traffic.queue_depth_peak"] >= 1
+
+    def test_events_carry_lifecycle_fields(self):
+        tracker = JobTracker()
+        tracker.accept(
+            ArrivalPlaced(
+                quantum=1, time_s=0.5, group=7, tids=(3,), vcores=(0,),
+                arrival_s=0.3, wait_s=0.2, queue_depth=2,
+            )
+        )
+        tracker.accept(
+            JobCompleted(
+                quantum=4, time_s=2.0, group=7, benchmark="srad", n_threads=1,
+                arrival_s=0.3, latency_s=1.7, queue_depth=1,
+            )
+        )
+        r = tracker.records[7]
+        assert r.app == "srad" and r.completed
+        assert r.wait_s == pytest.approx(0.2)
+        assert r.latency_s == pytest.approx(1.7)
+        assert r.queue_depth_at_arrival == 2
+        assert r.queue_depth_at_completion == 1

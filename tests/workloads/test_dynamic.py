@@ -1,119 +1,119 @@
-"""Tests for open-system (dynamic-arrival) workloads."""
+"""The deprecated ``repro.workloads.dynamic`` shim.
+
+Open-system workloads moved to :mod:`repro.traffic`; the old names must
+keep working — warning on access, behaving bit-identically — so code
+written against the pre-traffic API neither breaks nor silently drifts.
+Build/execution semantics of the replacement live in ``tests/traffic``.
+"""
 
 from __future__ import annotations
 
-import math
+import warnings
 
 import pytest
 
-from repro.experiments.runner import run_workload
-from repro.metrics.fairness import fairness
-from repro.schedulers.static import StaticScheduler
-from repro.core.dike import DikeScheduler
-from repro.workloads.dynamic import (
-    DynamicWorkload,
-    phased_workload,
-    poisson_arrivals,
-)
+
+def _legacy(name):
+    from repro.workloads import dynamic
+
+    with pytest.warns(DeprecationWarning, match=name):
+        return getattr(dynamic, name)
 
 
-class TestDynamicWorkload:
-    def test_validation(self):
-        with pytest.raises(ValueError):
+class TestShimSurface:
+    def test_names_warn_on_access(self):
+        for name in ("DynamicWorkload", "phased_workload", "poisson_arrivals"):
+            _legacy(name)
+
+    def test_package_reexports_stay_lazy(self):
+        # Importing the packages must not warn; touching the name must.
+        import repro
+        import repro.workloads
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.workloads.WorkloadSpec  # noqa: B018 — unrelated name, clean
+        with pytest.warns(DeprecationWarning):
+            repro.workloads.poisson_arrivals
+        with pytest.warns(DeprecationWarning):
+            repro.DynamicWorkload
+
+    def test_unknown_attribute_raises(self):
+        from repro.workloads import dynamic
+
+        with pytest.raises(AttributeError):
+            dynamic.no_such_name
+
+
+class TestLegacyBehaviour:
+    def test_validation_messages_preserved(self):
+        DynamicWorkload = _legacy("DynamicWorkload")
+        with pytest.raises(ValueError, match="needs entries"):
             DynamicWorkload(name="x", entries=())
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="unknown application"):
             DynamicWorkload(name="x", entries=(("nonexistent", 0.0),))
         with pytest.raises(ValueError):
             DynamicWorkload(name="x", entries=(("jacobi", -1.0),))
+        with pytest.raises(ValueError, match="threads_per_app"):
+            DynamicWorkload(
+                name="x", entries=(("jacobi", 0.0),), threads_per_app=0
+            )
 
-    def test_build_sets_arrivals(self):
+    def test_instances_are_traffic_workloads(self):
+        from repro.traffic import TrafficWorkload
+
+        DynamicWorkload = _legacy("DynamicWorkload")
         wl = DynamicWorkload(
             name="d", entries=(("jacobi", 0.0), ("srad", 10.0)), threads_per_app=2
         )
-        groups = wl.build(seed=0, work_scale=0.5)
-        assert groups[0].arrival_s == 0.0
-        assert groups[1].arrival_s == pytest.approx(5.0)  # scaled
+        assert isinstance(wl, TrafficWorkload)
+        assert wl.threads_per_app == 2
+        assert wl.entries == (("jacobi", 0.0), ("srad", 10.0))
 
-    def test_build_dense_tids(self):
-        wl = phased_workload(threads_per_app=2)
-        groups = wl.build(seed=0, work_scale=0.1)
-        tids = sorted(t.tid for g in groups for t in g.threads)
-        assert tids == list(range(len(tids)))
+    def test_build_matches_traffic_workload(self):
+        from repro.traffic import Job, TrafficWorkload
 
-    def test_poisson_deterministic(self):
+        DynamicWorkload = _legacy("DynamicWorkload")
+        legacy = DynamicWorkload(
+            name="d", entries=(("jacobi", 0.0), ("srad", 10.0)), threads_per_app=2
+        )
+        modern = TrafficWorkload(
+            name="d",
+            jobs=(Job(0, "jacobi", 0.0, n_threads=2), Job(1, "srad", 10.0, n_threads=2)),
+        )
+        a = legacy.build(seed=0, work_scale=0.5)
+        b = modern.build(seed=0, work_scale=0.5)
+        assert [g.arrival_s for g in a] == [g.arrival_s for g in b]
+        assert [t.tid for g in a for t in g.threads] == [
+            t.tid for g in b for t in g.threads
+        ]
+        assert a[1].arrival_s == pytest.approx(5.0)  # scaled
+
+    @pytest.mark.parametrize("seed", [0, 4, 42])
+    def test_poisson_arrivals_bit_identical_to_generator(self, seed):
+        """The shim must reproduce the historical sample exactly: same RNG
+        label path ``("dynamic", "poisson")``, same app-then-gap draw order."""
+        from repro.traffic import PoissonProcess
+
+        poisson_arrivals = _legacy("poisson_arrivals")
+        wl = poisson_arrivals(n_instances=6, seed=seed)
+        trace = PoissonProcess().generate(
+            n_jobs=6, seed=seed, rng_labels=("dynamic", "poisson")
+        )
+        assert wl.entries == tuple((j.app, j.arrival_s) for j in trace.jobs)
+        assert wl.name == f"poisson-6-s{seed}"
+
+    def test_poisson_deterministic_and_monotone(self):
+        poisson_arrivals = _legacy("poisson_arrivals")
         a = poisson_arrivals(seed=4)
         b = poisson_arrivals(seed=4)
         assert a.entries == b.entries
-
-    def test_poisson_arrivals_monotone(self):
-        wl = poisson_arrivals(n_instances=6, seed=1)
-        times = [t for _, t in wl.entries]
+        times = [t for _, t in a.entries]
         assert times == sorted(times)
         assert times[0] == 0.0
 
+    def test_phased_workload_is_the_traffic_one(self):
+        from repro.traffic import phased_workload as modern
 
-class TestDynamicExecution:
-    @pytest.fixture(scope="class")
-    def result(self):
-        wl = DynamicWorkload(
-            name="d",
-            entries=(("jacobi", 0.0), ("srad", 0.0), ("streamcluster", 8.0)),
-            threads_per_app=2,
-        )
-        return run_workload(wl, StaticScheduler(), work_scale=0.05)
-
-    def test_late_group_starts_after_arrival(self, result):
-        late = result.benchmark_named("streamcluster")
-        assert late.arrival_s > 0
-        assert min(late.thread_finish_times) > late.arrival_s
-
-    def test_runtimes_relative_to_arrival(self, result):
-        late = result.benchmark_named("streamcluster")
-        assert late.runtime == pytest.approx(
-            late.finish_time - late.arrival_s
-        )
-        assert all(r > 0 for r in late.thread_runtimes)
-
-    def test_all_finish(self, result):
-        assert all(
-            math.isfinite(t)
-            for b in result.benchmarks
-            for t in b.thread_finish_times
-        )
-
-    def test_fairness_computable(self, result):
-        assert math.isfinite(fairness(result))
-
-    def test_dike_handles_arrivals(self):
-        wl = DynamicWorkload(
-            name="d",
-            entries=(("jacobi", 0.0), ("srad", 0.0), ("stream_omp", 5.0)),
-            threads_per_app=2,
-        )
-        result = run_workload(wl, DikeScheduler(), work_scale=0.05)
-        assert all(
-            math.isfinite(t)
-            for b in result.benchmarks
-            for t in b.thread_finish_times
-        )
-
-    def test_arrival_placement_prefers_idle_cores(self):
-        """A group arriving into a half-empty machine must not stack onto
-        occupied virtual cores."""
-        wl = DynamicWorkload(
-            name="d",
-            entries=(("jacobi", 0.0), ("srad", 3.0)),
-            threads_per_app=4,
-        )
-        result = run_workload(
-            wl, StaticScheduler(), work_scale=0.05, record_timeseries=True
-        )
-        # inspect the assignment snapshot right after srad's arrival
-        trace = result.trace
-        late_tids = {4, 5, 6, 7}
-        for q, assignments in enumerate(trace.assignments):
-            present = late_tids & set(assignments)
-            if present:
-                vcores = [assignments[t] for t in assignments]
-                assert len(vcores) == len(set(vcores))  # no stacking
-                break
+        phased_workload = _legacy("phased_workload")
+        assert phased_workload().jobs == modern().jobs
