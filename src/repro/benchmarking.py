@@ -63,6 +63,7 @@ class BenchCase:
     policy: str
     work_scale: float = 0.3
     seed: int = 1
+    llc: str | None = None
 
     def scheduler_factory(self) -> Callable:
         from repro.policies import REGISTRY
@@ -93,18 +94,25 @@ def _wl_poisson():
 OPEN_LOOP_WORKLOADS: dict[str, Callable] = {"wl-poisson": _wl_poisson}
 
 
+#: The shared-LLC occupancy model adds per-quantum work to the engine's
+#: hot loop, so it gets its own perf-gated case on the UM-heavy mix
+#: (cache pressure is where the model actually iterates).
+_LLC_CASE = BenchCase(name="wl7/dike+llc", workload="wl7", policy="dike", llc="occupancy")
+
 #: Full tracked suite: the 40-thread Table II workload (wl1), a UM-heavy
 #: mix (wl7) and a UC-heavy mix (wl12), each under the three policy cost
-#: classes plus CFS, plus the open-loop Poisson scenario under CFS/Dike.
+#: classes plus CFS, plus the open-loop Poisson scenario under CFS/Dike,
+#: plus the occupancy-LLC engine path.
 FULL_SUITE: tuple[BenchCase, ...] = _suite(
     ("wl1", "wl7", "wl12"), ("static", "cfs", "dike", "dio")
-) + _suite(("wl-poisson",), ("cfs", "dike"))
+) + _suite(("wl-poisson",), ("cfs", "dike")) + (_LLC_CASE,)
 
 #: CI smoke subset: the 40-thread workload (the acceptance target) plus
-#: one open-loop case so the arrival path is perf-gated too.
+#: one open-loop case so the arrival path is perf-gated too, plus the
+#: occupancy-LLC case so the cache model's cost stays gated.
 QUICK_SUITE: tuple[BenchCase, ...] = _suite(
     ("wl1",), ("static", "cfs", "dike", "dio")
-) + _suite(("wl-poisson",), ("cfs",))
+) + _suite(("wl-poisson",), ("cfs",)) + (_LLC_CASE,)
 
 
 def run_case(case: BenchCase, repeats: int = 3) -> dict:
@@ -128,6 +136,7 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict:
             seed=case.seed,
             work_scale=case.work_scale,
             record_timeseries=False,
+            llc=case.llc,
         )
         return time.perf_counter() - t0, result.n_quanta
 

@@ -56,6 +56,8 @@ class CampaignSpec:
     #: registry spec's ``invariants`` tuple); violation counts surface in
     #: campaign telemetry and ``RunResult.info["invariants"]``
     invariants: bool = False
+    #: shared-LLC backend name (`repro.sim.llc`); ``None`` = NullLLC
+    llc: str | None = None
 
     def __post_init__(self) -> None:
         require(len(self.workloads) >= 1, "a campaign needs >= 1 workload")
@@ -146,7 +148,7 @@ def _policy_grid_points(
 
 def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
     """Expand a campaign spec into its deduplicated task list."""
-    sim = SimParams(work_scale=spec.work_scale)
+    sim = SimParams(work_scale=spec.work_scale, llc=spec.llc)
     inv = spec.invariants
     requested: list[TaskSpec] = []
     grids = {

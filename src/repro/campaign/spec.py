@@ -181,6 +181,10 @@ class SimParams:
     ``migration`` is the optional ``(swap_overhead_s, warmup_work,
     warmup_miss_scale)`` triple of a non-default `MigrationModel` (the
     ablation benches sweep it); ``None`` means the engine default.
+
+    ``llc`` names the shared-LLC backend (`repro.sim.llc`, e.g.
+    ``"occupancy"``); ``None`` is the default ``NullLLC`` and is omitted
+    from the canonical dict, so pre-LLC cache keys stay addressable.
     """
 
     work_scale: float = 1.0
@@ -189,15 +193,23 @@ class SimParams:
     max_time_s: float = 36_000.0
     record_timeseries: bool = False
     migration: tuple[float, float, float] | None = None
+    llc: str | None = None
 
     def __post_init__(self) -> None:
         require(
             self.topology in TOPOLOGIES,
             f"unknown topology {self.topology!r}; known: {sorted(TOPOLOGIES)}",
         )
+        if self.llc is not None:
+            from repro.sim.llc import LLC_MODELS
+
+            require(
+                self.llc in LLC_MODELS,
+                f"unknown llc model {self.llc!r}; known: {sorted(LLC_MODELS)}",
+            )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "work_scale": self.work_scale,
             "topology": self.topology,
             "counter_noise": self.counter_noise,
@@ -205,6 +217,10 @@ class SimParams:
             "record_timeseries": self.record_timeseries,
             "migration": list(self.migration) if self.migration else None,
         }
+        # Only present when set, preserving historical cache keys.
+        if self.llc is not None:
+            out["llc"] = self.llc
+        return out
 
 
 @dataclass(frozen=True)
@@ -378,6 +394,7 @@ def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
         counter_noise=sim.counter_noise,
         max_time_s=sim.max_time_s,
         bus=attachment.bus if attachment is not None else None,
+        llc=sim.llc,
     )
     if attachment is not None:
         attachment.close()

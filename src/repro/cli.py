@@ -158,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="validate the registry (factories build, contracts resolve, "
              "schemas round-trip); exit 1 on drift",
     )
+    p_pol.add_argument(
+        "--tag", default=None,
+        help="only show policies carrying this tag "
+             "(e.g. standard, baseline, ablation, cache-aware)",
+    )
 
     p_run = sub.add_parser(
         "run", help="regenerate one experiment", parents=[common, backend]
@@ -224,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--strict", action="store_true",
         help="abort on the first invariant violation",
+    )
+    p_trace.add_argument(
+        "--llc", default=None, choices=("null", "occupancy"),
+        help="shared-LLC model (default: null — no cache modelling)",
     )
 
     p_td = sub.add_parser(
@@ -329,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="one progress line per task instead of ~1/second",
     )
+    p_tr.add_argument(
+        "--llc", default=None, choices=("null", "occupancy"),
+        help="shared-LLC model (default: null — no cache modelling)",
+    )
 
     p_camp = sub.add_parser(
         "campaign",
@@ -381,6 +394,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--verbose", action="store_true",
         help="one progress line per task instead of ~1/second",
+    )
+    p_camp.add_argument(
+        "--llc", default=None, choices=("null", "occupancy"),
+        help="shared-LLC model (default: null — no cache modelling)",
     )
     return parser
 
@@ -469,17 +486,28 @@ def _cmd_policies(args: argparse.Namespace) -> int:
 
     if args.check:
         return _check_registry()
+    specs = list(REGISTRY)
+    if args.tag is not None:
+        specs = [s for s in specs if args.tag in s.tags]
+        if not specs:
+            known = sorted({t for s in REGISTRY for t in s.tags})
+            print(
+                f"error: no policy carries tag {args.tag!r}; "
+                f"known tags: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
     if args.names:
-        for name in REGISTRY.names():
-            print(name)
+        for s in specs:
+            print(s.name)
         return 0
     if args.json:
         print(json.dumps(
-            [s.describe() for s in REGISTRY], indent=2, sort_keys=True
+            [s.describe() for s in specs], indent=2, sort_keys=True
         ))
         return 0
     rows = []
-    for s in REGISTRY:
+    for s in specs:
         params = ", ".join(
             f"{p.name}={p.default}" for p in s.params
         ) or "-"
@@ -490,11 +518,14 @@ def _cmd_policies(args: argparse.Namespace) -> int:
             ",".join(s.invariants) or "-",
             s.doc,
         ])
+    title = f"{len(specs)} registered policies"
+    if args.tag is not None:
+        title += f" tagged {args.tag!r}"
     print(format_table(
         ["policy", "tags", "parameters (defaults)", "invariant contract",
          "description"],
         rows,
-        title=f"{len(REGISTRY)} registered policies",
+        title=title,
     ))
     return 0
 
@@ -669,7 +700,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = run_workload(
         spec, scheduler, seed=args.seed, work_scale=args.scale,
-        record_timeseries=False, bus=att,
+        record_timeseries=False, bus=att, llc=args.llc,
     )
     att.close()
     att.finalize(result)
@@ -868,6 +899,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             sweep=args.sweep,
             param_grid=_parse_param_grid(args.param),
             invariants=args.invariants,
+            llc=args.llc,
         )
         campaign = _make_campaign(args)
         the_plan = plan(spec)
@@ -967,6 +999,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             seeds=tuple(args.seed + i for i in range(args.seeds)),
             work_scale=args.scale,
             invariants=args.invariants,
+            llc=args.llc,
         )
         campaign = _make_campaign(args)
         the_plan = plan_traffic(spec)
@@ -1073,7 +1106,10 @@ def _cell(
 
     task = TaskSpec.for_workload(
         workload(wl_name), policy, seed,
-        sim=SimParams(work_scale=spec.work_scale),
+        sim=SimParams(
+            work_scale=spec.work_scale,
+            llc=getattr(spec, "llc", None),
+        ),
         invariants=invariants,
     )
     return by_key.get(cache_key(task))

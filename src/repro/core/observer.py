@@ -89,6 +89,10 @@ class ObserverReport:
         Set of vcores currently identified as high-bandwidth.
     fairness:
         Dike's ``getSystemFairness()`` value (lower = fairer).
+    cache_occupancy:
+        tid -> allocated LLC share (MB) when the run uses an active
+        cache backend (`repro.sim.llc`); ``None`` under the default
+        ``NullLLC``.  Cache-aware policies (lfoc/bliss) read this.
     """
 
     access_rate: dict[int, float]
@@ -99,6 +103,7 @@ class ObserverReport:
     fairness: float
     group_of: dict[int, int] | None = None
     demand_estimate: dict[int, float] | None = None
+    cache_occupancy: dict[int, float] | None = None
 
     def is_fair(self, threshold: float) -> bool:
         """True when no scheduling action is needed this quantum."""
@@ -163,10 +168,15 @@ class Observer:
         threshold = self.config.classification_miss_threshold
 
         use_ipc = self.config.contention_metric == "ipc"
+        cache_occupancy: dict[int, float] | None = None
         for s in counters.samples:
             access_rate[s.tid] = s.ips if use_ipc else s.access_rate
             miss_rate[s.tid] = s.miss_rate
             classification[s.tid] = classify(s.miss_rate, threshold)
+            if s.cache_mb > 0.0:
+                if cache_occupancy is None:
+                    cache_occupancy = {}
+                cache_occupancy[s.tid] = s.cache_mb
             if s.instructions > 0.0:  # barrier-idle threads don't define fairness
                 active.append((s.tid, access_rate[s.tid]))
                 prev = self._demand.get(s.tid, 0.0)
@@ -224,6 +234,7 @@ class Observer:
             fairness=fairness,
             group_of=self.groups,
             demand_estimate=dict(self._demand),
+            cache_occupancy=cache_occupancy,
         )
 
     def core_bw_value(self, vcore: int) -> float:

@@ -68,6 +68,7 @@ def run_workload(
     counter_noise: float = 0.06,
     max_time_s: float = 36_000.0,
     bus: EventBus | None = None,
+    llc: str | None = None,
 ) -> RunResult:
     """Simulate one workload under one scheduler and return the result.
 
@@ -75,6 +76,10 @@ def run_workload(
     :class:`~repro.obs.attach.Attachment` handle returned by
     ``repro.obs.attach(...)``, which is unwrapped to its bus, so callers
     never touch sink plumbing here.
+
+    ``llc`` selects the shared-LLC backend (`repro.sim.llc`) by name;
+    ``None`` keeps the default ``NullLLC`` (no cache modelling, traces
+    byte-identical to pre-LLC builds).
     """
     bus = getattr(bus, "bus", bus)  # accept an Attachment handle
     topo = topology or xeon_e5_heterogeneous()
@@ -90,6 +95,7 @@ def run_workload(
         max_time_s=max_time_s,
         record_timeseries=record_timeseries,
         workload_name=spec.name,
+        llc=llc,
         bus=bus,
     )
     return engine.run()

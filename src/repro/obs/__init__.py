@@ -27,6 +27,8 @@ from repro.obs.diff import DivergenceReport, SchemaMismatch, analyze_traces
 from repro.obs.events import (
     SCHEMA_VERSION,
     ArrivalPlaced,
+    CacheClusterFormed,
+    CacheShareUpdated,
     ClassificationChanged,
     Event,
     EventBus,
@@ -84,6 +86,8 @@ __all__ = [
     "SwapExecuted",
     "OptimizerStep",
     "ArrivalPlaced",
+    "CacheShareUpdated",
+    "CacheClusterFormed",
     "event_from_dict",
     "validate_event_dict",
     "JsonlSink",

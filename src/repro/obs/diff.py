@@ -22,9 +22,12 @@ Events are compared on their full serialised payload, so a divergence in
 an intermediate decision (a proposed pair, a profit term, a veto) is
 caught even when the executed actions happen to match for a while.
 
-Both entry points refuse to compare traces that speak different event
-schema versions (:class:`SchemaMismatch`) — aligning ``v=1`` events
-against ``v=2`` events would report field noise, not divergence.
+Both entry points refuse to compare traces whose shared event kinds
+speak different schema versions (:class:`SchemaMismatch`) — aligning a
+kind's ``v=2`` events against its ``v=3`` events would report field
+noise, not divergence.  Versions are per *kind* (see `repro.obs.events`),
+so one trace mixing a v2 ``pair_proposed`` with a v3
+``cache_share_updated`` is the normal, valid shape.
 """
 
 from __future__ import annotations
@@ -86,28 +89,52 @@ def load_events(
 # ---------------------------------------------------------------- schema guard
 
 
-def _trace_version(events: Iterable[dict[str, Any]], label: str) -> int:
-    """The single schema version a trace speaks (or :class:`SchemaMismatch`)."""
-    versions = {record.get("v") for record in events}
-    if len(versions) > 1:
-        raise SchemaMismatch(
-            f"trace {label} mixes event schema versions {sorted(map(str, versions))}"
-        )
-    return versions.pop() if versions else SCHEMA_VERSION
+def _kind_versions(
+    events: Iterable[dict[str, Any]], label: str
+) -> dict[Any, Any]:
+    """Per-kind ``v`` map of one trace (or :class:`SchemaMismatch`).
+
+    Versioning is per event kind (see `repro.obs.events`), so a single
+    trace legitimately mixes versions *across* kinds — a v2
+    ``pair_proposed`` next to a v3 ``cache_share_updated``.  One kind
+    appearing at two different versions within a trace is still a
+    corruption worth refusing.
+    """
+    versions: dict[Any, Any] = {}
+    for record in events:
+        kind = record.get("kind")
+        v = record.get("v")
+        if kind in versions and versions[kind] != v:
+            raise SchemaMismatch(
+                f"trace {label} mixes event schema versions for {kind!r} "
+                f"({versions[kind]!r} and {v!r})"
+            )
+        versions[kind] = v
+    return versions
 
 
 def _check_same_schema(
     events_a: list[dict[str, Any]], events_b: list[dict[str, Any]]
 ) -> int:
-    va = _trace_version(events_a, "a")
-    vb = _trace_version(events_b, "b")
-    if va != vb:
-        raise SchemaMismatch(
-            f"traces speak different event schema versions ({va!r} vs {vb!r}); "
-            "comparing them would report schema noise, not divergence — "
-            "re-capture both traces with the same library version"
-        )
-    return int(va) if isinstance(va, int) else SCHEMA_VERSION
+    """Refuse to compare traces whose shared kinds disagree on ``v``.
+
+    Returns the highest integer version either trace speaks (the value
+    stamped into ``DivergenceReport.trace_schema_version``), defaulting
+    to the library's :data:`~repro.obs.events.SCHEMA_VERSION` for empty
+    traces.
+    """
+    va = _kind_versions(events_a, "a")
+    vb = _kind_versions(events_b, "b")
+    for kind in va.keys() & vb.keys():
+        if va[kind] != vb[kind]:
+            raise SchemaMismatch(
+                f"traces speak different event schema versions for "
+                f"{kind!r} ({va[kind]!r} vs {vb[kind]!r}); comparing them "
+                "would report schema noise, not divergence — re-capture "
+                "both traces with the same library version"
+            )
+    ints = [v for v in (*va.values(), *vb.values()) if isinstance(v, int)]
+    return max(ints) if ints else SCHEMA_VERSION
 
 
 # --------------------------------------------------------- first-divergence

@@ -14,9 +14,14 @@ attached ``bus.enabled`` is False and well-behaved emitters skip event
 construction entirely, so the instrumented hot paths cost one attribute
 read per site when observability is off.
 
-Schema evolution: ``SCHEMA_VERSION`` is stamped into every serialised
-event; :func:`validate_event_dict` checks version, kind and field names
-so CI can validate an emitted trace against the published schema.
+Schema evolution is **per event kind**: every class carries a
+``schema_version`` (the version at which its field set was last
+changed), stamped into its serialised form as ``"v"``, and
+:func:`validate_event_dict` checks the stamped version against the
+class's own — so adding new event kinds at a higher version never
+perturbs the serialised form of existing kinds, and historical traces
+keep validating byte-for-byte.  ``SCHEMA_VERSION`` is the library's
+*current* (maximum) version.
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ __all__ = [
     "OptimizerStep",
     "ArrivalPlaced",
     "JobCompleted",
+    "CacheShareUpdated",
+    "CacheClusterFormed",
     "EVENT_TYPES",
     "EventBus",
     "NULL_BUS",
@@ -46,10 +53,14 @@ __all__ = [
     "validate_event_dict",
 ]
 
-#: Version stamped into every serialised event (bump on field changes).
+#: The library's *current* schema version — the maximum over all event
+#: kinds.  Versioning is per kind (see ``Event.schema_version``):
 #: v2: ``arrival_placed`` gained ``arrival_s``/``wait_s``/``queue_depth``
 #: and ``job_completed`` was added (open-loop job lifecycle tracking).
-SCHEMA_VERSION = 2
+#: v3: ``cache_share_updated`` / ``cache_cluster_formed`` added (shared-LLC
+#: occupancy model + cache-aware policies); v2 kinds are unchanged and
+#: still serialise with ``"v": 2``.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -60,16 +71,21 @@ class Event:
     decision events carry the index of the quantum whose counters drove
     the decision.  ``time_s`` is *simulation* time (never wall clock, so
     traces are deterministic).
+
+    ``schema_version`` is the version at which this kind's field set was
+    last changed — *not* the library-wide maximum — so new kinds never
+    change the bytes of existing ones.
     """
 
     kind: ClassVar[str] = "event"
+    schema_version: ClassVar[int] = 2
 
     quantum: int
     time_s: float
 
     def to_dict(self) -> dict[str, Any]:
         """Serialise to a JSON-able dict (dict keys coerced to str)."""
-        out: dict[str, Any] = {"v": SCHEMA_VERSION, "kind": self.kind}
+        out: dict[str, Any] = {"v": type(self).schema_version, "kind": self.kind}
         for key, value in asdict(self).items():
             if isinstance(value, dict):
                 value = {str(k): v for k, v in value.items()}
@@ -257,6 +273,41 @@ class OptimizerStep(Event):
     new_quanta_s: float
 
 
+@dataclass(frozen=True)
+class CacheShareUpdated(Event):
+    """The LLC occupancy model re-resolved per-thread cache shares.
+
+    ``shares`` maps tid -> allocated LLC share (MB) after this quantum's
+    linear-feedback step; ``working_sets`` maps tid -> the working-set
+    size (MB) the share is measured against.  Emitted once per quantum,
+    only when an *active* LLC backend runs (never under ``NullLLC``, so
+    pre-LLC traces are untouched).
+    """
+
+    kind: ClassVar[str] = "cache_share_updated"
+    schema_version: ClassVar[int] = 3
+
+    shares: dict[int, float]
+    working_sets: dict[int, float]
+
+
+@dataclass(frozen=True)
+class CacheClusterFormed(Event):
+    """A cache-aware policy grouped threads for this quantum's decision.
+
+    ``cluster`` is the group's index within the quantum, ``label`` the
+    policy's name for it (e.g. ``"cluster-0"`` for LFOC's fairness
+    clusters, ``"blacklisted"`` for BLISS), ``tids`` the members.
+    """
+
+    kind: ClassVar[str] = "cache_cluster_formed"
+    schema_version: ClassVar[int] = 3
+
+    cluster: int
+    label: str
+    tids: tuple[int, ...]
+
+
 #: kind string -> event class, for deserialisation and validation.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -273,12 +324,14 @@ EVENT_TYPES: dict[str, type[Event]] = {
         PairVetoed,
         SwapExecuted,
         OptimizerStep,
+        CacheShareUpdated,
+        CacheClusterFormed,
     )
 }
 
 #: dict-valued event fields keyed by int in memory (JSON coerces to str).
 _INT_KEYED = {"assignments", "access_rates", "access_rate", "miss_rate",
-              "classification", "core_bw"}
+              "classification", "core_bw", "shares", "working_sets"}
 
 
 def validate_event_dict(record: dict[str, Any]) -> type[Event]:
@@ -293,10 +346,10 @@ def validate_event_dict(record: dict[str, Any]) -> type[Event]:
     if cls is None:
         raise ValueError(f"unknown event kind {kind!r}")
     version = record.get("v")
-    if version != SCHEMA_VERSION:
+    if version != cls.schema_version:
         raise ValueError(
-            f"schema version mismatch: trace has {version!r}, "
-            f"library speaks {SCHEMA_VERSION}"
+            f"schema version mismatch: trace has {kind} at {version!r}, "
+            f"library speaks {cls.schema_version} (current {SCHEMA_VERSION})"
         )
     expected = {f.name for f in fields(cls)}
     got = set(record) - {"v", "kind"}

@@ -9,7 +9,11 @@ Registers every scheduler the repo ships into :data:`REGISTRY`:
   ``suspension``;
 * the fig6-style **ablations** built by swapping Dike pipeline stages —
   ``dike-no-predictor`` (persistence instead of the closed-loop model)
-  and ``dike-no-decider`` (every selected pair accepted).
+  and ``dike-no-decider`` (every selected pair accepted);
+* the **cache-aware** policies (tagged ``cache-aware``) — ``lfoc``
+  (fairness-oriented cache clustering) and ``bliss`` (interference
+  blacklisting), both stage substitutions from `repro.core.cache_aware`
+  that pair with the shared-LLC occupancy model in `repro.sim.llc`.
 
 Adding a policy is one :func:`~repro.policies.registry.PolicyRegistry.register`
 call: the name immediately works for ``--policy`` on every CLI verb, in
@@ -20,6 +24,7 @@ contract enforced by ``InvariantSink.for_policy``.
 
 from __future__ import annotations
 
+from repro.core.cache_aware import BLISSScheduler, LFOCScheduler
 from repro.core.config import AdaptationGoal, DikeConfig
 from repro.core.dike import NO_DECIDER_STAGES, NO_PREDICTOR_STAGES, DikeScheduler
 from repro.obs.invariants import RULES
@@ -280,4 +285,63 @@ REGISTRY.register(PolicySpec(
     # Without a Decider there is no cooldown contract to enforce.
     invariants=tuple(r for r in RULES if r != "cooldown"),
     tags=("ablation", "open-loop"),
+))
+
+# ------------------------------------------------------ cache-aware policies
+
+_LFOC_PARAMS: tuple[ParamSpec, ...] = _DIKE_PARAMS + (
+    ParamSpec(
+        "n_clusters", int, 3,
+        "cache clusters formed per quantum (selection runs within each)",
+        minimum=1,
+    ),
+)
+
+_BLISS_PARAMS: tuple[ParamSpec, ...] = _DIKE_PARAMS + (
+    _positive_float(
+        "interference_threshold", 1.5,
+        "blacklist threads above this multiple of the mean access rate",
+    ),
+    ParamSpec(
+        "blacklist_quanta", int, 4,
+        "quanta a blacklisted thread stays out of pair selection",
+        minimum=1,
+    ),
+)
+
+
+def _lfoc_factory(**params) -> LFOCScheduler:
+    n_clusters = params.pop("n_clusters", 3)
+    cfg = DikeConfig(goal=AdaptationGoal.NONE, **params)
+    return LFOCScheduler(cfg, n_clusters=n_clusters)
+
+
+def _bliss_factory(**params) -> BLISSScheduler:
+    threshold = params.pop("interference_threshold", 1.5)
+    quanta = params.pop("blacklist_quanta", 4)
+    cfg = DikeConfig(goal=AdaptationGoal.NONE, **params)
+    return BLISSScheduler(
+        cfg, interference_threshold=threshold, blacklist_quanta=quanta
+    )
+
+
+REGISTRY.register(PolicySpec(
+    name="lfoc",
+    doc="Dike with fairness-oriented cache clustering: group live "
+        "threads by cache appetite, select violator pairs within "
+        "each cluster",
+    factory=_lfoc_factory,
+    params=_LFOC_PARAMS,
+    invariants=RULES,
+    tags=("cache-aware", "open-loop"),
+))
+
+REGISTRY.register(PolicySpec(
+    name="bliss",
+    doc="Dike with BLISS-style interference blacklisting: threads far "
+        "above the mean access rate sit out pair selection for N quanta",
+    factory=_bliss_factory,
+    params=_BLISS_PARAMS,
+    invariants=RULES,
+    tags=("cache-aware", "open-loop"),
 ))

@@ -9,6 +9,14 @@ to schedulers.
 
 from repro.sim.counters import QuantumCounters, ThreadSample
 from repro.sim.engine import SimulationEngine
+from repro.sim.llc import (
+    LLC_MODELS,
+    LLCConfig,
+    LLCModel,
+    NullLLC,
+    OccupancyLLC,
+    make_llc,
+)
 from repro.sim.memory import (
     MemoryModelConfig,
     MemorySystem,
@@ -41,6 +49,12 @@ __all__ = [
     "QuantumCounters",
     "ThreadSample",
     "SimulationEngine",
+    "LLC_MODELS",
+    "LLCConfig",
+    "LLCModel",
+    "NullLLC",
+    "OccupancyLLC",
+    "make_llc",
     "MemoryModelConfig",
     "MemorySystem",
     "allocate_bandwidth",

@@ -27,6 +27,9 @@ class ThreadSample:
     llc_accesses: float
     llc_misses: float
     runtime_s: float
+    #: allocated LLC share (MB) under an active cache backend — the
+    #: analogue of CAT/CMT occupancy monitoring.  0.0 under ``NullLLC``.
+    cache_mb: float = 0.0
 
     @property
     def access_rate(self) -> float:
@@ -100,3 +103,7 @@ class QuantumCounters:
     def miss_rates(self) -> dict[int, float]:
         """Map tid -> LLC miss ratio for all sampled threads."""
         return {s.tid: s.miss_rate for s in self.samples}
+
+    def cache_occupancy(self) -> dict[int, float]:
+        """Map tid -> allocated LLC share (MB); all zero under NullLLC."""
+        return {s.tid: s.cache_mb for s in self.samples}

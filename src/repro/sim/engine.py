@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.obs.events import (
     ArrivalPlaced,
+    CacheShareUpdated,
     EventBus,
     JobCompleted,
     NULL_BUS,
@@ -53,6 +54,7 @@ from repro.schedulers.base import (
     ThreadInfo,
 )
 from repro.sim.counters import QuantumCounters, ThreadSample
+from repro.sim.llc import LLCModel, make_llc
 from repro.sim.memory import MemoryModelConfig, MemorySystem
 from repro.sim.migration import MigrationModel
 from repro.sim.process import ProcessGroup
@@ -98,6 +100,13 @@ class SimulationEngine:
     record_timeseries:
         Keep full per-quantum traces (needed by Figures 1/8, disabled for
         big sweeps).
+    llc:
+        Memory-hierarchy backend (`repro.sim.llc`): ``None`` or
+        ``"null"`` for the pass-through default (phase miss ratios used
+        verbatim — byte-identical to the pre-LLC engine), ``"occupancy"``
+        (or an :class:`~repro.sim.llc.LLCModel` instance) to resolve
+        effective miss ratios through a shared-LLC occupancy model
+        before the bandwidth allocator runs.
     bus:
         Observability event bus (`repro.obs`).  The default is the shared
         no-op bus: with no sinks attached the engine never constructs
@@ -117,6 +126,7 @@ class SimulationEngine:
         max_time_s: float = 36_000.0,
         record_timeseries: bool = True,
         workload_name: str = "workload",
+        llc: LLCModel | str | None = None,
         bus: EventBus | None = None,
     ) -> None:
         require(len(groups) >= 1, "at least one process group is required")
@@ -152,6 +162,11 @@ class SimulationEngine:
         #: the persistent structure-of-arrays state — the single source of
         #: truth for all mutable per-thread quantities during the run
         self.state = SimState(self.threads, topology)
+        self.llc = make_llc(llc)
+        #: cached flag so the NullLLC hot path costs one bool check
+        self._llc_active = self.llc.active
+        if self._llc_active:
+            self.llc.bind(self.state, topology)
         self.time_s = 0.0
         self.quantum_index = 0
         self.migration_count = 0
@@ -393,8 +408,28 @@ class SimulationEngine:
                 frac = np.clip(warmup_left / np.maximum(expected, 1.0), 0.0, 1.0)
                 scale = 1.0 + (self.migration.warmup_miss_scale - 1.0) * frac
                 miss_ratio = np.minimum(miss_ratio * scale, 1.0)
-            mpi = api * miss_ratio
             socket_of = self.topology.vcore_socket[vcore_of]
+            if self._llc_active:
+                # The LLC resolves per-thread cache shares first; the
+                # bandwidth allocator then consumes the *effective* miss
+                # ratios occupancy implies.
+                miss_ratio = self.llc.resolve(st, idx, miss_ratio, socket_of)
+                if self.bus.enabled:
+                    self.bus.emit(
+                        CacheShareUpdated(
+                            quantum=self.quantum_index,
+                            time_s=self.time_s,
+                            shares=dict(
+                                zip(idx.tolist(),
+                                    st.cache_share[idx].tolist())
+                            ),
+                            working_sets=dict(
+                                zip(idx.tolist(),
+                                    st.working_set[idx].tolist())
+                            ),
+                        )
+                    )
+            mpi = api * miss_ratio
             access_rate, ips = self.memory.solve(cycle_rate, cpi, mpi, socket_of)
 
             penalties = st.pending_penalty[idx]
@@ -437,6 +472,7 @@ class SimulationEngine:
                 noise = np.ones(idx.size)
             llc_accesses = api * work
             llc_misses = access_rate * eff_time * noise
+            cache_mb = st.cache_share[idx]
             for i, tid in enumerate(idx.tolist()):
                 samples.append(
                     ThreadSample(
@@ -446,6 +482,7 @@ class SimulationEngine:
                         llc_accesses=float(llc_accesses[i]),
                         llc_misses=float(llc_misses[i]),
                         runtime_s=float(eff_time[i]) if eff_time[i] > 0 else qlen,
+                        cache_mb=float(cache_mb[i]),
                     )
                 )
 
@@ -626,6 +663,8 @@ class SimulationEngine:
         info["smt_efficiency"] = self.smt_efficiency
         info["peak_in_system"] = self._peak_in_system
         info["peak_window"] = self.state.peak_window
+        if self._llc_active:
+            info["llc"] = self.llc.describe()
         if self.metrics is not None:
             self.metrics.counter("engine.quanta").inc(self.quantum_index)
             self.metrics.counter("engine.swaps").inc(self.swap_count)

@@ -1,0 +1,279 @@
+"""Pluggable shared-LLC occupancy model (the memory-hierarchy backend).
+
+The paper's machine shares a 25 MB last-level cache per socket, and the
+Observer's strict "miss rate > 10 % ⇒ M" classification (§III-A) depends
+on exactly that cache — yet the base simulator treats per-thread miss
+ratios as static phase parameters.  This module puts the LLC behind a
+backend interface so the memory hierarchy is *pluggable*:
+
+* :class:`NullLLC` — the default: miss ratios come straight from the
+  phase traces, the engine's hot path is untouched, and JSONL traces are
+  byte-identical to pre-LLC goldens.
+* :class:`OccupancyLLC` — a per-socket occupancy model: each thread's
+  working-set size is derived from its current phase segment, cache
+  shares evolve per quantum via a linear-feedback law toward the
+  proportional split of socket capacity, and the *effective* miss ratio
+  grows as a thread is squeezed below its working set::
+
+      miss_ratio(share) = base + extra_miss * max(0, 1 - share / ws)
+
+  clamped to ``[0, 1]``.  The result feeds the two-stage bandwidth
+  allocator (`repro.sim.memory`) exactly where phase miss ratios used
+  to, so contention, classification and every policy built on them
+  respond to occupancy with no further plumbing.
+
+The backend owns two :class:`~repro.sim.state.SimState` columns
+(``working_set`` / ``cache_share``, MB) that follow the standard
+place/migrate/finish lifecycle: migration resets a thread's share to
+zero (the footprint must be rebuilt in the destination LLC) and a
+finished thread releases its share.
+
+Adding a backend: subclass :class:`LLCModel`, set ``name`` (and
+``active = True``), implement :meth:`LLCModel.resolve`, and add the
+class to :data:`LLC_MODELS` so ``--llc <name>`` and campaign specs can
+name it (see docs/memory.md for the full recipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_positive, require
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.state import SimState
+    from repro.sim.topology import Topology
+
+__all__ = [
+    "LLCConfig",
+    "LLCModel",
+    "NullLLC",
+    "OccupancyLLC",
+    "LLC_MODELS",
+    "make_llc",
+]
+
+
+@dataclass(frozen=True)
+class LLCConfig:
+    """Physical constants of the occupancy model.
+
+    Parameters
+    ----------
+    capacity_mb:
+        Shared LLC capacity *per socket* (25 MB on the paper's
+        Xeon E5-2650L, Table I).
+    feedback_alpha:
+        Per-quantum linear-feedback gain: ``share += alpha * (target -
+        share)``.  1.0 snaps to the target instantly; smaller values
+        model gradual eviction/refill.
+    extra_miss:
+        Maximum miss-ratio penalty of a fully squeezed thread (share
+        approaching 0 adds this much on top of the phase's base ratio).
+    ws_scale_mb:
+        Working-set megabytes per unit of API (accesses/instruction) —
+        the slope of the working-set heuristic.
+    ws_miss_weight:
+        How strongly a phase's base miss ratio inflates its working set
+        (high-miss phases stream over footprints larger than any cache).
+    ws_min_mb / ws_max_mb:
+        Clamp on derived per-thread working sets.
+    """
+
+    capacity_mb: float = 25.0
+    feedback_alpha: float = 0.4
+    extra_miss: float = 0.35
+    ws_scale_mb: float = 200.0
+    ws_miss_weight: float = 2.0
+    ws_min_mb: float = 0.5
+    ws_max_mb: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.capacity_mb, "capacity_mb")
+        check_in_range(self.feedback_alpha, 0.0, 1.0, "feedback_alpha")
+        require(self.feedback_alpha > 0.0, "feedback_alpha must be > 0")
+        check_in_range(self.extra_miss, 0.0, 1.0, "extra_miss")
+        check_positive(self.ws_scale_mb, "ws_scale_mb")
+        require(self.ws_miss_weight >= 0.0, "ws_miss_weight must be >= 0")
+        check_positive(self.ws_min_mb, "ws_min_mb")
+        require(
+            self.ws_max_mb >= self.ws_min_mb,
+            "ws_max_mb must be >= ws_min_mb",
+        )
+
+
+class LLCModel:
+    """Backend interface: resolve effective miss ratios per quantum.
+
+    The engine calls :meth:`bind` once per run (after ``SimState`` is
+    built) and :meth:`resolve` once per quantum for the runnable thread
+    set, *before* the bandwidth allocator consumes the miss ratios.
+    ``active`` is a class-level fast-path flag: the engine caches it and
+    skips the call entirely for inactive backends, so :class:`NullLLC`
+    costs one attribute read at construction and nothing per quantum.
+    """
+
+    name: ClassVar[str] = "llc"
+    active: ClassVar[bool] = True
+
+    def bind(self, state: "SimState", topology: "Topology") -> None:
+        """Attach to one run's state; called once before the first quantum."""
+
+    def resolve(
+        self,
+        state: "SimState",
+        idx: np.ndarray,
+        miss_ratio: np.ndarray,
+        socket_of: np.ndarray,
+    ) -> np.ndarray:
+        """Effective miss ratios for runnable threads ``idx``.
+
+        ``miss_ratio`` is the phase (possibly warm-up-inflated) ratio;
+        ``socket_of`` maps each entry of ``idx`` to its socket.  Must
+        return an array of the same shape, clamped to ``[0, 1]``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able digest for ``RunResult.info["llc"]``."""
+        return {"model": self.name}
+
+
+class NullLLC(LLCModel):
+    """No cache model: phase miss ratios pass through untouched.
+
+    This is the default backend and the byte-identity contract: with it,
+    the engine's per-quantum arithmetic — and therefore every JSONL
+    trace — is identical to the pre-LLC engine.
+    """
+
+    name: ClassVar[str] = "null"
+    active: ClassVar[bool] = False
+
+    def resolve(
+        self,
+        state: "SimState",
+        idx: np.ndarray,
+        miss_ratio: np.ndarray,
+        socket_of: np.ndarray,
+    ) -> np.ndarray:
+        return miss_ratio
+
+
+class OccupancyLLC(LLCModel):
+    """Per-socket linear-feedback occupancy model (see module doc).
+
+    Per quantum, for the runnable threads of each socket:
+
+    1. derive working sets from the *current phase segment*::
+
+           ws = clip(ws_scale_mb * api * (1 + ws_miss_weight * base_miss),
+                     ws_min_mb, ws_max_mb)
+
+    2. compute each thread's target share — its working set scaled down
+       proportionally when the socket's demand exceeds capacity::
+
+           target = ws * min(1, capacity_mb / sum(ws on socket))
+
+    3. evolve the share with linear feedback (``share += alpha *
+       (target - share)``); a thread's first quantum starts *at* its
+       target (placement is treated as warm), but migration resets the
+       share to zero so the footprint rebuilds gradually;
+    4. return ``clip(miss_ratio + extra_miss * max(0, 1 - share/ws),
+       0, 1)``.
+    """
+
+    name: ClassVar[str] = "occupancy"
+    active: ClassVar[bool] = True
+
+    def __init__(self, config: LLCConfig | None = None) -> None:
+        self.config = config or LLCConfig()
+        self._seen: np.ndarray | None = None
+        self._n_sockets = 1
+
+    def bind(self, state: "SimState", topology: "Topology") -> None:
+        self._seen = np.zeros(state.n, dtype=bool)
+        self._n_sockets = topology.n_sockets
+
+    def working_set_mb(
+        self, api: np.ndarray, base_miss: np.ndarray
+    ) -> np.ndarray:
+        """The working-set heuristic (step 1), exposed for tests/docs."""
+        cfg = self.config
+        ws = cfg.ws_scale_mb * api * (1.0 + cfg.ws_miss_weight * base_miss)
+        return np.clip(ws, cfg.ws_min_mb, cfg.ws_max_mb)
+
+    def resolve(
+        self,
+        state: "SimState",
+        idx: np.ndarray,
+        miss_ratio: np.ndarray,
+        socket_of: np.ndarray,
+    ) -> np.ndarray:
+        if self._seen is None:  # engine always binds; direct use may not
+            self.bind(state, state.topology)
+        cfg = self.config
+        # Working sets come from the *base* phase parameters, not the
+        # warm-up-inflated ratios the engine passes in ``miss_ratio``.
+        ws = self.working_set_mb(state.api[idx], state.miss_ratio[idx])
+        state.working_set[idx] = ws
+
+        demand = np.bincount(socket_of, weights=ws, minlength=self._n_sockets)
+        scale = np.minimum(
+            1.0, cfg.capacity_mb / np.maximum(demand, 1e-12)
+        )
+        target = ws * scale[socket_of]
+
+        share = state.cache_share[idx]
+        fresh = ~self._seen[idx]
+        if fresh.any():
+            # First placement starts warm at the target; migrations are
+            # *not* fresh — their share was reset to 0 and re-warms.
+            share = np.where(fresh, target, share)
+            self._seen[idx] = True
+        share = share + cfg.feedback_alpha * (target - share)
+        state.cache_share[idx] = share
+
+        squeeze = np.maximum(0.0, 1.0 - share / ws)
+        return np.clip(miss_ratio + cfg.extra_miss * squeeze, 0.0, 1.0)
+
+    def describe(self) -> dict[str, Any]:
+        cfg = self.config
+        return {
+            "model": self.name,
+            "capacity_mb": cfg.capacity_mb,
+            "feedback_alpha": cfg.feedback_alpha,
+            "extra_miss": cfg.extra_miss,
+            "ws_scale_mb": cfg.ws_scale_mb,
+            "ws_miss_weight": cfg.ws_miss_weight,
+        }
+
+
+#: name -> backend class, for ``--llc <name>`` and campaign/task specs.
+LLC_MODELS: dict[str, type[LLCModel]] = {
+    NullLLC.name: NullLLC,
+    OccupancyLLC.name: OccupancyLLC,
+}
+
+
+def make_llc(spec: "str | LLCModel | None") -> LLCModel:
+    """Resolve an LLC backend from a name, an instance, or ``None``.
+
+    ``None`` means the default :class:`NullLLC`; a string is looked up
+    in :data:`LLC_MODELS` (unknown names raise ``ValueError`` with the
+    known set, so a typo'd ``--llc`` fails loudly); a ready
+    :class:`LLCModel` passes through.
+    """
+    if spec is None:
+        return NullLLC()
+    if isinstance(spec, LLCModel):
+        return spec
+    cls = LLC_MODELS.get(spec)
+    if cls is None:
+        raise ValueError(
+            f"unknown LLC model {spec!r}; known: {sorted(LLC_MODELS)}"
+        )
+    return cls()

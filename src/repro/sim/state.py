@@ -107,6 +107,12 @@ class SimState:
         self.pending_penalty = np.zeros(n, dtype=np.float64)
         self.finish_time = np.full(n, np.nan, dtype=np.float64)
         self.n_migrations = np.zeros(n, dtype=np.int64)
+        #: LLC columns (MB), owned by the active `repro.sim.llc` backend:
+        #: the derived working-set size and the currently allocated cache
+        #: share.  Always allocated (so schedulers can read them without
+        #: backend checks) but stay zero under the default NullLLC.
+        self.working_set = np.zeros(n, dtype=np.float64)
+        self.cache_share = np.zeros(n, dtype=np.float64)
         self.barriers_passed = np.zeros(n, dtype=np.int64)
         if self.bar_positions.size:
             # Clip offsets before the gather: barrier-free threads may hold
@@ -228,6 +234,9 @@ class SimState:
         self.pending_penalty[tid] += penalty_s
         self.warmup_left[tid] = max(self.warmup_left[tid], warmup)
         self.n_migrations[tid] += 1
+        # The LLC footprint does not travel with the thread: the share
+        # re-warms from zero in the destination cache (see repro.sim.llc).
+        self.cache_share[tid] = 0.0
 
     # -------------------------------------------------------- suspension
 
@@ -271,6 +280,9 @@ class SimState:
             self.work_done[fidx] = self.total_work[fidx]
             self.finished[fidx] = True
             self.finish_time[fidx] = now[done]
+            # A finished thread releases its LLC share immediately.
+            self.cache_share[fidx] = 0.0
+            self.working_set[fidx] = 0.0
             np.subtract.at(self.occupancy, self.vcore[fidx], 1)
             self.n_finished += int(fidx.size)
             for tid in fidx.tolist():

@@ -114,6 +114,8 @@ class TrafficCampaignSpec:
     seeds: tuple[int, ...] = (DEFAULT_SEED,)
     work_scale: float = 1.0
     invariants: bool = False
+    #: shared-LLC backend name (`repro.sim.llc`); ``None`` = NullLLC
+    llc: str | None = None
 
     def __post_init__(self) -> None:
         require(len(self.traffic) >= 1, "a traffic campaign needs >= 1 load point")
@@ -158,7 +160,7 @@ def plan_traffic(
     from repro.campaign.planner import CampaignPlan, dedupe
     from repro.campaign.spec import SimParams, TaskSpec
 
-    sim = SimParams(work_scale=spec.work_scale)
+    sim = SimParams(work_scale=spec.work_scale, llc=spec.llc)
     requested: list[TaskSpec] = []
     for load in spec.traffic:
         wl = load.workload()

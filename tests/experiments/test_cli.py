@@ -206,3 +206,36 @@ class TestTraceDiffCommand:
         ])
         assert code == 2
         assert capsys.readouterr().err
+
+
+class TestPoliciesVerb:
+    def test_table_lists_every_policy(self, capsys):
+        from repro.policies import REGISTRY
+
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in REGISTRY.names():
+            assert name in out
+
+    def test_tag_filters_table_and_names(self, capsys):
+        assert main(["policies", "--tag", "cache-aware"]) == 0
+        out = capsys.readouterr().out
+        assert "lfoc" in out and "bliss" in out
+        assert "tagged 'cache-aware'" in out
+        assert "\ncfs " not in out
+
+        assert main(["policies", "--names", "--tag", "cache-aware"]) == 0
+        names = capsys.readouterr().out.split()
+        assert sorted(names) == ["bliss", "lfoc"]
+
+    def test_tag_filters_json(self, capsys):
+        assert main(["policies", "--json", "--tag", "cache-aware"]) == 0
+        specs = json.loads(capsys.readouterr().out)
+        assert {s["name"] for s in specs} == {"bliss", "lfoc"}
+        for s in specs:
+            assert "cache-aware" in s["tags"]
+
+    def test_unknown_tag_exits_two_listing_known(self, capsys):
+        assert main(["policies", "--tag", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "nope" in err and "cache-aware" in err

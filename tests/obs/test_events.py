@@ -8,6 +8,8 @@ from repro.obs.events import (
     EVENT_TYPES,
     NULL_BUS,
     SCHEMA_VERSION,
+    CacheClusterFormed,
+    CacheShareUpdated,
     EventBus,
     FairnessComputed,
     ObserverSample,
@@ -47,6 +49,13 @@ def sample_events():
         ),
         PairVetoed(quantum=1, time_s=1.0, t_l=1, t_h=2, reason="cooldown"),
         SwapExecuted(quantum=1, time_s=1.0, tid_a=1, tid_b=2, vcore_a=3, vcore_b=0),
+        CacheShareUpdated(
+            quantum=2, time_s=1.5,
+            shares={1: 4.5, 2: 12.0}, working_sets={1: 9.0, 2: 18.0},
+        ),
+        CacheClusterFormed(
+            quantum=2, time_s=1.5, cluster=0, label="cluster-0", tids=(1, 2),
+        ),
     ]
 
 
@@ -54,7 +63,10 @@ class TestSchema:
     @pytest.mark.parametrize("event", sample_events(), ids=lambda e: e.kind)
     def test_round_trip(self, event):
         record = event.to_dict()
-        assert record["v"] == SCHEMA_VERSION
+        # Per-kind versioning: each kind serialises at the version its
+        # field set was last changed, never the library-wide maximum.
+        assert record["v"] == type(event).schema_version
+        assert record["v"] <= SCHEMA_VERSION
         assert record["kind"] == event.kind
         assert validate_event_dict(record) is type(event)
         # JSON stringifies dict keys; re-typing must restore the original.

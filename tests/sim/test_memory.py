@@ -128,6 +128,58 @@ class TestAllocateBandwidth:
             )
 
 
+class TestAllocatorEdgeCases:
+    """Degenerate inputs both allocators must handle without special casing."""
+
+    def test_waterfill_zero_total_demand(self):
+        alloc = waterfill(np.zeros(4), 10.0)
+        assert np.array_equal(alloc, np.zeros(4))
+
+    def test_waterfill_single_thread_under_capacity(self):
+        assert waterfill(np.array([3.0]), 10.0)[0] == pytest.approx(3.0)
+
+    def test_waterfill_single_thread_over_capacity(self):
+        assert waterfill(np.array([30.0]), 10.0)[0] == pytest.approx(10.0)
+
+    def test_waterfill_demands_below_capacity_untouched(self):
+        d = np.array([0.5, 1.5, 2.0])  # sums to 4.0 < 100.0
+        alloc = waterfill(d, 100.0)
+        assert np.allclose(alloc, d)
+        assert alloc.sum() < 100.0
+
+    def test_allocate_zero_total_demand(self):
+        alloc = allocate_bandwidth(
+            np.zeros(3), np.array([0, 0, 1]), np.array([5.0, 5.0]), 10.0
+        )
+        assert np.array_equal(alloc, np.zeros(3))
+
+    def test_allocate_zero_controller_capacity(self):
+        alloc = allocate_bandwidth(
+            np.array([1.0, 2.0]), np.array([0, 1]), np.array([5.0, 5.0]), 0.0
+        )
+        assert np.array_equal(alloc, np.zeros(2))
+
+    def test_allocate_zero_socket_capacity(self):
+        alloc = allocate_bandwidth(
+            np.array([1.0, 2.0]), np.array([0, 1]), np.array([0.0, 5.0]), 10.0
+        )
+        assert alloc[0] == pytest.approx(0.0)
+        assert alloc[1] == pytest.approx(2.0)
+
+    def test_allocate_single_thread(self):
+        alloc = allocate_bandwidth(
+            np.array([7.0]), np.array([0]), np.array([5.0]), 10.0
+        )
+        assert alloc[0] == pytest.approx(5.0)  # socket link binds
+
+    def test_allocate_demands_below_capacity_untouched(self):
+        d = np.array([1.0, 2.0, 3.0])
+        alloc = allocate_bandwidth(
+            d, np.array([0, 0, 1]), np.array([50.0, 50.0]), 100.0
+        )
+        assert np.allclose(alloc, d)
+
+
 class TestMemoryModelConfig:
     def test_stall_grows_with_utilization(self):
         cfg = MemoryModelConfig()
