@@ -36,11 +36,16 @@ import numpy as np
 
 __all__ = [
     "BenchCase",
+    "BatchBenchCase",
     "FULL_SUITE",
     "QUICK_SUITE",
+    "BATCHED_SUITE",
     "run_case",
     "run_suite",
+    "run_batch_case",
+    "run_batched_suite",
     "compare",
+    "build_report",
     "write_report",
     "load_report",
     "DEFAULT_THRESHOLD",
@@ -115,6 +120,37 @@ QUICK_SUITE: tuple[BenchCase, ...] = _suite(
 ) + _suite(("wl-poisson",), ("cfs",)) + (_LLC_CASE,)
 
 
+@dataclass(frozen=True)
+class BatchBenchCase:
+    """One batched-engine benchmark point: ``n_runs`` seeds of one
+    workload/policy grid stepped together by `repro.sim.batch`.
+
+    The tracked metric is the *aggregate* quanta/s of the whole grid; the
+    result also records the serial scalar rate of the same grid on the
+    same machine so the speedup is self-contained in the report.
+    """
+
+    name: str
+    workload: str
+    policy: str
+    n_runs: int = 32
+    work_scale: float = 0.3
+
+    def scheduler_factory(self) -> Callable:
+        from repro.policies import REGISTRY
+
+        return REGISTRY.factory(self.policy)
+
+
+#: Batched-engine suite: the acceptance grid (wl1/cfs × 32 seeds — CFS is
+#: the vectorized-gate fast path) plus the same grid under static (the
+#: zero-scheduler bound on batching gains).
+BATCHED_SUITE: tuple[BatchBenchCase, ...] = (
+    BatchBenchCase(name="batch32/wl1-cfs", workload="wl1", policy="cfs"),
+    BatchBenchCase(name="batch32/wl1-static", workload="wl1", policy="static"),
+)
+
+
 def run_case(case: BenchCase, repeats: int = 3) -> dict:
     """Measure one case; returns quanta/s, quanta count and wall seconds."""
     from repro.experiments.runner import run_workload
@@ -163,6 +199,87 @@ def run_suite(
     return results
 
 
+def _batch_lanes(case: BatchBenchCase) -> list:
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.topology import xeon_e5_heterogeneous
+    from repro.workloads.suite import workload
+
+    factory = case.scheduler_factory()
+    lanes = []
+    for seed in range(case.n_runs):
+        if case.workload in OPEN_LOOP_WORKLOADS:
+            spec = OPEN_LOOP_WORKLOADS[case.workload]()
+        else:
+            spec = workload(case.workload)
+        lanes.append(
+            SimulationEngine(
+                topology=xeon_e5_heterogeneous(),
+                groups=spec.build(seed=seed, work_scale=case.work_scale),
+                scheduler=factory(),
+                seed=seed,
+                record_timeseries=False,
+                workload_name=spec.name,
+            )
+        )
+    return lanes
+
+
+def run_batch_case(case: BatchBenchCase, repeats: int = 3) -> dict:
+    """Measure one batched grid against its serial scalar execution.
+
+    Both sides build their engines outside the timer (identical setup
+    work), so the ratio isolates the stepping cost the batch engine
+    amortises.  Engines are single-use; each repeat rebuilds them.
+    """
+    from repro.sim.batch import BatchEngine
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    def once_batched() -> tuple[float, int]:
+        lanes = _batch_lanes(case)
+        engine = BatchEngine(lanes)
+        t0 = time.perf_counter()
+        results = engine.run()
+        return time.perf_counter() - t0, sum(r.n_quanta for r in results)
+
+    def once_scalar() -> tuple[float, int]:
+        lanes = _batch_lanes(case)
+        t0 = time.perf_counter()
+        n_quanta = sum(lane.run().n_quanta for lane in lanes)
+        return time.perf_counter() - t0, n_quanta
+
+    once_batched()  # warm-up (imports, allocator pools, dispatch caches)
+    once_scalar()
+    batch_wall, n_quanta = min(once_batched() for _ in range(repeats))
+    scalar_wall, scalar_quanta = min(once_scalar() for _ in range(repeats))
+    batched_rate = n_quanta / batch_wall
+    scalar_rate = scalar_quanta / scalar_wall
+    return {
+        "quanta_per_s": round(batched_rate, 1),
+        "n_quanta": n_quanta,
+        "wall_s": round(batch_wall, 4),
+        "n_runs": case.n_runs,
+        "scalar_quanta_per_s": round(scalar_rate, 1),
+        "scalar_wall_s": round(scalar_wall, 4),
+        "speedup_vs_scalar": round(batched_rate / scalar_rate, 2),
+    }
+
+
+def run_batched_suite(
+    cases: Sequence[BatchBenchCase] = BATCHED_SUITE,
+    repeats: int = 3,
+    progress: Callable[[str, dict], None] | None = None,
+) -> dict[str, dict]:
+    """Run every batched case; same contract as :func:`run_suite`."""
+    results: dict[str, dict] = {}
+    for case in cases:
+        results[case.name] = run_batch_case(case, repeats=repeats)
+        if progress is not None:
+            progress(case.name, results[case.name])
+    return results
+
+
 def compare(
     current: Mapping[str, dict],
     baseline: Mapping[str, dict],
@@ -190,13 +307,18 @@ def compare(
     return regressions
 
 
-def write_report(
-    path: str | Path,
+def build_report(
     results: Mapping[str, dict],
     repeats: int,
     reference: Mapping | None = None,
-) -> None:
-    """Write the benchmark report JSON (stable key order, no timestamps)."""
+    batched: Mapping[str, dict] | None = None,
+) -> dict:
+    """The benchmark report document (stable key order, no timestamps).
+
+    ``batched`` carries the batched-engine suite (aggregate quanta/s per
+    grid plus the serial scalar rate measured alongside) under its own
+    top-level block, keeping the scalar ``results`` ratchet unchanged.
+    """
     report: dict = {
         "schema": 1,
         "protocol": {
@@ -210,6 +332,20 @@ def write_report(
     }
     if reference is not None:
         report["reference"] = dict(reference)
+    if batched is not None:
+        report["batched"] = {k: dict(batched[k]) for k in sorted(batched)}
+    return report
+
+
+def write_report(
+    path: str | Path,
+    results: Mapping[str, dict],
+    repeats: int,
+    reference: Mapping | None = None,
+    batched: Mapping[str, dict] | None = None,
+) -> None:
+    """Write the benchmark report JSON (see :func:`build_report`)."""
+    report = build_report(results, repeats, reference=reference, batched=batched)
     Path(path).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
 
 

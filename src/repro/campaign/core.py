@@ -25,6 +25,12 @@ from functools import partial
 from pathlib import Path
 from typing import Sequence
 
+from repro.campaign.batching import (
+    BatchResult,
+    BatchTask,
+    execute_unit,
+    plan_batches,
+)
 from repro.campaign.cachekey import cache_key
 from repro.campaign.executor import ExecutorConfig, TaskFailure, run_tasks
 from repro.campaign.spec import TaskSpec, execute_task
@@ -59,6 +65,7 @@ class Campaign:
         telemetry: Telemetry | None = None,
         invariants: bool = False,
         trace_dir: str | Path | None = None,
+        batch: bool = False,
     ) -> None:
         self.store = store
         self.executor = executor or ExecutorConfig()
@@ -69,6 +76,11 @@ class Campaign:
         #: write each *executed* task's JSONL event trace here (a side
         #: effect: never part of the cache key, so cache hits skip it)
         self.trace_dir = str(trace_dir) if trace_dir is not None else None
+        #: group compatible cache misses into multi-run batch units for the
+        #: vectorized engine (`repro.sim.batch`); results, cache keys and
+        #: cached bytes are identical either way.  Ignored while a
+        #: ``trace_dir`` is set — tracing needs the scalar per-run path.
+        self.batch = batch
         #: in-process memo; also what makes cache hits repeat-stable when
         #: no disk store is configured
         self._memo: dict[str, RunResult] = {}
@@ -90,6 +102,7 @@ class Campaign:
         telemetry: Telemetry | None = None,
         invariants: bool = False,
         trace_dir: str | Path | None = None,
+        batch: bool = False,
     ) -> "Campaign":
         """A production campaign: disk cache under ``cache_dir`` + pool."""
         return cls(
@@ -100,6 +113,7 @@ class Campaign:
             telemetry=telemetry,
             invariants=invariants,
             trace_dir=trace_dir,
+            batch=batch,
         )
 
     # ------------------------------------------------------------- gather
@@ -147,20 +161,34 @@ class Campaign:
                 to_run.append((key, task))
 
         if to_run:
-            fn = (
-                partial(execute_task, trace_dir=self.trace_dir)
-                if self.trace_dir is not None
-                else execute_task
-            )
+            if self.batch and self.trace_dir is None:
+                units: list[tuple[str, TaskSpec | BatchTask]] = plan_batches(to_run)
+                fn = execute_unit
+                folded = len(to_run) - len(units)
+                if folded:
+                    # Progress accounting is per executor *unit*; fold the
+                    # batched-away members out of the queued gauge so the
+                    # live line still reaches zero.
+                    self.telemetry.queued -= folded
+                    self.telemetry.emit(
+                        "batched", tasks=len(to_run), units=len(units)
+                    )
+            elif self.trace_dir is not None:
+                units = list(to_run)
+                fn = partial(execute_task, trace_dir=self.trace_dir)
+            else:
+                units = list(to_run)
+                fn = execute_task
             executed = run_tasks(
-                to_run, fn=fn, config=self.executor, telemetry=self.telemetry
+                units, fn=fn, config=self.executor, telemetry=self.telemetry
             )
-            for key, result in executed.items():
-                resolved[key] = result
-                if isinstance(result, RunResult):
-                    self._memo[key] = result
-                    if self.store is not None:
-                        self.store.put(key, result, unique[key])
+            for unit_key, result in executed.items():
+                for key, member in self._unpack(unit_key, units, result):
+                    resolved[key] = member
+                    if isinstance(member, RunResult):
+                        self._memo[key] = member
+                        if self.store is not None:
+                            self.store.put(key, member, unique[key])
 
         if strict:
             failures = [r for r in resolved.values() if isinstance(r, TaskFailure)]
@@ -173,6 +201,27 @@ class Campaign:
         return self.gather([task])[0]
 
     # ------------------------------------------------------------ private
+
+    @staticmethod
+    def _unpack(
+        unit_key: str,
+        units: Sequence[tuple[str, TaskSpec | BatchTask]],
+        result: RunResult | BatchResult | TaskFailure,
+    ) -> list[tuple[str, RunResult | TaskFailure]]:
+        """Flatten one executor unit's outcome to per-member entries."""
+        if isinstance(result, BatchResult):
+            return list(result.results.items())
+        if not isinstance(result, TaskFailure):
+            return [(unit_key, result)]
+        # A failed unit: if it was a batch, every member inherits the
+        # failure (with its own key/label) so callers see per-task errors.
+        unit = next((u for k, u in units if k == unit_key), None)
+        if isinstance(unit, BatchTask):
+            return [
+                (key, replace(result, key=key, label=task.label()))
+                for key, task in unit.items
+            ]
+        return [(unit_key, result)]
 
     def _lookup(self, key: str) -> RunResult | None:
         hit = self._memo.get(key)

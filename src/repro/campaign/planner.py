@@ -16,6 +16,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro.campaign.batching import batch_signature, batchable, plan_batches
 from repro.campaign.cachekey import cache_key
 from repro.campaign.spec import SimParams, TaskSpec
 from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
@@ -24,7 +25,17 @@ from repro.util.rng import DEFAULT_SEED
 from repro.util.validation import require
 from repro.workloads.suite import WORKLOAD_TABLE, workload
 
-__all__ = ["CampaignSpec", "CampaignPlan", "plan", "dedupe"]
+__all__ = [
+    "CampaignSpec",
+    "CampaignPlan",
+    "plan",
+    "dedupe",
+    # batching (see repro.campaign.batching): grouping homogeneous tasks
+    # into multi-run units is part of planning a campaign's execution
+    "batchable",
+    "batch_signature",
+    "plan_batches",
+]
 
 
 @dataclass(frozen=True)

@@ -59,12 +59,24 @@ class ResultStore:
     # -------------------------------------------------------------- write
 
     def put(self, key: str, result: RunResult, task: TaskSpec | None = None) -> Path:
-        """Persist one result atomically and append an index line."""
+        """Persist one result atomically and append an index line.
+
+        The volatile ``info["traffic"]["baseline_cache"]`` hit counters
+        (process-history-dependent observability, not a property of the
+        run) are stripped from the artifact so cached bytes stay
+        deterministic across execution strategies and worker layouts.
+        """
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            run_result_to_full_dict(result), sort_keys=True, allow_nan=False
-        )
+        doc = run_result_to_full_dict(result)
+        info = doc.get("info")
+        if isinstance(info, dict) and isinstance(info.get("traffic"), dict):
+            traffic = dict(info["traffic"])
+            traffic.pop("baseline_cache", None)
+            doc = dict(doc)
+            doc["info"] = dict(info)
+            doc["info"]["traffic"] = traffic
+        payload = json.dumps(doc, sort_keys=True, allow_nan=False)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(payload)
         os.replace(tmp, path)

@@ -62,6 +62,7 @@ import sys
 import time
 from dataclasses import replace
 from pathlib import Path
+from typing import Mapping
 
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 from repro.experiments.runner import run_policies
@@ -270,6 +271,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative quanta/s drop that counts as a regression "
              "(default: 0.30)",
     )
+    p_bench.add_argument(
+        "--json", action="store_true",
+        help="print the full report document as JSON on stdout "
+             "(instead of the text tables)",
+    )
+    p_bench.add_argument(
+        "--batched", action="store_true",
+        help="also run the batched-engine suite (N-run grids through "
+             "repro.sim.batch vs serial scalar) and ratchet it",
+    )
 
     p_tr = sub.add_parser(
         "traffic",
@@ -342,6 +353,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--llc", default=None, choices=("null", "occupancy"),
         help="shared-LLC model (default: null — no cache modelling)",
     )
+    p_tr.add_argument(
+        "--batch", action="store_true",
+        help="group compatible tasks into multi-run batches for the "
+             "vectorized engine (identical results and cache bytes)",
+    )
 
     p_camp = sub.add_parser(
         "campaign",
@@ -398,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--llc", default=None, choices=("null", "occupancy"),
         help="shared-LLC model (default: null — no cache modelling)",
+    )
+    p_camp.add_argument(
+        "--batch", action="store_true",
+        help="group compatible tasks into multi-run batches for the "
+             "vectorized engine (identical results and cache bytes)",
     )
     return parser
 
@@ -471,6 +492,7 @@ def _make_campaign(args: argparse.Namespace):
         ),
         invariants=invariants,
         trace_dir=trace_dir,
+        batch=getattr(args, "batch", False),
     )
 
 
@@ -773,12 +795,17 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
     from repro.benchmarking import (
+        BATCHED_SUITE,
         DEFAULT_THRESHOLD,
         FULL_SUITE,
         QUICK_SUITE,
+        build_report,
         compare,
         load_report,
+        run_batched_suite,
         run_suite,
         write_report,
     )
@@ -786,10 +813,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     _note_inprocess_flags(args)
     cases = QUICK_SUITE if args.quick else FULL_SUITE
     baseline = load_report(args.baseline) if args.baseline else None
-    base_results = baseline["results"] if baseline else {}
+    base_results = dict(baseline["results"]) if baseline else {}
+    base_reference = baseline.get("reference", {}) if baseline else {}
+    ref_results = (
+        base_reference.get("results", {})
+        if isinstance(base_reference, dict)
+        else {}
+    )
+    quiet = args.json
 
     t0 = time.perf_counter()
     rows = []
+
+    def _ratio(r: dict, against: Mapping | None) -> str:
+        if not against:
+            return ""
+        base = float(against.get("quanta_per_s", 0.0))
+        return f"{r['quanta_per_s'] / base:.1f}x" if base > 0 else ""
 
     def progress(name: str, r: dict) -> None:
         delta = ""
@@ -798,42 +838,123 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if base > 0:
                 delta = f"{100.0 * (r['quanta_per_s'] / base - 1.0):+.0f}%"
         rows.append(
-            [name, r["quanta_per_s"], r["n_quanta"], r["wall_s"], delta]
+            [
+                name,
+                r["quanta_per_s"],
+                r["n_quanta"],
+                r["wall_s"],
+                delta,
+                _ratio(r, ref_results.get(name)),
+            ]
         )
         print(f"  {name}: {r['quanta_per_s']:.0f} quanta/s", file=sys.stderr)
 
     results = run_suite(cases, repeats=args.repeats, progress=progress)
-    print(
-        format_table(
-            ["case", "quanta/s", "quanta", "wall(s)", "vs baseline"],
-            rows,
-            title=f"engine throughput ({len(cases)} cases, "
-                  f"best of {args.repeats})",
+    if not quiet:
+        print(
+            format_table(
+                ["case", "quanta/s", "quanta", "wall(s)", "vs baseline",
+                 "vs reference"],
+                rows,
+                title=f"engine throughput ({len(cases)} cases, "
+                      f"best of {args.repeats})",
+            )
         )
+
+    batched = None
+    if args.batched:
+        batch_rows = []
+
+        def batch_progress(name: str, r: dict) -> None:
+            batch_rows.append(
+                [
+                    name,
+                    r["quanta_per_s"],
+                    r["scalar_quanta_per_s"],
+                    f"{r['speedup_vs_scalar']:.2f}x",
+                    r["n_runs"],
+                    r["wall_s"],
+                ]
+            )
+            print(
+                f"  {name}: {r['quanta_per_s']:.0f} quanta/s "
+                f"({r['speedup_vs_scalar']:.2f}x vs scalar)",
+                file=sys.stderr,
+            )
+
+        batched = run_batched_suite(
+            BATCHED_SUITE, repeats=args.repeats, progress=batch_progress
+        )
+        if not quiet:
+            print(
+                format_table(
+                    ["case", "batched q/s", "scalar q/s", "speedup",
+                     "runs", "wall(s)"],
+                    batch_rows,
+                    title=f"batched engine ({len(BATCHED_SUITE)} grids, "
+                          f"best of {args.repeats})",
+                )
+            )
+    if not quiet:
+        print(f"[bench completed in {time.perf_counter() - t0:.1f}s]")
+
+    # Preserve the committed report's reference block (the pre-refactor
+    # numbers) when overwriting it in place, and its batched block when
+    # this invocation did not re-measure it.
+    reference = baseline.get("reference") if baseline else None
+    prior = (
+        load_report(args.out)
+        if args.out and Path(args.out).exists()
+        else None
     )
-    print(f"[bench completed in {time.perf_counter() - t0:.1f}s]")
+    if reference is None and prior is not None:
+        reference = prior.get("reference")
+    batched_out = batched
+    if batched_out is None and prior is not None:
+        batched_out = prior.get("batched")
+
+    if args.json:
+        print(_json.dumps(
+            build_report(
+                results,
+                repeats=args.repeats,
+                reference=reference,
+                batched=batched if batched is not None else None,
+            ),
+            indent=2,
+            sort_keys=True,
+        ))
 
     if args.out:
-        # Preserve the committed report's reference block (the pre-refactor
-        # numbers) when overwriting it in place.
-        reference = baseline.get("reference") if baseline else None
-        if reference is None and Path(args.out).exists():
-            reference = load_report(args.out).get("reference")
-        write_report(args.out, results, repeats=args.repeats, reference=reference)
-        print(f"report -> {args.out}")
+        write_report(
+            args.out,
+            results,
+            repeats=args.repeats,
+            reference=reference,
+            batched=batched_out,
+        )
+        if not quiet:
+            print(f"report -> {args.out}")
 
     if baseline is not None:
         threshold = (
             args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
         )
-        regressions = compare(results, base_results, threshold=threshold)
+        current = dict(results)
+        if batched is not None:
+            # Batched grids ratchet alongside the scalar cases; the names
+            # are disjoint (batch32/...), so one compare covers both.
+            current.update(batched)
+            base_results.update(baseline.get("batched", {}))
+        regressions = compare(current, base_results, threshold=threshold)
         if regressions:
             print(f"{len(regressions)} perf regression(s):", file=sys.stderr)
             for r in regressions:
                 print(f"  {r}", file=sys.stderr)
             return 1
-        print(f"no regressions beyond {threshold * 100:.0f}% "
-              f"({len(set(results) & set(base_results))} cases compared)")
+        if not quiet:
+            print(f"no regressions beyond {threshold * 100:.0f}% "
+                  f"({len(set(current) & set(base_results))} cases compared)")
     return 0
 
 

@@ -320,8 +320,13 @@ class SimulationEngine:
 
     # ------------------------------------------------------------- main loop
 
-    def run(self) -> RunResult:
-        """Execute the simulation to completion and return the result."""
+    def _start(self) -> None:
+        """Run preamble: prepare the scheduler, place the t=0 population.
+
+        Split out of :meth:`run` so the batched engine
+        (`repro.sim.batch`) can reuse the exact same setup per lane while
+        replacing only the quantum loop.
+        """
         self.scheduler.prepare(self._make_context())
         self._apply_initial_placement()
 
@@ -330,6 +335,15 @@ class SimulationEngine:
                 g.placed = True
                 self._in_system += 1
         self._peak_in_system = self._in_system
+
+    def _finish(self) -> RunResult:
+        """Run epilogue: sync thread records and build the result."""
+        self.state.sync_threads()
+        return self._build_result()
+
+    def run(self) -> RunResult:
+        """Execute the simulation to completion and return the result."""
+        self._start()
 
         while not self.state.all_finished():
             if self.time_s >= self.max_time_s:
@@ -347,8 +361,7 @@ class SimulationEngine:
                 actions = self.scheduler.decide(counters, placement)
                 self._apply_actions(actions, placement)
 
-        self.state.sync_threads()
-        return self._build_result()
+        return self._finish()
 
     @timed("engine.quantum_s")
     def _execute_quantum(self, qlen: float) -> QuantumCounters:

@@ -12,7 +12,11 @@ combination, placed fastest-cores-first and never migrated (the
 The cache is process-local (`functools.lru_cache`); campaign workers each
 warm their own copy, which costs a handful of sub-second solo runs per
 worker — negligible next to the open-loop runs themselves and free of
-cross-process coordination.
+cross-process coordination.  With the batched engine one worker process
+summarises a whole batch of open-loop runs, so the memo amortises across
+every lane of the batch; :func:`baseline_cache_stats` exposes process-wide
+hit/miss counters so that reuse is observable (``summarize_result`` stamps
+the per-call delta into ``info["traffic"]["baseline_cache"]``).
 """
 
 from __future__ import annotations
@@ -26,7 +30,16 @@ from repro.traffic.replay import TrafficWorkload
 from repro.traffic.trace import Job
 from repro.util.validation import require
 
-__all__ = ["solo_runtime", "solo_runtimes"]
+__all__ = ["solo_runtime", "solo_runtimes", "baseline_cache_stats"]
+
+#: Process-wide memo counters for `solo_runtime` (monotonic; consumers
+#: diff before/after a call batch to attribute hits).
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def baseline_cache_stats() -> dict[str, int]:
+    """Snapshot of the solo-baseline memo counters for this process."""
+    return dict(_CACHE_STATS)
 
 #: Named topologies for baseline runs (mirrors campaign's TOPOLOGIES —
 #: duplicated by value to keep `repro.traffic` import-independent of the
@@ -46,7 +59,6 @@ def _build_topology(name: str) -> Topology:
         ) from None
 
 
-@lru_cache(maxsize=4096)
 def solo_runtime(
     app: str,
     n_threads: int,
@@ -60,8 +72,26 @@ def solo_runtime(
     Deterministic in its arguments — the run uses the same seed-derived
     per-thread jitter as a traffic run's group 0, a fastest-first static
     placement and zero counter noise (noise only affects the scheduler's
-    view, and the static scheduler ignores it anyway).
+    view, and the static scheduler ignores it anyway).  Memoised per
+    process; `baseline_cache_stats` counts the reuse.
     """
+    before = _CACHE_STATS["misses"]
+    value = _solo_runtime(app, n_threads, work_scale, topology, seed, size)
+    if _CACHE_STATS["misses"] == before:
+        _CACHE_STATS["hits"] += 1
+    return value
+
+
+@lru_cache(maxsize=4096)
+def _solo_runtime(
+    app: str,
+    n_threads: int,
+    work_scale: float,
+    topology: str,
+    seed: int,
+    size: float,
+) -> float:
+    _CACHE_STATS["misses"] += 1
     wl = TrafficWorkload(
         name=f"solo-{app}",
         jobs=(Job(0, app, 0.0, n_threads=n_threads, size=size),),

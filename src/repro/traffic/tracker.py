@@ -20,7 +20,7 @@ interpolation and are therefore deterministic per run.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -81,8 +81,18 @@ class TrafficSummary:
     queue_depth_mean: float | None
     queue_depth_peak: int
     wait_mean_s: float | None = None
+    #: solo-baseline memo hits/misses attributable to this summary call
+    #: (process-local observability; serialized only when set, and the
+    #: campaign store strips it so cached result bytes stay deterministic)
+    baseline_cache: Mapping[str, int] | None = None
 
     def to_dict(self) -> dict[str, Any]:
+        out = self._core_dict()
+        if self.baseline_cache is not None:
+            out["baseline_cache"] = dict(self.baseline_cache)
+        return out
+
+    def _core_dict(self) -> dict[str, Any]:
         return {
             "n_jobs": self.n_jobs,
             "n_completed": self.n_completed,
@@ -191,9 +201,12 @@ def summarize_result(
     same ``work_scale``/``topology``/``seed`` (default: the run's own
     seed).  Incomplete jobs (truncated runs) count toward queue depth
     but are excluded from latency/slowdown percentiles and throughput.
+    The summary's ``baseline_cache`` field records how many solo-baseline
+    lookups this call served from the process memo vs. simulated fresh.
     """
-    from repro.traffic.baseline import solo_runtime
+    from repro.traffic.baseline import baseline_cache_stats, solo_runtime
 
+    stats_before = baseline_cache_stats()
     seed = result.seed if seed is None else seed
     records: list[JobRecord] = []
     baselines: dict[tuple[str, int, float], float] = {}
@@ -212,7 +225,9 @@ def summarize_result(
             baselines[key] = solo_runtime(
                 b.benchmark, n_threads, work_scale, topology, seed, record.size
             )
-    return _summarize(records, baselines)
+    stats_after = baseline_cache_stats()
+    delta = {k: stats_after[k] - stats_before[k] for k in stats_after}
+    return replace(_summarize(records, baselines), baseline_cache=delta)
 
 
 class JobTracker:

@@ -126,15 +126,26 @@ class TestCommittedReport:
         assert set(r.name for r in FULL_SUITE) == set(report["results"])
         # The committed before/after claim: >= 2x on the 40-thread
         # Table II workload for every policy class.  The reference block
-        # is the pre-SoA engine, so cases added later (the open-loop
-        # wl-poisson scenario) have no entry to compare against.
+        # is the pre-SoA engine; cases whose engine path did not exist
+        # pre-SoA (the open-loop wl-poisson scenario, the occupancy-LLC
+        # case) are backfilled into the reference from their first
+        # post-SoA measurement so the ratchet covers them, and are
+        # therefore exempt from the 2x before/after claim.
+        backfilled = {"wl-poisson/cfs", "wl-poisson/dike", "wl7/dike+llc"}
         ref = report["reference"]["results"]
         compared = 0
         for case in (c.name for c in QUICK_SUITE):
-            if case not in ref:
+            if case not in ref or case in backfilled:
                 continue
             cur = report["results"][case]["quanta_per_s"]
             old = ref[case]["quanta_per_s"]
             assert cur >= 2.0 * old, f"{case} below the 2x acceptance bar"
             compared += 1
         assert compared >= 4  # the original wl1 x 4-policy quick suite
+        # The batched suite rides in the same report: aggregate batched
+        # throughput must beat serial scalar by >= 3x on the acceptance
+        # grid (wl1/cfs x 32 seeds), measured on the committing machine.
+        batched = report["batched"]
+        assert batched["batch32/wl1-cfs"]["speedup_vs_scalar"] >= 3.0
+        for case in batched.values():
+            assert case["quanta_per_s"] > case["scalar_quanta_per_s"]
