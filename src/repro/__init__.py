@@ -9,6 +9,9 @@ Layers (see DESIGN.md):
 * :mod:`repro.core` — the Dike scheduler (the paper's contribution);
 * :mod:`repro.policies` — declarative policy registry: specs, parameter
   schemas, invariant contracts (:data:`repro.REGISTRY`);
+* :mod:`repro.topologies` — declarative machine registry: named presets
+  with parameter schemas (:data:`repro.TOPOLOGY_REGISTRY`), from the
+  paper's 40-vcore Xeon up to ~1024-vcore multi-socket machines;
 * :mod:`repro.metrics` — fairness (Eqn. 4), speedup, swaps, prediction error;
 * :mod:`repro.experiments` — per-figure/table regeneration harness;
 * :mod:`repro.obs` — observability: event tracing, metrics, invariant
@@ -43,6 +46,13 @@ from repro.experiments.runner import (
     run_workload,
 )
 from repro.policies import REGISTRY, ParamSpec, PolicyRegistry, PolicySpec
+from repro.topologies import (
+    TOPOLOGY_REGISTRY,
+    TopologyRegistry,
+    TopologySpec,
+    UnknownTopologyError,
+    parse_topology_arg,
+)
 
 
 def __getattr__(name: str):
@@ -101,6 +111,7 @@ from repro.sim import (
     SimulationEngine,
     Topology,
     homogeneous,
+    multi_socket,
     xeon_e5_heterogeneous,
 )
 from repro.workloads import (
@@ -125,6 +136,11 @@ __all__ = [
     "PolicyRegistry",
     "PolicySpec",
     "ParamSpec",
+    "TOPOLOGY_REGISTRY",
+    "TopologyRegistry",
+    "TopologySpec",
+    "UnknownTopologyError",
+    "parse_topology_arg",
     "run_policies",
     "run_scenario",
     "run_standalone",
@@ -153,6 +169,7 @@ __all__ = [
     "SimulationEngine",
     "Topology",
     "homogeneous",
+    "multi_socket",
     "xeon_e5_heterogeneous",
     "DynamicWorkload",
     "WorkloadSpec",

@@ -37,22 +37,34 @@ import numpy as np
 __all__ = [
     "BenchCase",
     "BatchBenchCase",
+    "ScalingBenchCase",
     "FULL_SUITE",
     "QUICK_SUITE",
     "BATCHED_SUITE",
+    "SCALING_SUITE",
     "run_case",
     "run_suite",
     "run_batch_case",
     "run_batched_suite",
+    "run_scaling_case",
+    "run_scaling_suite",
     "compare",
+    "compare_scaling",
     "build_report",
     "write_report",
     "load_report",
     "DEFAULT_THRESHOLD",
+    "DEFAULT_SCALING_THRESHOLD",
 ]
 
 #: Relative quanta/s drop beyond which CI fails the perf-smoke job.
 DEFAULT_THRESHOLD = 0.30
+
+#: Relative rise in scheduler overhead-per-quantum beyond which the
+#: scaling ratchet fails.  Wider than the throughput threshold: the
+#: metric is microseconds of pure scheduler code, where per-quantum
+#: jitter is proportionally larger than whole-run throughput noise.
+DEFAULT_SCALING_THRESHOLD = 0.50
 
 
 @dataclass(frozen=True)
@@ -151,8 +163,18 @@ BATCHED_SUITE: tuple[BatchBenchCase, ...] = (
 )
 
 
-def run_case(case: BenchCase, repeats: int = 3) -> dict:
-    """Measure one case; returns quanta/s, quanta count and wall seconds."""
+def run_case(
+    case: BenchCase,
+    repeats: int = 3,
+    topology_factory: Callable | None = None,
+) -> dict:
+    """Measure one case; returns quanta/s, quanta count and wall seconds.
+
+    ``topology_factory`` (a validated zero-arg factory, e.g. from
+    ``TOPOLOGY_REGISTRY.factory``) overrides the default paper machine —
+    the CLI threads ``--topology`` through here.  Results measured on
+    different machines are not ratchet-comparable; CI runs the default.
+    """
     from repro.experiments.runner import run_workload
     from repro.workloads.suite import workload
 
@@ -165,12 +187,14 @@ def run_case(case: BenchCase, repeats: int = 3) -> dict:
     factory = case.scheduler_factory()
 
     def once() -> tuple[float, int]:
+        topology = topology_factory() if topology_factory is not None else None
         t0 = time.perf_counter()
         result = run_workload(
             spec,
             factory(),
             seed=case.seed,
             work_scale=case.work_scale,
+            topology=topology,
             record_timeseries=False,
             llc=case.llc,
         )
@@ -189,11 +213,14 @@ def run_suite(
     cases: Sequence[BenchCase] = FULL_SUITE,
     repeats: int = 3,
     progress: Callable[[str, dict], None] | None = None,
+    topology_factory: Callable | None = None,
 ) -> dict[str, dict]:
     """Run every case; ``progress`` is called after each with (name, result)."""
     results: dict[str, dict] = {}
     for case in cases:
-        results[case.name] = run_case(case, repeats=repeats)
+        results[case.name] = run_case(
+            case, repeats=repeats, topology_factory=topology_factory
+        )
         if progress is not None:
             progress(case.name, results[case.name])
     return results
@@ -201,7 +228,7 @@ def run_suite(
 
 def _batch_lanes(case: BatchBenchCase) -> list:
     from repro.sim.engine import SimulationEngine
-    from repro.sim.topology import xeon_e5_heterogeneous
+    from repro.topologies import TOPOLOGY_REGISTRY
     from repro.workloads.suite import workload
 
     factory = case.scheduler_factory()
@@ -213,7 +240,7 @@ def _batch_lanes(case: BatchBenchCase) -> list:
             spec = workload(case.workload)
         lanes.append(
             SimulationEngine(
-                topology=xeon_e5_heterogeneous(),
+                topology=TOPOLOGY_REGISTRY.build("heterogeneous"),
                 groups=spec.build(seed=seed, work_scale=case.work_scale),
                 scheduler=factory(),
                 seed=seed,
@@ -280,6 +307,185 @@ def run_batched_suite(
     return results
 
 
+@dataclass(frozen=True)
+class ScalingBenchCase:
+    """One point of the scheduler-overhead vs. machine-size curve.
+
+    The tracked metric is **scheduler microseconds per quantum** — wall
+    time spent inside ``Scheduler.decide`` divided by the number of
+    decisions, isolated from engine simulation cost by a delegating timer
+    wrapper (:class:`_DecideTimer`).  Lower is better;
+    :func:`compare_scaling` ratchets it one-sided like :func:`compare`.
+    """
+
+    name: str
+    topology: str
+    policy: str
+    n_threads: int
+    work_scale: float = 0.05
+    seed: int = 1
+    #: cap the run at this many quanta (``max_time_s`` = cap × quantum
+    #: length) — the per-quantum cost stabilises after a handful
+    max_quanta: int = 24
+
+
+#: Apps cycled to synthesise machine-filling workloads (kmeans excluded:
+#: its barriers make thread lifetimes, and hence the live population,
+#: depend on scheduling, which would blur the size axis).
+_SCALING_APPS = (
+    "jacobi", "streamcluster", "stream_omp", "needle", "lavaMD",
+    "leukocyte", "srad", "hotspot", "heartwall",
+)
+
+
+def _scaling_workload(n_threads: int):
+    """A closed workload of ~``n_threads`` threads (8 per app instance)."""
+    from repro.workloads.suite import WorkloadSpec
+
+    threads_per_app = 8
+    n_apps = max(1, n_threads // threads_per_app)
+    apps = tuple(_SCALING_APPS[i % len(_SCALING_APPS)] for i in range(n_apps))
+    return WorkloadSpec(
+        name=f"scaling-{n_apps * threads_per_app}",
+        apps=apps,
+        include_kmeans=False,
+        threads_per_app=threads_per_app,
+    )
+
+
+class _DecideTimer:
+    """Delegating scheduler wrapper that times ``decide`` calls only.
+
+    Everything else (``prepare``, ``quantum_length_s``, ``name``,
+    ``describe`` ...) forwards to the wrapped scheduler, so the engine
+    sees an unchanged policy and the measured seconds are pure scheduler
+    decision cost — no engine simulation, no observability plumbing.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.decide_wall_s = 0.0
+        self.n_decides = 0
+
+    def __getattr__(self, attr: str):
+        return getattr(self._inner, attr)
+
+    def decide(self, counters, placement):
+        t0 = time.perf_counter()
+        actions = self._inner.decide(counters, placement)
+        self.decide_wall_s += time.perf_counter() - t0
+        self.n_decides += 1
+        return actions
+
+
+#: The machine-size ladder: the 40-vcore paper testbed, then the scale
+#: presets.  Each size runs flat ``dike`` and hierarchical ``dike-hier``
+#: so the committed report carries both curves side by side.
+_SCALING_LADDER: tuple[tuple[str, int], ...] = (
+    ("heterogeneous", 40),
+    ("scale128", 128),
+    ("scale256", 256),
+    ("scale512", 512),
+)
+
+SCALING_SUITE: tuple[ScalingBenchCase, ...] = tuple(
+    ScalingBenchCase(
+        name=f"scaling/{policy}@{n_vcores}v",
+        topology=topo,
+        policy=policy,
+        n_threads=n_vcores,
+    )
+    for topo, n_vcores in _SCALING_LADDER
+    for policy in ("dike", "dike-hier")
+)
+
+
+def run_scaling_case(case: ScalingBenchCase, repeats: int = 3) -> dict:
+    """Measure one scaling point; returns scheduler µs/quantum and context."""
+    from repro.policies import REGISTRY
+    from repro.sim.engine import SimulationEngine
+    from repro.topologies import TOPOLOGY_REGISTRY
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    spec = _scaling_workload(case.n_threads)
+    factory = REGISTRY.factory(case.policy)
+
+    def once() -> tuple[float, int, float]:
+        scheduler = _DecideTimer(factory())
+        max_time_s = float(scheduler.quantum_length_s()) * case.max_quanta
+        engine = SimulationEngine(
+            topology=TOPOLOGY_REGISTRY.build(case.topology),
+            groups=spec.build(seed=case.seed, work_scale=case.work_scale),
+            scheduler=scheduler,
+            seed=case.seed,
+            max_time_s=max_time_s,
+            record_timeseries=False,
+            workload_name=spec.name,
+        )
+        t0 = time.perf_counter()
+        engine.run()
+        wall = time.perf_counter() - t0
+        if not scheduler.n_decides:
+            raise RuntimeError(f"{case.name}: no scheduling decisions timed")
+        return (
+            scheduler.decide_wall_s / scheduler.n_decides,
+            scheduler.n_decides,
+            wall,
+        )
+
+    once()  # warm-up: imports, allocator pools, per-policy state classes
+    per_quantum, n_decides, wall = min(once() for _ in range(repeats))
+    return {
+        "overhead_us_per_quantum": round(per_quantum * 1e6, 2),
+        "n_quanta": n_decides,
+        "wall_s": round(wall, 4),
+        "n_threads": case.n_threads,
+        "topology": case.topology,
+    }
+
+
+def run_scaling_suite(
+    cases: Sequence[ScalingBenchCase] = SCALING_SUITE,
+    repeats: int = 3,
+    progress: Callable[[str, dict], None] | None = None,
+) -> dict[str, dict]:
+    """Run every scaling case; same contract as :func:`run_suite`."""
+    results: dict[str, dict] = {}
+    for case in cases:
+        results[case.name] = run_scaling_case(case, repeats=repeats)
+        if progress is not None:
+            progress(case.name, results[case.name])
+    return results
+
+
+def compare_scaling(
+    current: Mapping[str, dict],
+    baseline: Mapping[str, dict],
+    threshold: float = DEFAULT_SCALING_THRESHOLD,
+) -> list[str]:
+    """Regressions for scaling cases *slower* than baseline by > threshold.
+
+    Lower is better here (microseconds of scheduler time per quantum), so
+    the one-sided check is inverted relative to :func:`compare`.
+    """
+    if not 0.0 < threshold:
+        raise ValueError("threshold must be > 0")
+    regressions = []
+    for name in sorted(set(current) & set(baseline)):
+        cur = float(current[name]["overhead_us_per_quantum"])
+        base = float(baseline[name]["overhead_us_per_quantum"])
+        if base <= 0.0:
+            continue
+        if cur > base * (1.0 + threshold):
+            rise = 100.0 * (cur / base - 1.0)
+            regressions.append(
+                f"{name}: {cur:.0f} us/quantum vs baseline {base:.0f} "
+                f"(+{rise:.0f}%, threshold +{threshold * 100:.0f}%)"
+            )
+    return regressions
+
+
 def compare(
     current: Mapping[str, dict],
     baseline: Mapping[str, dict],
@@ -312,12 +518,15 @@ def build_report(
     repeats: int,
     reference: Mapping | None = None,
     batched: Mapping[str, dict] | None = None,
+    scaling: Mapping[str, dict] | None = None,
 ) -> dict:
     """The benchmark report document (stable key order, no timestamps).
 
     ``batched`` carries the batched-engine suite (aggregate quanta/s per
     grid plus the serial scalar rate measured alongside) under its own
     top-level block, keeping the scalar ``results`` ratchet unchanged.
+    ``scaling`` likewise carries the scheduler-overhead-vs-machine-size
+    curve (flat ``dike`` vs ``dike-hier``; µs/quantum, lower is better).
     """
     report: dict = {
         "schema": 1,
@@ -334,6 +543,8 @@ def build_report(
         report["reference"] = dict(reference)
     if batched is not None:
         report["batched"] = {k: dict(batched[k]) for k in sorted(batched)}
+    if scaling is not None:
+        report["scaling"] = {k: dict(scaling[k]) for k in sorted(scaling)}
     return report
 
 
@@ -343,9 +554,12 @@ def write_report(
     repeats: int,
     reference: Mapping | None = None,
     batched: Mapping[str, dict] | None = None,
+    scaling: Mapping[str, dict] | None = None,
 ) -> None:
     """Write the benchmark report JSON (see :func:`build_report`)."""
-    report = build_report(results, repeats, reference=reference, batched=batched)
+    report = build_report(
+        results, repeats, reference=reference, batched=batched, scaling=scaling
+    )
     Path(path).write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
 
 

@@ -34,10 +34,10 @@ from typing import Sequence
 from repro.campaign.spec import (
     TaskSpec,
     build_scheduler,
-    build_topology,
     execute_task,
 )
 from repro.sim.results import RunResult
+from repro.topologies import TOPOLOGY_REGISTRY
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
@@ -123,6 +123,7 @@ def batch_signature(task: TaskSpec) -> tuple:
         task.policy,
         task.policy_params,
         task.sim.topology,
+        task.sim.topology_params,
         task.sim.migration,
         task.sim.counter_noise,
         wl.threads_per_app,
@@ -184,7 +185,7 @@ def _build_engine(task: TaskSpec):
     spec = task.workload.to_spec()
     groups = spec.build(seed=task.seed, work_scale=sim.work_scale)
     return SimulationEngine(
-        topology=build_topology(sim.topology),
+        topology=TOPOLOGY_REGISTRY.build(sim.topology, dict(sim.topology_params)),
         groups=groups,
         scheduler=build_scheduler(task.policy, task.params),
         migration=MigrationModel(*sim.migration) if sim.migration else None,
@@ -205,6 +206,7 @@ def _stamp_traffic(task: TaskSpec, result: RunResult) -> None:
         work_scale=task.sim.work_scale,
         topology=task.sim.topology,
         seed=task.seed,
+        topology_params=task.sim.topology_params,
     ).to_dict()
 
 

@@ -21,6 +21,7 @@ from repro.campaign.cachekey import cache_key
 from repro.campaign.spec import SimParams, TaskSpec
 from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
 from repro.policies import REGISTRY
+from repro.topologies import TOPOLOGY_REGISTRY
 from repro.util.rng import DEFAULT_SEED
 from repro.util.validation import require
 from repro.workloads.suite import WORKLOAD_TABLE, workload
@@ -69,6 +70,10 @@ class CampaignSpec:
     invariants: bool = False
     #: shared-LLC backend name (`repro.sim.llc`); ``None`` = NullLLC
     llc: str | None = None
+    #: machine preset name (`repro.topologies.TOPOLOGY_REGISTRY`)
+    topology: str = "heterogeneous"
+    #: preset customisation, validated against the topology's schema
+    topology_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         require(len(self.workloads) >= 1, "a campaign needs >= 1 workload")
@@ -82,6 +87,10 @@ class CampaignSpec:
                 len(tuple(values)) >= 1,
                 f"param_grid entry {key!r} needs >= 1 value",
             )
+        # Raises UnknownTopologyError / ValueError on a bad name or params.
+        TOPOLOGY_REGISTRY.get(self.topology).validate_params(
+            dict(self.topology_params)
+        )
 
 
 @dataclass(frozen=True)
@@ -159,7 +168,12 @@ def _policy_grid_points(
 
 def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
     """Expand a campaign spec into its deduplicated task list."""
-    sim = SimParams(work_scale=spec.work_scale, llc=spec.llc)
+    sim = SimParams(
+        work_scale=spec.work_scale,
+        llc=spec.llc,
+        topology=spec.topology,
+        topology_params=spec.topology_params,
+    )
     inv = spec.invariants
     requested: list[TaskSpec] = []
     grids = {

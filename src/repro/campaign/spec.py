@@ -20,6 +20,7 @@ historical cache entries stay addressable.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping
@@ -28,7 +29,8 @@ from repro.policies import REGISTRY
 from repro.schedulers.base import Scheduler
 from repro.sim.migration import MigrationModel
 from repro.sim.results import RunResult
-from repro.sim.topology import Topology, homogeneous, xeon_e5_heterogeneous
+from repro.sim.topology import Topology
+from repro.topologies import TOPOLOGY_REGISTRY
 from repro.util.rng import DEFAULT_SEED
 from repro.util.validation import require
 from repro.workloads.suite import WorkloadSpec
@@ -49,11 +51,20 @@ __all__ = [
 #: the registry itself is the source of truth).
 KNOWN_POLICIES: tuple[str, ...] = REGISTRY.names()
 
-#: Named topologies (tasks reference machines by name, never by object).
-TOPOLOGIES: dict[str, object] = {
-    "heterogeneous": xeon_e5_heterogeneous,
-    "homogeneous": homogeneous,
-}
+
+def __getattr__(name: str):
+    # Deprecated: the topology name table moved into the topology registry
+    # (`repro.topologies.TOPOLOGY_REGISTRY`); this shim keeps the old
+    # ``TOPOLOGIES`` mapping importable.
+    if name == "TOPOLOGIES":
+        warnings.warn(
+            "repro.campaign.TOPOLOGIES is deprecated; resolve topology "
+            "names through repro.topologies.TOPOLOGY_REGISTRY",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {spec.name: spec.factory for spec in TOPOLOGY_REGISTRY}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -185,6 +196,12 @@ class SimParams:
     ``llc`` names the shared-LLC backend (`repro.sim.llc`, e.g.
     ``"occupancy"``); ``None`` is the default ``NullLLC`` and is omitted
     from the canonical dict, so pre-LLC cache keys stay addressable.
+
+    ``topology`` resolves through `repro.topologies.TOPOLOGY_REGISTRY`
+    (unknown names raise ``UnknownTopologyError``, a ``ValueError``);
+    ``topology_params`` customises the named preset and is validated
+    against its declarative schema — stored raw and serialised only when
+    set, so default-machine cache keys stay addressable.
     """
 
     work_scale: float = 1.0
@@ -194,11 +211,14 @@ class SimParams:
     record_timeseries: bool = False
     migration: tuple[float, float, float] | None = None
     llc: str | None = None
+    topology_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
-        require(
-            self.topology in TOPOLOGIES,
-            f"unknown topology {self.topology!r}; known: {sorted(TOPOLOGIES)}",
+        spec = TOPOLOGY_REGISTRY.get(self.topology)
+        spec.validate_params(dict(self.topology_params))
+        # Normalise parameter order so logically equal params hash equal.
+        object.__setattr__(
+            self, "topology_params", tuple(sorted(self.topology_params))
         )
         if self.llc is not None:
             from repro.sim.llc import LLC_MODELS
@@ -220,6 +240,8 @@ class SimParams:
         # Only present when set, preserving historical cache keys.
         if self.llc is not None:
             out["llc"] = self.llc
+        if self.topology_params:
+            out["topology_params"] = [[k, v] for k, v in self.topology_params]
         return out
 
 
@@ -339,13 +361,18 @@ def build_scheduler(policy: str, params: Mapping[str, object] | None = None) -> 
 
 
 def build_topology(name: str) -> Topology:
-    try:
-        factory = TOPOLOGIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown topology {name!r}; known: {sorted(TOPOLOGIES)}"
-        ) from None
-    return factory()
+    """Deprecated: use ``repro.topologies.TOPOLOGY_REGISTRY.build(name)``.
+
+    Kept as a shim so pre-registry call sites keep working; unknown names
+    still raise a ``ValueError`` (``UnknownTopologyError``).
+    """
+    warnings.warn(
+        "build_topology() is deprecated; resolve topology names through "
+        "repro.topologies.TOPOLOGY_REGISTRY.build(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return TOPOLOGY_REGISTRY.build(name)
 
 
 def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
@@ -388,7 +415,7 @@ def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
         build_scheduler(task.policy, task.params),
         seed=task.seed,
         work_scale=sim.work_scale,
-        topology=build_topology(sim.topology),
+        topology=TOPOLOGY_REGISTRY.build(sim.topology, dict(sim.topology_params)),
         migration=migration,
         record_timeseries=sim.record_timeseries,
         counter_noise=sim.counter_noise,
@@ -407,5 +434,6 @@ def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
             work_scale=sim.work_scale,
             topology=sim.topology,
             seed=task.seed,
+            topology_params=sim.topology_params,
         ).to_dict()
     return result

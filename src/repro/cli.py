@@ -9,6 +9,11 @@ Subcommands
     invariant contract (the `repro.policies` registry); ``--check``
     validates the registry itself (factories build, contracts resolve)
     and exits 1 on drift — the CI policy-matrix gate.
+``topologies [--json|--names|--check]``
+    Show every registered machine preset with its parameter schema and
+    shape (the `repro.topologies` registry); ``--check`` validates the
+    registry (factories build, socket tables consistent, aliases
+    resolve) and exits 1 on drift — the CI scaling-smoke gate.
 ``run <experiment-id> [--scale S] [--seed N]``
     Regenerate one table/figure and print its plain-text render.
 ``compare <workload> [--scale S] [--seed N]``
@@ -51,8 +56,13 @@ Subcommands
 Shared flags (see docs/README.md): ``run``/``report``/``all``/
 ``campaign``/``bench``/``trace`` uniformly accept ``--quick`` (smoke
 settings), ``--workers``, ``--cache-dir``, ``--trace-out`` and
-``--invariants``; verbs that always run in-process (``bench``, ``trace``)
-note ignored backend flags on stderr rather than erroring.
+``--invariants``; ``run``/``timeline``/``trace``/``campaign``/
+``traffic``/``bench`` additionally accept ``--topology
+NAME[:K=V,...]``, resolved through the topology registry (``repro
+topologies`` lists the presets).  Verbs that always run in-process
+(``bench``, ``trace``) note ignored backend flags on stderr rather than
+erroring, and the paper-pinned experiment verbs (``run``) likewise note
+a non-default ``--topology`` instead of failing.
 """
 
 from __future__ import annotations
@@ -128,6 +138,20 @@ def _backend_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _topology_parent() -> argparse.ArgumentParser:
+    """Shared machine-model flag, resolved via the topology registry."""
+    p = argparse.ArgumentParser(add_help=False)
+    g = p.add_argument_group("machine options")
+    g.add_argument(
+        "--topology", default="heterogeneous", metavar="NAME[:K=V,...]",
+        help="machine preset from the topology registry, with optional "
+             "parameter overrides (e.g. scale256 or "
+             "multi-socket:n_sockets=8,smt=1); `repro topologies` lists "
+             "the presets (default: heterogeneous, the paper machine)",
+    )
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dike-repro",
@@ -139,6 +163,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     common = _common_parent()
     backend = _backend_parent()
+    machine = _topology_parent()
 
     sub.add_parser("list", help="list regenerable experiments")
 
@@ -165,8 +190,31 @@ def build_parser() -> argparse.ArgumentParser:
              "(e.g. standard, baseline, ablation, cache-aware)",
     )
 
+    p_topo = sub.add_parser(
+        "topologies",
+        help="list registered machine presets (schema, shape, aliases)",
+    )
+    p_topo.add_argument(
+        "--json", action="store_true",
+        help="print the full registry as a JSON document",
+    )
+    p_topo.add_argument(
+        "--names", action="store_true",
+        help="print canonical topology names only, one per line (scripting)",
+    )
+    p_topo.add_argument(
+        "--check", action="store_true",
+        help="validate the registry (factories build, socket tables "
+             "consistent, aliases resolve); exit 1 on drift",
+    )
+    p_topo.add_argument(
+        "--tag", default=None,
+        help="only show topologies carrying this tag (e.g. paper, scale)",
+    )
+
     p_run = sub.add_parser(
-        "run", help="regenerate one experiment", parents=[common, backend]
+        "run", help="regenerate one experiment",
+        parents=[common, backend, machine],
     )
     p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
 
@@ -191,7 +239,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_repl.add_argument("--seeds", type=int, default=3, help="number of seeds")
 
     p_tl = sub.add_parser(
-        "timeline", help="placement timeline of one run", parents=[common]
+        "timeline", help="placement timeline of one run",
+        parents=[common, machine],
     )
     p_tl.add_argument("workload", help="wl1 .. wl16")
     p_tl.add_argument(
@@ -204,12 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser(
         "trace", help="run one workload with full observability",
-        parents=[common, backend],
+        parents=[common, backend, machine],
     )
     p_trace.add_argument("workload", help="wl1 .. wl16")
     p_trace.add_argument(
-        "--policy", choices=sorted(_policy_choices()), default="dike",
-        help="scheduling policy (default: dike)",
+        "--policy", default="dike", metavar="NAME[:K=V,...]",
+        help="scheduling policy with optional parameter overrides "
+             "(e.g. dike-hier:n_clusters=1); `repro policies` lists the "
+             "registry (default: dike)",
     )
     p_trace.add_argument(
         "--out", default=None,
@@ -252,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="engine throughput benchmark + regression check",
-        parents=[common, backend],
+        parents=[common, backend, machine],
     )
     p_bench.add_argument(
         "--repeats", type=int, default=3,
@@ -281,12 +332,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the batched-engine suite (N-run grids through "
              "repro.sim.batch vs serial scalar) and ratchet it",
     )
+    p_bench.add_argument(
+        "--scaling", action="store_true",
+        help="also run the scaling suite (scheduler overhead per quantum, "
+             "flat dike vs dike-hier, 40 -> 512 vcores) and ratchet it",
+    )
 
     p_tr = sub.add_parser(
         "traffic",
         help="open-loop arrival sweeps: process x rate x policy with "
              "tail-latency metrics",
-        parents=[common, backend],
+        parents=[common, backend, machine],
     )
     p_tr.add_argument(
         "--processes", default="poisson,bursty,diurnal",
@@ -362,7 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp = sub.add_parser(
         "campaign",
         help="parallel, cached, fault-tolerant experiment grids",
-        parents=[common, backend],
+        parents=[common, backend, machine],
     )
     p_camp.add_argument(
         "--workloads", default=None,
@@ -428,6 +484,48 @@ def _policy_choices() -> dict:
     from repro.policies import REGISTRY
 
     return {s.name: s.from_params({}) for s in REGISTRY}
+
+
+def _build_policy(arg: str) -> tuple[str, object]:
+    """``name[:param=value,...]`` -> (name, validated zero-arg factory).
+
+    Raises ``ValueError`` (including ``UnknownPolicyError``) on a bad
+    name or parameter, with the registry's own error message.
+    """
+    from repro.policies import REGISTRY
+    from repro.topologies import parse_topology_arg
+
+    name, params = parse_topology_arg(arg)
+    return name, REGISTRY.get(name).from_params(params)
+
+
+def _resolve_topology(args: argparse.Namespace) -> tuple[str, dict]:
+    """Resolve the shared ``--topology`` flag to (canonical name, params).
+
+    The one place CLI topology names meet the registry: parses the
+    ``name[:param=value,...]`` grammar, canonicalises aliases and
+    validates parameters against the preset's schema.  Raises
+    ``ValueError`` (including ``UnknownTopologyError``) on bad input.
+    """
+    from repro.topologies import TOPOLOGY_REGISTRY, parse_topology_arg
+
+    name, params = parse_topology_arg(
+        getattr(args, "topology", "heterogeneous")
+    )
+    spec = TOPOLOGY_REGISTRY.get(name)
+    spec.validate_params(params)
+    return spec.name, params
+
+
+def _note_pinned_topology(args: argparse.Namespace) -> None:
+    """Paper-experiment verbs accept but ignore a non-default topology."""
+    name, params = _resolve_topology(args)
+    if name != "heterogeneous" or params:
+        print(
+            f"note: {args.command} regenerates paper artefacts pinned to "
+            "the paper machine; --topology ignored",
+            file=sys.stderr,
+        )
 
 
 def _resolve_shared_flags(args: argparse.Namespace) -> None:
@@ -549,6 +647,113 @@ def _cmd_policies(args: argparse.Namespace) -> int:
         rows,
         title=title,
     ))
+    return 0
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.topologies import TOPOLOGY_REGISTRY
+
+    if args.check:
+        return _check_topology_registry()
+    specs = list(TOPOLOGY_REGISTRY)
+    if args.tag is not None:
+        specs = [s for s in specs if args.tag in s.tags]
+        if not specs:
+            known = sorted({t for s in TOPOLOGY_REGISTRY for t in s.tags})
+            print(
+                f"error: no topology carries tag {args.tag!r}; "
+                f"known tags: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.names:
+        for s in specs:
+            print(s.name)
+        return 0
+    if args.json:
+        print(json.dumps(
+            [s.describe() for s in specs], indent=2, sort_keys=True
+        ))
+        return 0
+    rows = []
+    for s in specs:
+        d = s.describe()
+        shape = f"{d['n_sockets']}s/{d['n_vcores']}v"
+        if d["heterogeneous"]:
+            shape += " het"
+        params = ", ".join(
+            f"{p.name}={p.default}" for p in s.params
+        ) or "-"
+        rows.append([
+            s.name,
+            ",".join(s.tags) or "-",
+            shape,
+            params,
+            s.doc,
+        ])
+    title = f"{len(specs)} registered topologies"
+    if args.tag is not None:
+        title += f" tagged {args.tag!r}"
+    print(format_table(
+        ["topology", "tags", "shape", "parameters (defaults)", "description"],
+        rows,
+        title=title,
+    ))
+    return 0
+
+
+def _check_topology_registry() -> int:
+    """Topology registry completeness gate (CI scaling-smoke)."""
+    import json
+
+    from repro.topologies import TOPOLOGY_REGISTRY
+
+    problems: list[str] = []
+    for s in TOPOLOGY_REGISTRY:
+        try:
+            built = s.build()
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            problems.append(f"{s.name}: default factory failed: {exc}")
+            continue
+        if built.n_vcores < 1:
+            problems.append(f"{s.name}: built machine has no vcores")
+        covered = sum(
+            len(built.vcores_on_socket(sid)) for sid in range(built.n_sockets)
+        )
+        if covered != built.n_vcores:
+            problems.append(
+                f"{s.name}: socket tables cover {covered} vcores, "
+                f"machine has {built.n_vcores}"
+            )
+        try:
+            s.from_params(s.defaults())
+        except Exception as exc:  # noqa: BLE001
+            problems.append(
+                f"{s.name}: schema defaults fail their own validation: {exc}"
+            )
+        for alias in s.aliases:
+            if TOPOLOGY_REGISTRY.get(alias) is not s:
+                problems.append(
+                    f"{s.name}: alias {alias!r} resolves to a different spec"
+                )
+        try:
+            json.dumps(s.describe())
+        except Exception as exc:  # noqa: BLE001
+            problems.append(f"{s.name}: describe() not JSON-serializable: {exc}")
+    if problems:
+        print(
+            f"topology registry check FAILED ({len(problems)} problem(s)):",
+            file=sys.stderr,
+        )
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(
+        f"topology registry OK ({len(TOPOLOGY_REGISTRY)} topologies, "
+        f"{sum(len(s.params) for s in TOPOLOGY_REGISTRY)} parameters checked)"
+    )
     return 0
 
 
@@ -680,16 +885,21 @@ def _cmd_replicate(wl_name: str, n_seeds: int, scale: float, seed: int) -> int:
     return 0
 
 
-def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
+def _cmd_timeline(args: argparse.Namespace) -> int:
     from repro.analysis.timeline import placement_timeline, swap_activity_sparkline
     from repro.experiments.runner import run_workload
-    from repro.sim.topology import xeon_e5_heterogeneous
+    from repro.topologies import TOPOLOGY_REGISTRY
 
-    topo = xeon_e5_heterogeneous()
-    spec = workload(wl_name)
+    try:
+        topo_name, topo_params = _resolve_topology(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    topo = TOPOLOGY_REGISTRY.build(topo_name, topo_params)
+    spec = workload(args.workload)
     result = run_workload(
-        spec, _policy_choices()[policy](), seed=seed, work_scale=scale,
-        topology=topo, record_timeseries=True,
+        spec, _policy_choices()[args.policy](), seed=args.seed,
+        work_scale=args.scale, topology=topo, record_timeseries=True,
     )
     print(placement_timeline(result, topo))
     print()
@@ -700,10 +910,18 @@ def _cmd_timeline(wl_name: str, policy: str, scale: float, seed: int) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_workload
     from repro.obs import attach
+    from repro.topologies import TOPOLOGY_REGISTRY
 
     _note_inprocess_flags(args)
     spec = workload(args.workload)
-    scheduler = _policy_choices()[args.policy]()
+    try:
+        policy_name, factory = _build_policy(args.policy)
+        topo_name, topo_params = _resolve_topology(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    scheduler = factory()
+    topology = TOPOLOGY_REGISTRY.build(topo_name, topo_params)
     out = args.trace_out or args.out or "trace.jsonl"
     # Dike carries its swapSize in config; the policy contract picks it
     # up so the budget rule starts from the configured value.
@@ -714,7 +932,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         max_bytes=args.max_bytes,
         metrics=True,
         tally=True,
-        invariants=False if args.no_invariants else args.policy,
+        invariants=False if args.no_invariants else policy_name,
         strict=args.strict,
         swap_size=getattr(config, "swap_size", None),
     )
@@ -722,12 +940,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = run_workload(
         spec, scheduler, seed=args.seed, work_scale=args.scale,
-        record_timeseries=False, bus=att, llc=args.llc,
+        topology=topology, record_timeseries=False, bus=att, llc=args.llc,
     )
     att.close()
     att.finalize(result)
 
-    print(f"{spec.name}/{args.policy}@s{args.seed}: "
+    print(f"{spec.name}/{policy_name}@s{args.seed}: "
           f"makespan={result.makespan_s:.1f}s quanta={result.n_quanta} "
           f"swaps={result.swap_count}")
     rows = [[kind, n] for kind, n in sorted(att.tally.counts.items())]
@@ -799,18 +1017,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.benchmarking import (
         BATCHED_SUITE,
+        DEFAULT_SCALING_THRESHOLD,
         DEFAULT_THRESHOLD,
         FULL_SUITE,
         QUICK_SUITE,
+        SCALING_SUITE,
         build_report,
         compare,
+        compare_scaling,
         load_report,
         run_batched_suite,
+        run_scaling_suite,
         run_suite,
         write_report,
     )
+    from repro.topologies import TOPOLOGY_REGISTRY
 
     _note_inprocess_flags(args)
+    try:
+        topo_name, topo_params = _resolve_topology(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    topology_factory = (
+        TOPOLOGY_REGISTRY.factory(topo_name, topo_params)
+        if topo_name != "heterogeneous" or topo_params
+        else None
+    )
+    if topology_factory is not None and args.baseline:
+        print(
+            "note: throughput cases measured on a non-default --topology "
+            "are not comparable to a committed baseline; expect spurious "
+            "deltas",
+            file=sys.stderr,
+        )
     cases = QUICK_SUITE if args.quick else FULL_SUITE
     baseline = load_report(args.baseline) if args.baseline else None
     base_results = dict(baseline["results"]) if baseline else {}
@@ -849,7 +1089,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         print(f"  {name}: {r['quanta_per_s']:.0f} quanta/s", file=sys.stderr)
 
-    results = run_suite(cases, repeats=args.repeats, progress=progress)
+    results = run_suite(
+        cases, repeats=args.repeats, progress=progress,
+        topology_factory=topology_factory,
+    )
     if not quiet:
         print(
             format_table(
@@ -895,12 +1138,47 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                           f"best of {args.repeats})",
                 )
             )
+
+    scaling = None
+    if args.scaling:
+        scaling_rows = []
+
+        def scaling_progress(name: str, r: dict) -> None:
+            scaling_rows.append(
+                [
+                    name,
+                    r["n_threads"],
+                    r["overhead_us_per_quantum"],
+                    r["n_quanta"],
+                    r["wall_s"],
+                ]
+            )
+            print(
+                f"  {name}: {r['overhead_us_per_quantum']:.0f} us/quantum "
+                f"({r['n_threads']} threads)",
+                file=sys.stderr,
+            )
+
+        scaling = run_scaling_suite(
+            SCALING_SUITE, repeats=args.repeats, progress=scaling_progress
+        )
+        if not quiet:
+            print(
+                format_table(
+                    ["case", "threads", "sched us/quantum", "quanta",
+                     "wall(s)"],
+                    scaling_rows,
+                    title=f"scheduler overhead vs machine size "
+                          f"({len(SCALING_SUITE)} points, "
+                          f"best of {args.repeats})",
+                )
+            )
     if not quiet:
         print(f"[bench completed in {time.perf_counter() - t0:.1f}s]")
 
     # Preserve the committed report's reference block (the pre-refactor
-    # numbers) when overwriting it in place, and its batched block when
-    # this invocation did not re-measure it.
+    # numbers) when overwriting it in place, and its batched/scaling
+    # blocks when this invocation did not re-measure them.
     reference = baseline.get("reference") if baseline else None
     prior = (
         load_report(args.out)
@@ -912,6 +1190,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     batched_out = batched
     if batched_out is None and prior is not None:
         batched_out = prior.get("batched")
+    scaling_out = scaling
+    if scaling_out is None and prior is not None:
+        scaling_out = prior.get("scaling")
 
     if args.json:
         print(_json.dumps(
@@ -920,6 +1201,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 repeats=args.repeats,
                 reference=reference,
                 batched=batched if batched is not None else None,
+                scaling=scaling if scaling is not None else None,
             ),
             indent=2,
             sort_keys=True,
@@ -932,6 +1214,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             reference=reference,
             batched=batched_out,
+            scaling=scaling_out,
         )
         if not quiet:
             print(f"report -> {args.out}")
@@ -947,14 +1230,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             current.update(batched)
             base_results.update(baseline.get("batched", {}))
         regressions = compare(current, base_results, threshold=threshold)
+        if scaling is not None:
+            # Scheduler overhead ratchets lower-is-better, with its own
+            # (wider) default threshold; --threshold overrides both.
+            regressions += compare_scaling(
+                scaling,
+                baseline.get("scaling", {}),
+                threshold=(
+                    args.threshold
+                    if args.threshold is not None
+                    else DEFAULT_SCALING_THRESHOLD
+                ),
+            )
         if regressions:
             print(f"{len(regressions)} perf regression(s):", file=sys.stderr)
             for r in regressions:
                 print(f"  {r}", file=sys.stderr)
             return 1
         if not quiet:
+            n_compared = len(set(current) & set(base_results))
+            if scaling is not None:
+                n_compared += len(set(scaling) & set(baseline.get("scaling", {})))
             print(f"no regressions beyond {threshold * 100:.0f}% "
-                  f"({len(set(current) & set(base_results))} cases compared)")
+                  f"({n_compared} cases compared)")
     return 0
 
 
@@ -1011,6 +1309,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         else tuple(s.name for s in REGISTRY.tagged("standard"))
     )
     try:
+        topo_name, topo_params = _resolve_topology(args)
         spec = CampaignSpec(
             name="sweep-grid" if args.sweep else "fig6-grid",
             workloads=workloads,
@@ -1021,6 +1320,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             param_grid=_parse_param_grid(args.param),
             invariants=args.invariants,
             llc=args.llc,
+            topology=topo_name,
+            topology_params=tuple(sorted(topo_params.items())),
         )
         campaign = _make_campaign(args)
         the_plan = plan(spec)
@@ -1114,6 +1415,7 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             for proc in processes
             for rate in rates
         )
+        topo_name, topo_params = _resolve_topology(args)
         spec = TrafficCampaignSpec(
             traffic=load,
             policies=tuple(args.policies.split(",")),
@@ -1121,6 +1423,8 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
             work_scale=args.scale,
             invariants=args.invariants,
             llc=args.llc,
+            topology=topo_name,
+            topology_params=tuple(sorted(topo_params.items())),
         )
         campaign = _make_campaign(args)
         the_plan = plan_traffic(spec)
@@ -1230,6 +1534,8 @@ def _cell(
         sim=SimParams(
             work_scale=spec.work_scale,
             llc=getattr(spec, "llc", None),
+            topology=getattr(spec, "topology", "heterogeneous"),
+            topology_params=getattr(spec, "topology_params", ()),
         ),
         invariants=invariants,
     )
@@ -1260,7 +1566,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_list()
     if args.command == "policies":
         return _cmd_policies(args)
+    if args.command == "topologies":
+        return _cmd_topologies(args)
     if args.command == "run":
+        try:
+            _note_pinned_topology(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return _with_campaign(
             args, lambda c: _cmd_run(args.experiment, args.scale, args.seed, c)
         )
@@ -1273,7 +1586,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "replicate":
         return _cmd_replicate(args.workload, args.seeds, args.scale, args.seed)
     if args.command == "timeline":
-        return _cmd_timeline(args.workload, args.policy, args.scale, args.seed)
+        return _cmd_timeline(args)
     if args.command == "all":
         return _with_campaign(
             args, lambda c: _cmd_all(args.scale, args.seed, c)

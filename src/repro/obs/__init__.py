@@ -30,6 +30,7 @@ from repro.obs.events import (
     CacheClusterFormed,
     CacheShareUpdated,
     ClassificationChanged,
+    ClusterAssigned,
     Event,
     EventBus,
     FairnessComputed,
@@ -41,6 +42,7 @@ from repro.obs.events import (
     ProfitEvaluated,
     QuantumEnd,
     QuantumStart,
+    RebalanceExecuted,
     SwapExecuted,
     event_from_dict,
     validate_event_dict,
@@ -88,6 +90,8 @@ __all__ = [
     "ArrivalPlaced",
     "CacheShareUpdated",
     "CacheClusterFormed",
+    "ClusterAssigned",
+    "RebalanceExecuted",
     "event_from_dict",
     "validate_event_dict",
     "JsonlSink",

@@ -46,6 +46,8 @@ __all__ = [
     "JobCompleted",
     "CacheShareUpdated",
     "CacheClusterFormed",
+    "ClusterAssigned",
+    "RebalanceExecuted",
     "EVENT_TYPES",
     "EventBus",
     "NULL_BUS",
@@ -60,7 +62,9 @@ __all__ = [
 #: v3: ``cache_share_updated`` / ``cache_cluster_formed`` added (shared-LLC
 #: occupancy model + cache-aware policies); v2 kinds are unchanged and
 #: still serialise with ``"v": 2``.
-SCHEMA_VERSION = 3
+#: v4: ``cluster_assigned`` / ``rebalance_executed`` added (hierarchical
+#: cluster-then-schedule policies); earlier kinds are unchanged.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -308,6 +312,48 @@ class CacheClusterFormed(Event):
     tids: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class ClusterAssigned(Event):
+    """A hierarchical policy (re)assigned one contention cluster.
+
+    ``cluster`` is the cluster's index, ``label`` the clustering signal
+    that formed it (e.g. ``"socket-0"``), ``tids`` the member threads and
+    ``vcores`` the vcore partition the cluster's per-cluster pipeline is
+    confined to.  Emitted by the ``ClusterStage`` whenever membership
+    changes — never when the effective cluster count is 1, so
+    single-cluster hierarchical runs stay trace-identical to flat runs.
+    """
+
+    kind: ClassVar[str] = "cluster_assigned"
+    schema_version: ClassVar[int] = 4
+
+    cluster: int
+    label: str
+    tids: tuple[int, ...]
+    vcores: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RebalanceExecuted(Event):
+    """The inter-cluster rebalancer exchanged threads between clusters.
+
+    ``cluster_a``/``cluster_b`` are the diverging clusters (``a`` the one
+    with the higher pressure signal), ``tids_a``/``tids_b`` the threads
+    exchanged out of each, ``signal_a``/``signal_b`` the per-cluster
+    fairness counters whose divergence triggered the move.
+    """
+
+    kind: ClassVar[str] = "rebalance_executed"
+    schema_version: ClassVar[int] = 4
+
+    cluster_a: int
+    cluster_b: int
+    tids_a: tuple[int, ...]
+    tids_b: tuple[int, ...]
+    signal_a: float
+    signal_b: float
+
+
 #: kind string -> event class, for deserialisation and validation.
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
@@ -326,6 +372,8 @@ EVENT_TYPES: dict[str, type[Event]] = {
         OptimizerStep,
         CacheShareUpdated,
         CacheClusterFormed,
+        ClusterAssigned,
+        RebalanceExecuted,
     )
 }
 

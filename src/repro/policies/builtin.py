@@ -27,6 +27,7 @@ from __future__ import annotations
 from repro.core.cache_aware import BLISSScheduler, LFOCScheduler
 from repro.core.config import AdaptationGoal, DikeConfig
 from repro.core.dike import NO_DECIDER_STAGES, NO_PREDICTOR_STAGES, DikeScheduler
+from repro.core.hierarchical import HierarchicalScheduler
 from repro.obs.invariants import RULES
 from repro.policies.registry import PolicyRegistry
 from repro.policies.spec import ParamSpec, PolicySpec
@@ -344,4 +345,64 @@ REGISTRY.register(PolicySpec(
     params=_BLISS_PARAMS,
     invariants=RULES,
     tags=("cache-aware", "open-loop"),
+))
+
+# ---------------------------------------------- hierarchical (cluster-then-schedule)
+
+_HIER_PARAMS: tuple[ParamSpec, ...] = _DIKE_PARAMS + (
+    ParamSpec(
+        "n_clusters", int, 0,
+        "socket-aligned contention clusters (0 = one per socket; "
+        "capped by the socket count)",
+        minimum=0,
+    ),
+    ParamSpec(
+        "rebalance_period", int, 10,
+        "quanta between inter-cluster rebalance checks", minimum=1,
+    ),
+    ParamSpec(
+        "rebalance_threshold", float, 0.2,
+        "relative per-cluster signal divergence that triggers an exchange",
+        minimum=0.0,
+    ),
+)
+
+
+def _hier_factory(name: str, signal: str):
+    def build(**params) -> HierarchicalScheduler:
+        n_clusters = params.pop("n_clusters", 0)
+        period = params.pop("rebalance_period", 10)
+        threshold = params.pop("rebalance_threshold", 0.2)
+        cfg = DikeConfig(goal=AdaptationGoal.NONE, **params)
+        return HierarchicalScheduler(
+            cfg,
+            name=name,
+            n_clusters=n_clusters,
+            rebalance_period=period,
+            rebalance_threshold=threshold,
+            cluster_signal=signal,
+        )
+
+    return build
+
+
+REGISTRY.register(PolicySpec(
+    name="dike-hier",
+    doc="hierarchical Dike: socket-aligned contention clusters, "
+        "round-robin per-cluster pair selection, Agon-style mean-rate "
+        "inter-cluster rebalancing",
+    factory=_hier_factory("dike-hier", "rate"),
+    params=_HIER_PARAMS,
+    invariants=RULES,
+    tags=("hierarchical", "open-loop"),
+))
+
+REGISTRY.register(PolicySpec(
+    name="dike-hier-fair",
+    doc="hierarchical Dike rebalancing on the LFOC-style fairness signal "
+        "(per-cluster access-rate CV) instead of mean pressure",
+    factory=_hier_factory("dike-hier-fair", "fairness"),
+    params=_HIER_PARAMS,
+    invariants=RULES,
+    tags=("hierarchical", "open-loop"),
 ))

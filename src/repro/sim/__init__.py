@@ -41,6 +41,7 @@ from repro.sim.topology import (
     Topology,
     VirtualCore,
     homogeneous,
+    multi_socket,
     xeon_e5_heterogeneous,
 )
 from repro.sim.trace import SwapEvent, TraceRecorder
@@ -77,6 +78,7 @@ __all__ = [
     "Topology",
     "VirtualCore",
     "homogeneous",
+    "multi_socket",
     "xeon_e5_heterogeneous",
     "SwapEvent",
     "TraceRecorder",

@@ -34,6 +34,7 @@ __all__ = [
     "Topology",
     "xeon_e5_heterogeneous",
     "homogeneous",
+    "multi_socket",
 ]
 
 
@@ -139,6 +140,22 @@ class Topology:
         self.vcore_freq_hz.setflags(write=False)
         self.socket_interconnect_rate.setflags(write=False)
 
+        # Immutable lookup tables so siblings()/vcores_on_socket() are O(1)
+        # per call instead of an O(n_vcores) flatnonzero scan — SMT-aware
+        # stages call these per quantum, which matters at 1024 vcores.
+        by_phys: dict[int, list[int]] = {}
+        by_socket: dict[int, list[int]] = {}
+        for v in vcores:
+            by_phys.setdefault(v.physical_id, []).append(v.vcore_id)
+            by_socket.setdefault(v.socket_id, []).append(v.vcore_id)
+        self._siblings: tuple[tuple[int, ...], ...] = tuple(
+            tuple(p for p in by_phys[v.physical_id] if p != v.vcore_id)
+            for v in vcores
+        )
+        self._socket_vcores: tuple[tuple[int, ...], ...] = tuple(
+            tuple(by_socket[sid]) for sid in range(len(sockets))
+        )
+
     # -- structural accessors ------------------------------------------------
 
     @property
@@ -175,15 +192,10 @@ class Topology:
 
     def siblings(self, vcore_id: int) -> tuple[int, ...]:
         """Other virtual cores sharing the same physical core."""
-        phys = self.vcore_physical[vcore_id]
-        return tuple(
-            int(v)
-            for v in np.flatnonzero(self.vcore_physical == phys)
-            if v != vcore_id
-        )
+        return self._siblings[vcore_id]
 
     def vcores_on_socket(self, socket_id: int) -> tuple[int, ...]:
-        return tuple(int(v) for v in np.flatnonzero(self.vcore_socket == socket_id))
+        return self._socket_vcores[socket_id]
 
     @property
     def max_freq_hz(self) -> float:
@@ -243,4 +255,46 @@ def homogeneous(
             for _ in range(n_sockets)
         ),
         memory_controller_gbps=memory_controller_gbps,
+    )
+
+
+def multi_socket(
+    n_sockets: int = 4,
+    cores_per_socket: int = 16,
+    smt: int = 2,
+    max_ghz: float = 2.33,
+    min_ghz: float = 1.21,
+    n_freq_domains: int = 0,
+    memory_controller_gbps_per_socket: float = 17.0,
+    fast_interconnect_gbps: float = 24.0,
+    slow_interconnect_gbps: float = 6.0,
+) -> Topology:
+    """An N-socket machine with per-socket frequency domains.
+
+    Generalises the paper's two-socket testbed to the large machines the
+    hierarchical policies target (hundreds to ~1024 vcores).  Socket
+    frequencies step evenly from ``max_ghz`` down to ``min_ghz`` across
+    ``n_freq_domains`` distinct domains (0 = every socket its own domain),
+    and interconnect bandwidth scales with frequency between the fast and
+    slow extremes — preserving the "slow sockets are doubly disadvantaged"
+    structure Dike's core identification keys on.  Memory-controller
+    capacity grows with socket count so large presets aren't artificially
+    bandwidth-starved.
+    """
+    require(n_sockets >= 1, "n_sockets must be >= 1")
+    require(min_ghz <= max_ghz, "min_ghz must be <= max_ghz")
+    domains = n_freq_domains if n_freq_domains > 0 else n_sockets
+    domains = min(domains, n_sockets)
+    sockets = []
+    for sid in range(n_sockets):
+        domain = sid * domains // n_sockets
+        frac = domain / (domains - 1) if domains > 1 else 0.0
+        freq = max_ghz - frac * (max_ghz - min_ghz)
+        link = fast_interconnect_gbps - frac * (
+            fast_interconnect_gbps - slow_interconnect_gbps
+        )
+        sockets.append(SocketSpec(round(freq, 4), cores_per_socket, smt, round(link, 4)))
+    return Topology(
+        tuple(sockets),
+        memory_controller_gbps=memory_controller_gbps_per_socket * n_sockets,
     )

@@ -25,7 +25,7 @@ from functools import lru_cache
 
 from repro.schedulers.static import StaticScheduler
 from repro.sim.engine import SimulationEngine
-from repro.sim.topology import Topology, homogeneous, xeon_e5_heterogeneous
+from repro.topologies import TOPOLOGY_REGISTRY
 from repro.traffic.replay import TrafficWorkload
 from repro.traffic.trace import Job
 from repro.util.validation import require
@@ -41,24 +41,6 @@ def baseline_cache_stats() -> dict[str, int]:
     """Snapshot of the solo-baseline memo counters for this process."""
     return dict(_CACHE_STATS)
 
-#: Named topologies for baseline runs (mirrors campaign's TOPOLOGIES —
-#: duplicated by value to keep `repro.traffic` import-independent of the
-#: campaign layer).
-_TOPOLOGIES = {
-    "heterogeneous": xeon_e5_heterogeneous,
-    "homogeneous": homogeneous,
-}
-
-
-def _build_topology(name: str) -> Topology:
-    try:
-        return _TOPOLOGIES[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown topology {name!r}; known: {sorted(_TOPOLOGIES)}"
-        ) from None
-
-
 def solo_runtime(
     app: str,
     n_threads: int,
@@ -66,6 +48,7 @@ def solo_runtime(
     topology: str = "heterogeneous",
     seed: int = 0,
     size: float = 1.0,
+    topology_params: tuple[tuple[str, object], ...] = (),
 ) -> float:
     """Runtime (seconds) of one job running alone on ``topology``.
 
@@ -73,10 +56,15 @@ def solo_runtime(
     per-thread jitter as a traffic run's group 0, a fastest-first static
     placement and zero counter noise (noise only affects the scheduler's
     view, and the static scheduler ignores it anyway).  Memoised per
-    process; `baseline_cache_stats` counts the reuse.
+    process; `baseline_cache_stats` counts the reuse.  ``topology`` is a
+    registry preset name; ``topology_params`` its sorted customisation
+    pairs (the same form ``SimParams`` carries), part of the memo key.
     """
     before = _CACHE_STATS["misses"]
-    value = _solo_runtime(app, n_threads, work_scale, topology, seed, size)
+    value = _solo_runtime(
+        app, n_threads, work_scale, topology, seed, size,
+        tuple(topology_params),
+    )
     if _CACHE_STATS["misses"] == before:
         _CACHE_STATS["hits"] += 1
     return value
@@ -90,6 +78,7 @@ def _solo_runtime(
     topology: str,
     seed: int,
     size: float,
+    topology_params: tuple[tuple[str, object], ...],
 ) -> float:
     _CACHE_STATS["misses"] += 1
     wl = TrafficWorkload(
@@ -97,7 +86,7 @@ def _solo_runtime(
         jobs=(Job(0, app, 0.0, n_threads=n_threads, size=size),),
     )
     engine = SimulationEngine(
-        topology=_build_topology(topology),
+        topology=TOPOLOGY_REGISTRY.build(topology, dict(topology_params)),
         groups=wl.build(seed=seed, work_scale=work_scale),
         scheduler=StaticScheduler(fastest_first=True),
         seed=seed,
@@ -115,6 +104,7 @@ def solo_runtimes(
     work_scale: float = 1.0,
     topology: str = "heterogeneous",
     seed: int = 0,
+    topology_params: tuple[tuple[str, object], ...] = (),
 ) -> dict[tuple[str, int, float], float]:
     """Baselines for every distinct ``(app, n_threads, size)`` in ``jobs``."""
     out: dict[tuple[str, int, float], float] = {}
@@ -122,6 +112,7 @@ def solo_runtimes(
         key = (job.app, job.n_threads, job.size)
         if key not in out:
             out[key] = solo_runtime(
-                job.app, job.n_threads, work_scale, topology, seed, job.size
+                job.app, job.n_threads, work_scale, topology, seed, job.size,
+                topology_params=topology_params,
             )
     return out

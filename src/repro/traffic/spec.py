@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.policies import REGISTRY
+from repro.topologies import TOPOLOGY_REGISTRY
 from repro.traffic.generators import GENERATORS, make_process
 from repro.traffic.replay import TrafficWorkload, workload_from_trace
 from repro.traffic.trace import JobTrace
@@ -116,11 +117,19 @@ class TrafficCampaignSpec:
     invariants: bool = False
     #: shared-LLC backend name (`repro.sim.llc`); ``None`` = NullLLC
     llc: str | None = None
+    #: machine preset name (`repro.topologies.TOPOLOGY_REGISTRY`)
+    topology: str = "heterogeneous"
+    #: preset customisation, validated against the topology's schema
+    topology_params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         require(len(self.traffic) >= 1, "a traffic campaign needs >= 1 load point")
         require(len(self.policies) >= 1, "a traffic campaign needs >= 1 policy")
         require(len(self.seeds) >= 1, "a traffic campaign needs >= 1 seed")
+        # Raises UnknownTopologyError / ValueError on a bad name or params.
+        TOPOLOGY_REGISTRY.get(self.topology).validate_params(
+            dict(self.topology_params)
+        )
         for p in self.policies:
             spec = REGISTRY.get(p)  # raises UnknownPolicyError on a bad name
             require(
@@ -160,7 +169,12 @@ def plan_traffic(
     from repro.campaign.planner import CampaignPlan, dedupe
     from repro.campaign.spec import SimParams, TaskSpec
 
-    sim = SimParams(work_scale=spec.work_scale, llc=spec.llc)
+    sim = SimParams(
+        work_scale=spec.work_scale,
+        llc=spec.llc,
+        topology=spec.topology,
+        topology_params=spec.topology_params,
+    )
     requested: list[TaskSpec] = []
     for load in spec.traffic:
         wl = load.workload()

@@ -193,6 +193,7 @@ def summarize_result(
     work_scale: float,
     topology: str = "heterogeneous",
     seed: int | None = None,
+    topology_params: tuple[tuple[str, object], ...] = (),
 ) -> TrafficSummary:
     """Traffic metrics reconstructed from a finished :class:`RunResult`.
 
@@ -223,7 +224,8 @@ def summarize_result(
         key = (b.benchmark, n_threads, record.size)
         if key not in baselines and math.isfinite(b.finish_time):
             baselines[key] = solo_runtime(
-                b.benchmark, n_threads, work_scale, topology, seed, record.size
+                b.benchmark, n_threads, work_scale, topology, seed,
+                record.size, topology_params=topology_params,
             )
     stats_after = baseline_cache_stats()
     delta = {k: stats_after[k] - stats_before[k] for k in stats_after}

@@ -149,3 +149,105 @@ class TestCommittedReport:
         assert batched["batch32/wl1-cfs"]["speedup_vs_scalar"] >= 3.0
         for case in batched.values():
             assert case["quanta_per_s"] > case["scalar_quanta_per_s"]
+
+
+class TestScalingSuite:
+    def test_suite_pairs_flat_and_hier_per_rung(self):
+        from repro.benchmarking import SCALING_SUITE
+
+        names = [c.name for c in SCALING_SUITE]
+        assert len(names) == len(set(names))
+        rungs = {c.n_threads for c in SCALING_SUITE}
+        assert min(rungs) == 40 and max(rungs) >= 512
+        for n in rungs:
+            policies = {c.policy for c in SCALING_SUITE if c.n_threads == n}
+            assert policies == {"dike", "dike-hier"}
+
+    def test_workload_fills_the_machine(self):
+        from repro.benchmarking import _scaling_workload
+
+        wl = _scaling_workload(256)
+        assert not wl.include_kmeans  # barriers make liveness policy-dependent
+        assert sum(wl.threads_per_app for _ in wl.apps) == 256
+
+    def test_topologies_resolve(self):
+        from repro.benchmarking import SCALING_SUITE
+        from repro.topologies import TOPOLOGY_REGISTRY
+
+        for case in SCALING_SUITE:
+            topo = TOPOLOGY_REGISTRY.build(case.topology)
+            assert topo.n_vcores == case.n_threads
+
+    def test_run_scaling_case_measures(self):
+        from repro.benchmarking import ScalingBenchCase, run_scaling_case
+
+        case = ScalingBenchCase(
+            name="t", topology="heterogeneous", policy="dike-hier",
+            n_threads=40, work_scale=0.02, seed=1, max_quanta=4,
+        )
+        r = run_scaling_case(case, repeats=1)
+        assert r["overhead_us_per_quantum"] > 0
+        assert r["n_quanta"] >= 1
+        assert r["n_threads"] == 40 and r["topology"] == "heterogeneous"
+
+
+class TestCompareScaling:
+    BASE = {"scaling/dike@40v": {"overhead_us_per_quantum": 100.0}}
+
+    def test_within_threshold_passes(self):
+        from repro.benchmarking import compare_scaling
+
+        cur = {"scaling/dike@40v": {"overhead_us_per_quantum": 120.0}}
+        assert compare_scaling(cur, self.BASE, threshold=0.5) == []
+
+    def test_regression_fails_one_sided(self):
+        from repro.benchmarking import compare_scaling
+
+        slow = {"scaling/dike@40v": {"overhead_us_per_quantum": 200.0}}
+        regressions = compare_scaling(slow, self.BASE, threshold=0.5)
+        assert len(regressions) == 1 and "scaling/dike@40v" in regressions[0]
+        fast = {"scaling/dike@40v": {"overhead_us_per_quantum": 10.0}}
+        # Getting faster is never a regression.
+        assert compare_scaling(fast, self.BASE, threshold=0.5) == []
+
+    def test_new_cases_pass_without_baseline(self):
+        from repro.benchmarking import compare_scaling
+
+        cur = {"scaling/dike@1024v": {"overhead_us_per_quantum": 900.0}}
+        assert compare_scaling(cur, self.BASE, threshold=0.5) == []
+
+    def test_bad_threshold_rejected(self):
+        from repro.benchmarking import compare_scaling
+
+        with pytest.raises(ValueError):
+            compare_scaling(self.BASE, self.BASE, threshold=0.0)
+
+    def test_committed_scaling_block_shape(self):
+        """The hierarchical-Dike acceptance curve: from the 40-vcore paper
+        machine upward, dike-hier's scheduler overhead grows strictly
+        slower than flat dike's (cumulatively, per rung) and is absolutely
+        cheaper on the 256- and 512-vcore machines."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        scaling = load_report(root / "BENCH_engine.json")["scaling"]
+
+        def curve(policy):
+            points = {}
+            for name, r in scaling.items():
+                if name.startswith(f"scaling/{policy}@"):
+                    points[r["n_threads"]] = r["overhead_us_per_quantum"]
+            return points
+
+        flat, hier = curve("dike"), curve("dike-hier")
+        sizes = sorted(flat)
+        assert sizes == sorted(hier)
+        assert sizes[0] == 40 and sizes[-1] >= 512
+        for n in sizes[1:]:
+            assert hier[n] / hier[40] < flat[n] / flat[40], (
+                f"dike-hier overhead must grow slower than flat dike by {n}v"
+            )
+            if n >= 256:
+                assert hier[n] < flat[n], (
+                    f"dike-hier must be absolutely cheaper at {n}v"
+                )
