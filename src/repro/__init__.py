@@ -18,6 +18,12 @@ Layers (see DESIGN.md):
   contracts and trace divergence analysis, attached via one call
   (:func:`repro.attach`);
 * :mod:`repro.campaign` — parallel, cached, fault-tolerant grids;
+* :mod:`repro.spec` — the unified experiment spec: composable,
+  schema-versioned :class:`repro.ExperimentSpec` (policy + topology refs
+  validated against the registries, cache keys byte-identical to the
+  legacy task form);
+* :mod:`repro.tune` — offline search-based self-tuning (GA /
+  successive halving) over cached campaign evaluations (`repro tune`);
 * :mod:`repro.traffic` — open-loop load generation (arrival-process
   generators, job traces), lifecycle tracking and tail-latency metrics.
 
@@ -79,6 +85,7 @@ def __getattr__(name: str):
 # module reaches into repro.experiments.serialization, so the experiments
 # package must finish initialising first.
 from repro.campaign import Campaign
+from repro.spec import ExperimentSpec, PolicyRef, TopologyRef
 from repro.obs import (
     DivergenceReport,
     InvariantSink,
@@ -150,6 +157,9 @@ __all__ = [
     "InvariantSink",
     "MetricsRegistry",
     "Campaign",
+    "ExperimentSpec",
+    "PolicyRef",
+    "TopologyRef",
     "fairness",
     "fairness_improvement",
     "makespan_speedup",

@@ -33,9 +33,9 @@ from typing import Sequence
 
 from repro.campaign.spec import (
     TaskSpec,
-    build_scheduler,
     execute_task,
 )
+from repro.policies import REGISTRY
 from repro.sim.results import RunResult
 from repro.topologies import TOPOLOGY_REGISTRY
 
@@ -100,6 +100,8 @@ class BatchResult:
 
 def batchable(task: TaskSpec) -> bool:
     """Whether ``task`` may run inside a batch (see module docstring)."""
+    if not isinstance(task, TaskSpec) and hasattr(task, "to_task"):
+        task = task.to_task()
     return (
         task.sim.llc is None
         and not task.invariants
@@ -118,6 +120,8 @@ def batch_signature(task: TaskSpec) -> tuple:
     shape keeps lane lengths similar so stragglers don't serialise the
     batch.
     """
+    if not isinstance(task, TaskSpec) and hasattr(task, "to_task"):
+        task = task.to_task()
     wl = task.workload
     return (
         task.policy,
@@ -187,7 +191,7 @@ def _build_engine(task: TaskSpec):
     return SimulationEngine(
         topology=TOPOLOGY_REGISTRY.build(sim.topology, dict(sim.topology_params)),
         groups=groups,
-        scheduler=build_scheduler(task.policy, task.params),
+        scheduler=REGISTRY.build(task.policy, task.params),
         migration=MigrationModel(*sim.migration) if sim.migration else None,
         seed=task.seed,
         counter_noise=sim.counter_noise,

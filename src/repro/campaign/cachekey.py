@@ -31,7 +31,15 @@ __all__ = ["task_fingerprint", "cache_key"]
 
 
 def task_fingerprint(task: TaskSpec) -> dict:
-    """The exact dict whose canonical JSON is hashed."""
+    """The exact dict whose canonical JSON is hashed.
+
+    Also accepts anything exposing ``to_task()`` (an
+    `repro.spec.ExperimentSpec`): the fingerprint is *defined* over the
+    legacy `TaskSpec` canonical dict, so the composable spec layer maps
+    onto byte-identical historical cache keys.
+    """
+    if not isinstance(task, TaskSpec) and hasattr(task, "to_task"):
+        task = task.to_task()
     d = task.to_dict()
     d["sim"] = {k: v for k, v in d["sim"].items() if k != "record_timeseries"}
     d["schema_version"] = SCHEMA_VERSION

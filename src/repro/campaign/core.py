@@ -134,7 +134,15 @@ class Campaign:
         are distinct cache entries — and a cache hit on one *replays* the
         recorded violation digest into telemetry instead of reporting
         zero for skipped work.
+
+        Accepts `repro.spec.ExperimentSpec` entries interchangeably with
+        legacy `TaskSpec`s — specs normalise to their `TaskSpec` image at
+        this boundary (identical cache keys, see `ExperimentSpec.to_task`),
+        so the executor path stays picklable and unchanged.
         """
+        tasks = [
+            t if isinstance(t, TaskSpec) else t.to_task() for t in tasks
+        ]
         if self.invariants:
             tasks = [
                 t if t.invariants else replace(t, invariants=True)

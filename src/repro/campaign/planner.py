@@ -168,6 +168,10 @@ def _policy_grid_points(
 
 def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> CampaignPlan:
     """Expand a campaign spec into its deduplicated task list."""
+    # Planned through the composable spec layer (repro.spec); tasks are
+    # the specs' TaskSpec images, so cache keys are unchanged.
+    from repro.spec import ExperimentSpec
+
     sim = SimParams(
         work_scale=spec.work_scale,
         llc=spec.llc,
@@ -186,25 +190,27 @@ def plan(spec: CampaignSpec, cached_keys: frozenset[str] | None = None) -> Campa
             for policy in spec.policies:
                 for params in grids[policy]:
                     requested.append(
-                        TaskSpec.for_workload(
+                        ExperimentSpec.for_workload(
                             wl, policy, seed, params, sim=sim, invariants=inv
-                        )
+                        ).to_task()
                     )
             if spec.sweep:
                 # The sweep's speedups need the CFS baseline — shared, by
                 # dedup, with the policy grid above.
                 requested.append(
-                    TaskSpec.for_workload(wl, "cfs", seed, sim=sim, invariants=inv)
+                    ExperimentSpec.for_workload(
+                        wl, "cfs", seed, sim=sim, invariants=inv
+                    ).to_task()
                 )
                 for q in QUANTA_CHOICES_S:
                     for s in SWAP_SIZE_CHOICES:
                         requested.append(
-                            TaskSpec.for_workload(
+                            ExperimentSpec.for_workload(
                                 wl, "dike", seed,
                                 {"quanta_length_s": q, "swap_size": s},
                                 sim=sim,
                                 invariants=inv,
-                            )
+                            ).to_task()
                         )
     tasks, keys = dedupe(requested)
     return CampaignPlan(

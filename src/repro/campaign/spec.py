@@ -290,15 +290,28 @@ class TaskSpec:
         sim: SimParams | None = None,
         invariants: bool = False,
     ) -> "TaskSpec":
-        """The usual constructor: from a live `WorkloadSpec`."""
-        return cls(
-            workload=WorkloadRef.from_spec(spec),
-            policy=policy,
-            seed=seed,
-            policy_params=tuple(sorted((policy_params or {}).items())),
-            sim=sim or SimParams(),
-            invariants=invariants,
+        """Deprecated: build a `repro.spec.ExperimentSpec` instead.
+
+        Kept as a shim delegating to the composable spec layer; the
+        produced task (and hence its cache key) is identical.
+        """
+        warnings.warn(
+            "TaskSpec.for_workload() is deprecated; build "
+            "repro.spec.ExperimentSpec.for_workload(...) instead "
+            "(Campaign.gather accepts it directly)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.spec import ExperimentSpec
+
+        return ExperimentSpec.for_workload(
+            spec,
+            policy,
+            seed=seed,
+            policy_params=policy_params,
+            sim=sim,
+            invariants=invariants,
+        ).to_task()
 
     @classmethod
     def for_traffic(
@@ -310,16 +323,28 @@ class TaskSpec:
         sim: SimParams | None = None,
         invariants: bool = False,
     ) -> "TaskSpec":
-        """An open-loop task from a live `repro.traffic.TrafficWorkload`."""
-        return cls(
-            workload=WorkloadRef.from_traffic(workload),
-            policy=policy,
-            seed=seed,
-            policy_params=tuple(sorted((policy_params or {}).items())),
-            sim=sim or SimParams(),
-            invariants=invariants,
-            traffic=True,
+        """Deprecated: build `repro.spec.ExperimentSpec.for_traffic` instead.
+
+        Kept as a shim delegating to the composable spec layer; the
+        produced task (and hence its cache key) is identical.
+        """
+        warnings.warn(
+            "TaskSpec.for_traffic() is deprecated; build "
+            "repro.spec.ExperimentSpec.for_traffic(...) instead "
+            "(Campaign.gather accepts it directly)",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        from repro.spec import ExperimentSpec
+
+        return ExperimentSpec.for_traffic(
+            workload,
+            policy,
+            seed=seed,
+            policy_params=policy_params,
+            sim=sim,
+            invariants=invariants,
+        ).to_task()
 
     @property
     def params(self) -> dict[str, object]:
@@ -351,12 +376,18 @@ class TaskSpec:
 
 
 def build_scheduler(policy: str, params: Mapping[str, object] | None = None) -> Scheduler:
-    """Instantiate a scheduler from its registry name and parameters.
+    """Deprecated: use ``repro.policies.REGISTRY.build(name, params)``.
 
-    A thin alias of ``repro.policies.REGISTRY.build`` kept for the
-    campaign layer's public surface; unknown names raise
-    :class:`~repro.policies.UnknownPolicyError` (a ``ValueError``).
+    Kept as a shim so pre-registry call sites keep working; unknown
+    names still raise :class:`~repro.policies.UnknownPolicyError`
+    (a ``ValueError``).
     """
+    warnings.warn(
+        "build_scheduler() is deprecated; resolve policy names through "
+        "repro.policies.REGISTRY.build(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return REGISTRY.build(policy, params)
 
 
@@ -412,7 +443,7 @@ def execute_task(task: TaskSpec, trace_dir: str | None = None) -> RunResult:
 
     result = run_workload(
         task.workload.to_spec(),
-        build_scheduler(task.policy, task.params),
+        REGISTRY.build(task.policy, task.params),
         seed=task.seed,
         work_scale=sim.work_scale,
         topology=TOPOLOGY_REGISTRY.build(sim.topology, dict(sim.topology_params)),

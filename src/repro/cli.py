@@ -52,6 +52,14 @@ Subcommands
     (cached, parallel) and report p50/p95/p99 job slowdown, throughput
     and queue depth per cell.  ``--out`` writes the JSON report,
     ``--emit-traces DIR`` additionally writes each generated job trace.
+``tune [--strategy ga|halving] [--budget N] [--search-seed N] ...``
+    Offline parameter search (`repro.tune`): optimise a policy's
+    ⟨swap_size, quanta_length_s, θ_f⟩ (or ``--tunables``) for mean
+    Eqn. 4 fairness, every candidate evaluated through the campaign
+    cache (reruns resume; same ``--search-seed`` + budget ⇒ identical
+    artifact).  Writes a tuned-policy JSON artifact (``--out``) and
+    optionally the tuned-static vs paper-adaptive vs default-static
+    comparison report (``--report``).  See docs/tuning.md.
 
 Shared flags (see docs/README.md): ``run``/``report``/``all``/
 ``campaign``/``bench``/``trace`` uniformly accept ``--quick`` (smoke
@@ -476,6 +484,104 @@ def build_parser() -> argparse.ArgumentParser:
         help="group compatible tasks into multi-run batches for the "
              "vectorized engine (identical results and cache bytes)",
     )
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="offline parameter search over the campaign backend: emit "
+             "a tuned policy artifact + comparison report",
+        parents=[common, backend, machine],
+    )
+    p_tune.add_argument(
+        "--policy", default="dike",
+        help="registry policy whose parameters are searched "
+             "(default: dike — non-adaptive, the tuned-static candidate)",
+    )
+    p_tune.add_argument(
+        "--strategy", choices=("ga", "halving"), default="ga",
+        help="search strategy: seeded GA (tournament+mutation) or "
+             "successive halving (quick-scale rungs promote to full "
+             "scale); default: ga",
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=24,
+        help="distinct candidate evaluations the search may spend "
+             "(cache hits make revisits free); default: 24",
+    )
+    p_tune.add_argument(
+        "--search-seed", type=int, default=0,
+        help="seed of the search RNG (same seed + budget => identical "
+             "artifact); the engine seed stays --seed",
+    )
+    p_tune.add_argument(
+        "--workloads", default=None,
+        help="comma-separated evaluation workloads (default: all 16)",
+    )
+    p_tune.add_argument(
+        "--seeds", type=int, default=1,
+        help="engine seeds per evaluation cell (seed, seed+1, ...)",
+    )
+    p_tune.add_argument(
+        "--tunables", default=None,
+        help="comma-separated parameters to search (default: "
+             "swap_size,quanta_length_s,fairness_threshold)",
+    )
+    p_tune.add_argument(
+        "--population", type=int, default=8,
+        help="GA population size (default: 8)",
+    )
+    p_tune.add_argument(
+        "--eta", type=int, default=2,
+        help="halving promotion factor (default: 2)",
+    )
+    p_tune.add_argument(
+        "--out", default=None,
+        help="tuned-policy artifact path (default: tuned_<policy>.json)",
+    )
+    p_tune.add_argument(
+        "--report", default=None,
+        help="also write the tuned-static vs paper-adaptive vs "
+             "default-static comparison report (JSON) here",
+    )
+    p_tune.add_argument(
+        "--compare", default="dike-af,dike-lms",
+        help="extra report entries at registry defaults "
+             "(default: dike-af,dike-lms)",
+    )
+    p_tune.add_argument(
+        "--stats", default=None,
+        help="write campaign execution statistics (executed, cache hits) "
+             "as JSON here — kept out of the artifact so reruns stay "
+             "byte-identical",
+    )
+    p_tune.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (still dedups in memory)",
+    )
+    p_tune.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task timeout in seconds (default: none)",
+    )
+    p_tune.add_argument(
+        "--retries", type=int, default=2,
+        help="extra attempts per failing task (default: 2)",
+    )
+    p_tune.add_argument(
+        "--events", default=None,
+        help="events JSONL path (default: <cache-dir>/events.jsonl)",
+    )
+    p_tune.add_argument(
+        "--verbose", action="store_true",
+        help="one progress line per task instead of ~1/second",
+    )
+    p_tune.add_argument(
+        "--llc", default=None, choices=("null", "occupancy"),
+        help="shared-LLC model (default: null — no cache modelling)",
+    )
+    p_tune.add_argument(
+        "--batch", action="store_true",
+        help="group compatible tasks into multi-run batches for the "
+             "vectorized engine (identical results and cache bytes)",
+    )
     return parser
 
 
@@ -490,31 +596,29 @@ def _build_policy(arg: str) -> tuple[str, object]:
     """``name[:param=value,...]`` -> (name, validated zero-arg factory).
 
     Raises ``ValueError`` (including ``UnknownPolicyError``) on a bad
-    name or parameter, with the registry's own error message.
+    name or parameter, with the registry's own error message.  Parsing
+    and validation go through the spec layer (`repro.spec.PolicyRef`),
+    the same path campaign planning uses.
     """
-    from repro.policies import REGISTRY
-    from repro.topologies import parse_topology_arg
+    from repro.spec import PolicyRef
 
-    name, params = parse_topology_arg(arg)
-    return name, REGISTRY.get(name).from_params(params)
+    ref = PolicyRef.from_arg(arg)
+    return ref.name, ref.spec.from_params(dict(ref.params))
 
 
 def _resolve_topology(args: argparse.Namespace) -> tuple[str, dict]:
     """Resolve the shared ``--topology`` flag to (canonical name, params).
 
     The one place CLI topology names meet the registry: parses the
-    ``name[:param=value,...]`` grammar, canonicalises aliases and
-    validates parameters against the preset's schema.  Raises
-    ``ValueError`` (including ``UnknownTopologyError``) on bad input.
+    ``name[:param=value,...]`` grammar via the spec layer
+    (`repro.spec.TopologyRef`), canonicalises aliases and validates
+    parameters against the preset's schema.  Raises ``ValueError``
+    (including ``UnknownTopologyError``) on bad input.
     """
-    from repro.topologies import TOPOLOGY_REGISTRY, parse_topology_arg
+    from repro.spec import TopologyRef
 
-    name, params = parse_topology_arg(
-        getattr(args, "topology", "heterogeneous")
-    )
-    spec = TOPOLOGY_REGISTRY.get(name)
-    spec.validate_params(params)
-    return spec.name, params
+    ref = TopologyRef.from_arg(getattr(args, "topology", "heterogeneous"))
+    return ref.spec.name, dict(ref.params)
 
 
 def _note_pinned_topology(args: argparse.Namespace) -> None:
@@ -533,7 +637,7 @@ def _resolve_shared_flags(args: argparse.Namespace) -> None:
     if getattr(args, "scale", "absent") is None:
         args.scale = QUICK_SCALE if getattr(args, "quick", False) else 1.0
     if getattr(args, "workers", "absent") is None:
-        args.workers = 2 if args.command in ("campaign", "traffic") else 1
+        args.workers = 2 if args.command in ("campaign", "traffic", "tune") else 1
 
 
 def _note_inprocess_flags(args: argparse.Namespace) -> None:
@@ -563,14 +667,14 @@ def _make_campaign(args: argparse.Namespace):
     cache_dir = args.cache_dir
     if getattr(args, "no_cache", False):
         cache_dir = None
-    elif cache_dir is None and args.command in ("campaign", "traffic"):
+    elif cache_dir is None and args.command in ("campaign", "traffic", "tune"):
         cache_dir = DEFAULT_CACHE_DIR
     if (
         cache_dir is None
         and args.workers <= 1
         and not invariants
         and trace_dir is None
-        and args.command not in ("campaign", "traffic")
+        and args.command not in ("campaign", "traffic", "tune")
     ):
         return None
     events = getattr(args, "events", None)
@@ -1523,13 +1627,132 @@ def _cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune import TuneConfig, Tuner
+    from repro.tune.space import DEFAULT_TUNABLES
+    from repro.workloads.suite import WORKLOAD_TABLE as _WORKLOADS
+
+    try:
+        topo_name, topo_params = _resolve_topology(args)
+        config = TuneConfig(
+            policy=args.policy,
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.search_seed,
+            tunables=(
+                tuple(args.tunables.split(",")) if args.tunables
+                else DEFAULT_TUNABLES
+            ),
+            workloads=(
+                tuple(args.workloads.split(",")) if args.workloads
+                else tuple(_WORKLOADS)
+            ),
+            eval_seeds=tuple(args.seed + i for i in range(args.seeds)),
+            work_scale=args.scale,
+            quick_scale=QUICK_SCALE,
+            topology=topo_name,
+            topology_params=tuple(sorted(topo_params.items())),
+            llc=args.llc,
+            invariants=args.invariants,
+            population=args.population,
+            eta=args.eta,
+        )
+        campaign = _make_campaign(args)
+        tuner = Tuner(
+            campaign, config,
+            log=lambda msg: print(f"[tune] {msg}", file=sys.stderr),
+        )
+    except ValueError as exc:  # bad policy/tunable/workload flags
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"[tune] {config.strategy} over {list(config.tunables)} of "
+        f"{config.policy!r}: budget {config.budget}, "
+        f"{len(config.workloads)} workload(s) x "
+        f"{len(config.eval_seeds)} seed(s) per evaluation",
+        file=sys.stderr,
+    )
+    try:
+        return _run_tune(args, campaign, tuner, config)
+    finally:
+        campaign.telemetry.close()
+
+
+def _run_tune(args, campaign, tuner, config) -> int:
+    import json
+
+    from repro.tune import build_tuning_report
+
+    result = tuner.run()
+    artifact = result.to_artifact()
+    out = Path(args.out or f"tuned_{config.policy}.json")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
+    print(f"[tune] artifact -> {out}")
+    print(
+        f"[tune] best score {result.best_score:.4f} "
+        f"after {result.n_evaluations} evaluation(s); "
+        f"--policy {result.policy_arg()}"
+    )
+
+    if args.stats:
+        s = campaign.telemetry.summary()
+        executed, hits = int(s["done"]), int(s["cache_hits"])
+        stats_doc = {
+            "executed": executed,
+            "cache_hits": hits,
+            "failed": int(s["failed"]),
+            "hit_rate": (
+                hits / (hits + executed) if (hits + executed) else 0.0
+            ),
+        }
+        stats_path = Path(args.stats)
+        stats_path.parent.mkdir(parents=True, exist_ok=True)
+        stats_path.write_text(
+            json.dumps(stats_doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[tune] stats -> {stats_path}")
+
+    if args.report:
+        comparisons = tuple(
+            name for name in args.compare.split(",") if name
+        )
+        report = build_tuning_report(
+            campaign, config, result.best_params, comparisons
+        )
+        report_path = Path(args.report)
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[tune] report -> {report_path}")
+        rows = [
+            [
+                label,
+                report["entries"][label]["policy"],
+                report["entries"][label]["mean_fairness"],
+            ]
+            for label in report["ranking"]
+        ]
+        print(
+            format_table(
+                ["entry", "policy", "mean fairness"],
+                rows,
+                title="tuning report (Eqn. 4 fairness, higher is better)",
+            )
+        )
+    return 0
+
+
 def _cell(
     by_key: dict, spec, wl_name: str, policy: str, seed: int,
     invariants: bool = False,
 ) -> object:
-    from repro.campaign import SimParams, TaskSpec, cache_key
+    from repro.campaign import SimParams
+    from repro.spec import ExperimentSpec
 
-    task = TaskSpec.for_workload(
+    exp = ExperimentSpec.for_workload(
         workload(wl_name), policy, seed,
         sim=SimParams(
             work_scale=spec.work_scale,
@@ -1539,7 +1762,7 @@ def _cell(
         ),
         invariants=invariants,
     )
-    return by_key.get(cache_key(task))
+    return by_key.get(exp.cache_key())
 
 
 def _with_campaign(args: argparse.Namespace, run) -> int:
@@ -1595,6 +1818,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_campaign(args)
     if args.command == "traffic":
         return _cmd_traffic(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "trace-diff":

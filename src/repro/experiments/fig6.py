@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.core import Campaign
-from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.spec import SimParams
+from repro.spec import ExperimentSpec
 from repro.policies import REGISTRY
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
@@ -127,7 +128,7 @@ def run_fig6(
         for policy in _STANDARD
     ]
     gathered = camp.gather(
-        [TaskSpec.for_workload(spec, policy, s, sim=sim) for spec, s, policy in cells]
+        [ExperimentSpec.for_workload(spec, policy, s, sim=sim) for spec, s, policy in cells]
     )
     by_cell: dict[tuple[str, int, str], RunResult] = {
         (spec.name, s, policy): res

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.core import Campaign
-from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.spec import SimParams
+from repro.spec import ExperimentSpec
 from repro.metrics.prediction import error_summary
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_table
@@ -80,7 +81,7 @@ def run_fig7(
         specs = [s for s in specs if s.name in workload_names]
     sim = SimParams(work_scale=work_scale)
     results = camp.gather(
-        [TaskSpec.for_workload(spec, "dike", seed, sim=sim) for spec in specs]
+        [ExperimentSpec.for_workload(spec, "dike", seed, sim=sim) for spec in specs]
     )
     summaries: dict[str, dict[str, float]] = {}
     classes: dict[str, str] = {}

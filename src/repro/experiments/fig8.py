@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.core import Campaign
-from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.spec import SimParams
+from repro.spec import ExperimentSpec
 from repro.metrics.prediction import error_series
 from repro.util.rng import DEFAULT_SEED
 from repro.util.tables import format_series
@@ -88,7 +89,7 @@ def run_fig8(
     sim = SimParams(work_scale=work_scale)
     results = camp.gather(
         [
-            TaskSpec.for_workload(workload(w), "dike", seed, sim=sim)
+            ExperimentSpec.for_workload(workload(w), "dike", seed, sim=sim)
             for w in workloads
         ]
     )

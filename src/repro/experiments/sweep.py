@@ -15,7 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.core import Campaign
-from repro.campaign.spec import SimParams, TaskSpec
+from repro.campaign.spec import SimParams
+from repro.spec import ExperimentSpec
 from repro.core.config import QUANTA_CHOICES_S, SWAP_SIZE_CHOICES
 from repro.metrics.fairness import fairness
 from repro.metrics.performance import speedup
@@ -97,10 +98,10 @@ def sweep_configurations(
     """Run non-adaptive Dike at every configuration of one workload."""
     camp = campaign or Campaign.inline()
     sim = SimParams(work_scale=work_scale)
-    tasks = [TaskSpec.for_workload(spec, "cfs", seed, sim=sim)]
+    tasks = [ExperimentSpec.for_workload(spec, "cfs", seed, sim=sim)]
     grid_points = [(q, s) for q in quanta_choices for s in swap_choices]
     tasks += [
-        TaskSpec.for_workload(
+        ExperimentSpec.for_workload(
             spec, "dike", seed,
             {"quanta_length_s": q, "swap_size": s}, sim=sim,
         )

@@ -347,6 +347,42 @@ REGISTRY.register(PolicySpec(
     tags=("cache-aware", "open-loop"),
 ))
 
+# --------------------------------------------------- LMS-predictor variant
+
+_LMS_PARAMS: tuple[ParamSpec, ...] = _DIKE_PARAMS + (
+    ParamSpec(
+        "lms_taps", int, 4,
+        "access-rate history window of the per-thread NLMS filter",
+        minimum=1, maximum=64,
+    ),
+    ParamSpec(
+        "lms_mu", float, 0.5,
+        "NLMS step size (stability bound: (0, 2])",
+        minimum=0.0, maximum=2.0, exclusive_min=True,
+    ),
+)
+
+
+def _lms_factory(**params):
+    from repro.core.lms import LMSDikeScheduler
+
+    taps = params.pop("lms_taps", 4)
+    mu = params.pop("lms_mu", 0.5)
+    cfg = DikeConfig(goal=AdaptationGoal.NONE, **params)
+    return LMSDikeScheduler(cfg, lms_taps=taps, lms_mu=mu)
+
+
+REGISTRY.register(PolicySpec(
+    name="dike-lms",
+    doc="Dike with an NLMS adaptive filter predicting each thread's "
+        "next-quantum access rate (LMS-AR style) in place of the "
+        "persistence assumption inside the Eqns 1-3 profit model",
+    factory=_lms_factory,
+    params=_LMS_PARAMS,
+    invariants=RULES,
+    tags=("predictor", "open-loop"),
+))
+
 # ---------------------------------------------- hierarchical (cluster-then-schedule)
 
 _HIER_PARAMS: tuple[ParamSpec, ...] = _DIKE_PARAMS + (

@@ -168,6 +168,7 @@ def plan_traffic(
     # support, so the planner cannot be a module-level dependency here.
     from repro.campaign.planner import CampaignPlan, dedupe
     from repro.campaign.spec import SimParams, TaskSpec
+    from repro.spec import ExperimentSpec
 
     sim = SimParams(
         work_scale=spec.work_scale,
@@ -181,13 +182,13 @@ def plan_traffic(
         for seed in spec.seeds:
             for policy in spec.policies:
                 requested.append(
-                    TaskSpec.for_traffic(
+                    ExperimentSpec.for_traffic(
                         wl,
                         policy,
                         seed,
                         sim=sim,
                         invariants=spec.invariants,
-                    )
+                    ).to_task()
                 )
     tasks, keys = dedupe(requested)
     return CampaignPlan(

@@ -1,0 +1,47 @@
+"""Offline self-tuning: search-based parameter optimization over the
+campaign backend (``repro tune``).
+
+The paper's Optimizer (§III-F) nudges ⟨swapSize, quantaLength⟩ one step
+per quantum *inside* a run; this subsystem searches the full
+⟨swap_size, quanta_length_s, fairness_threshold⟩ space **offline**,
+evaluating every candidate as a batch of `repro.spec.ExperimentSpec`s
+through `Campaign.gather` — so repeated points are content-addressed
+cache hits, interrupted searches resume from the cache, and the whole
+search is deterministic for a fixed ``--seed`` + budget.
+
+Layers:
+
+* :mod:`repro.tune.space` — the search space, derived from the policy's
+  declarative `ParamSpec` schema (bounds enforced, validate-never-coerce);
+* :mod:`repro.tune.strategies` — pluggable search strategies: a seeded
+  genetic algorithm (tournament selection, uniform crossover, bounded
+  mutation) and successive halving (promote survivors from quick-scale
+  to full-scale evaluation);
+* :mod:`repro.tune.driver` — the `Tuner`: candidate evaluation through a
+  campaign, the Eqn. 4 fairness objective, and the tuned-policy JSON
+  artifact;
+* :mod:`repro.tune.report` — tuned-static vs paper-adaptive vs
+  default-static comparison across the workload suite.
+
+See docs/tuning.md.
+"""
+
+from repro.tune.driver import TuneConfig, TuneResult, Tuner
+from repro.tune.report import build_tuning_report
+from repro.tune.space import SearchSpace
+from repro.tune.strategies import (
+    STRATEGIES,
+    GAStrategy,
+    SuccessiveHalvingStrategy,
+)
+
+__all__ = [
+    "TuneConfig",
+    "TuneResult",
+    "Tuner",
+    "SearchSpace",
+    "STRATEGIES",
+    "GAStrategy",
+    "SuccessiveHalvingStrategy",
+    "build_tuning_report",
+]

@@ -1,0 +1,206 @@
+"""The tuner's search space, derived from declarative `ParamSpec` schemas.
+
+A :class:`SearchSpace` is a list of :class:`Dimension`s, one per tuned
+parameter, each constructed from the policy's registry schema — the
+*same* `ParamSpec` objects campaign planning validates against, so the
+tuner can never emit a point the rest of the system would reject.  Where
+a schema leaves a bound open (e.g. ``swap_size`` has no declared
+maximum), a per-parameter practical range narrows the search to the
+paper's neighbourhood; the schema bound always wins when tighter.
+
+Values are kept JSON- and cache-key-clean: integers are Python ``int``,
+floats are Python ``float`` rounded to a fixed precision — NumPy scalars
+never leak into an `ExperimentSpec`, so candidate points hash stably
+across runs (the whole-search determinism + resume story rests on this).
+
+Every generated point is finally validated through
+``PolicySpec.validate_params`` — the system's one validation path,
+validate-never-coerce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.policies import REGISTRY
+from repro.policies.spec import ParamSpec
+from repro.util.validation import require
+
+__all__ = ["DEFAULT_TUNABLES", "Dimension", "SearchSpace"]
+
+#: The ROADMAP's tuning space: the two knobs the paper's Optimizer
+#: adapts online, plus the fairness threshold θ_f it holds fixed.
+DEFAULT_TUNABLES: tuple[str, ...] = (
+    "swap_size",
+    "quanta_length_s",
+    "fairness_threshold",
+)
+
+#: Practical search ranges (lo, hi, log-scale?) refining open schema
+#: bounds.  quanta/swap ranges bracket the paper's 32-point grid
+#: (`repro.core.config`); θ_f searches the useful low band — the schema
+#: allows up to 10, but beyond ~0.5 Dike effectively never acts.
+_PRACTICAL_RANGES: dict[str, tuple[float, float, bool]] = {
+    "swap_size": (2, 16, False),
+    "quanta_length_s": (0.05, 2.0, True),
+    "fairness_threshold": (0.0, 0.5, False),
+    "lms_taps": (1, 16, False),
+    "lms_mu": (0.05, 2.0, True),
+}
+
+#: Decimal places kept on float parameters: coarse enough that nearby
+#: mutations collapse onto shared cache keys, fine enough to matter.
+_FLOAT_DECIMALS = 4
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One tunable parameter: its schema plus a bounded numeric range."""
+
+    spec: ParamSpec
+    lo: float
+    hi: float
+    log: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_int(self) -> bool:
+        return self.spec.type is int
+
+    def _clip(self, value: float) -> float:
+        return float(min(max(value, self.lo), self.hi))
+
+    def _snap(self, value: float):
+        """Round onto the dimension's lattice as a plain Python scalar."""
+        if self.is_int:
+            step = self.spec.multiple_of or 1
+            snapped = int(round(value / step)) * step
+            lo_i = int(np.ceil(self.lo / step)) * step
+            hi_i = int(np.floor(self.hi / step)) * step
+            return int(min(max(snapped, lo_i), hi_i))
+        return round(self._clip(float(value)), _FLOAT_DECIMALS)
+
+    def sample(self, rng: np.random.Generator):
+        """Draw uniformly (log-uniformly for scale-like parameters)."""
+        if self.log:
+            value = float(
+                np.exp(rng.uniform(np.log(self.lo), np.log(self.hi)))
+            )
+        else:
+            value = float(rng.uniform(self.lo, self.hi))
+        return self._snap(value)
+
+    def mutate(self, value, rng: np.random.Generator):
+        """A bounded local move: one lattice step for ints, a ~15%
+        multiplicative (log) or 10%-of-range additive (linear) nudge."""
+        if self.is_int:
+            step = self.spec.multiple_of or 1
+            return self._snap(value + step * int(rng.choice((-1, 1))))
+        if self.log:
+            return self._snap(float(value) * float(np.exp(rng.normal(0.0, 0.15))))
+        span = self.hi - self.lo
+        return self._snap(float(value) + float(rng.normal(0.0, 0.1 * span)))
+
+
+def _dimension_for(spec: ParamSpec) -> Dimension:
+    """Intersect the schema's bounds with the practical search range."""
+    require(
+        spec.type in (int, float) and not spec.choices,
+        f"parameter {spec.name!r} is not numerically tunable "
+        "(only bounded int/float parameters can be searched)",
+    )
+    lo, hi, log = _PRACTICAL_RANGES.get(
+        spec.name, (None, None, False)
+    )
+    if lo is None:
+        # No practical range on file: search around the default.
+        default = float(spec.default)
+        lo, hi = (default / 4 or 0.0), (default * 4 or 1.0)
+    if spec.minimum is not None:
+        lo = max(lo, spec.minimum)
+        if spec.exclusive_min and lo == spec.minimum and not log:
+            lo = lo + (1 if spec.type is int else 10 ** -_FLOAT_DECIMALS)
+    if spec.maximum is not None:
+        hi = min(hi, spec.maximum)
+    require(lo < hi or (spec.type is int and lo <= hi),
+            f"parameter {spec.name!r} has an empty search range")
+    return Dimension(spec=spec, lo=float(lo), hi=float(hi), log=log)
+
+
+class SearchSpace:
+    """The tuned parameters of one policy, as sampleable dimensions."""
+
+    def __init__(self, policy: str, dimensions: tuple[Dimension, ...]) -> None:
+        require(len(dimensions) >= 1, "a search space needs >= 1 dimension")
+        self.policy = policy
+        self.dimensions = dimensions
+
+    @classmethod
+    def for_policy(
+        cls, policy: str, tunables: tuple[str, ...] = DEFAULT_TUNABLES
+    ) -> "SearchSpace":
+        """Build the space from the policy's registry schema.
+
+        Unknown policy names raise ``UnknownPolicyError``; a tunable the
+        schema does not declare raises ``ValueError`` naming it.
+        """
+        spec = REGISTRY.get(policy)
+        schema = {p.name: p for p in spec.params}
+        missing = [n for n in tunables if n not in schema]
+        require(
+            not missing,
+            f"policy {policy!r} has no parameter(s) {missing!r}; "
+            f"tunable: {sorted(schema)}",
+        )
+        return cls(
+            policy=spec.name,
+            dimensions=tuple(_dimension_for(schema[n]) for n in tunables),
+        )
+
+    # ------------------------------------------------------------ points
+
+    def validate(self, point: dict) -> dict:
+        """The one validation path: the policy schema, never coercing."""
+        REGISTRY.get(self.policy).validate_params(point)
+        return point
+
+    def sample(self, rng: np.random.Generator) -> dict:
+        return self.validate({d.name: d.sample(rng) for d in self.dimensions})
+
+    def mutate(
+        self, point: dict, rng: np.random.Generator, prob: float = 0.4
+    ) -> dict:
+        """Mutate each coordinate independently with probability ``prob``
+        (at least one coordinate always moves)."""
+        moved = {
+            d.name: rng.random() < prob for d in self.dimensions
+        }
+        if not any(moved.values()):
+            forced = self.dimensions[int(rng.integers(len(self.dimensions)))]
+            moved[forced.name] = True
+        out = {
+            d.name: d.mutate(point[d.name], rng) if moved[d.name]
+            else point[d.name]
+            for d in self.dimensions
+        }
+        return self.validate(out)
+
+    def crossover(
+        self, a: dict, b: dict, rng: np.random.Generator
+    ) -> dict:
+        """Uniform crossover: each coordinate from one parent, fairly."""
+        out = {
+            d.name: (a if rng.random() < 0.5 else b)[d.name]
+            for d in self.dimensions
+        }
+        return self.validate(out)
+
+    @staticmethod
+    def key(point: dict) -> tuple:
+        """Hashable identity of a point (for memoisation/dedup)."""
+        return tuple(sorted(point.items()))

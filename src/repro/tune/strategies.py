@@ -1,0 +1,229 @@
+"""Pluggable search strategies over a `SearchSpace`.
+
+A strategy is a pure search loop: it proposes points and consumes
+scores through the ``evaluate`` callback the driver hands it —
+``evaluate(point, scale)`` returns the objective at the given work
+scale (``None`` = the campaign's full scale) and is memoised by the
+driver, so strategies may re-visit points freely; only *distinct*
+``(point, scale)`` evaluations consume budget.
+
+Both strategies draw all randomness from one seeded
+``np.random.Generator`` with a deterministic call order, making the
+whole search — and hence the emitted artifact — reproducible for a
+fixed seed + budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tune.space import SearchSpace
+from repro.util.validation import require
+
+__all__ = [
+    "Evaluation",
+    "GAStrategy",
+    "SuccessiveHalvingStrategy",
+    "STRATEGIES",
+]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One scored candidate, as recorded in the artifact's history."""
+
+    params: dict
+    score: float
+    scale: float | None = None  # None = the search's full work scale
+    round: int = 0
+
+
+class GAStrategy:
+    """Seeded genetic algorithm: tournament selection, uniform
+    crossover, bounded mutation within the `ParamSpec` ranges.
+
+    Elitism keeps the best ``elite`` parents each generation; children
+    are bred by tournament-of-``tournament`` selection, crossed over
+    with probability ``crossover_prob`` (else cloned from the winner)
+    and mutated coordinate-wise.  The loop stops when the evaluation
+    budget is exhausted.
+    """
+
+    name = "ga"
+
+    def __init__(
+        self,
+        population: int = 8,
+        elite: int = 2,
+        tournament: int = 3,
+        crossover_prob: float = 0.6,
+        mutation_prob: float = 0.4,
+    ) -> None:
+        require(population >= 2, "population must be >= 2")
+        require(1 <= elite < population, "elite must be in [1, population)")
+        require(tournament >= 2, "tournament must be >= 2")
+        self.population = population
+        self.elite = elite
+        self.tournament = tournament
+        self.crossover_prob = crossover_prob
+        self.mutation_prob = mutation_prob
+
+    def run(
+        self,
+        space: SearchSpace,
+        evaluate,
+        budget: int,
+        rng: np.random.Generator,
+        log=lambda msg: None,
+    ) -> list[Evaluation]:
+        history: list[Evaluation] = []
+
+        def scored(point: dict, round_no: int) -> Evaluation:
+            ev = Evaluation(
+                params=point, score=evaluate(point, None), round=round_no
+            )
+            history.append(ev)
+            return ev
+
+        # Seed generation: distinct samples up to the population size.
+        seen: set[tuple] = set()
+        pop: list[Evaluation] = []
+        attempts = 0
+        while len(pop) < min(self.population, budget) and attempts < 50 * self.population:
+            point = space.sample(rng)
+            attempts += 1
+            if space.key(point) in seen:
+                continue
+            seen.add(space.key(point))
+            pop.append(scored(point, 0))
+        pop.sort(key=lambda e: e.score, reverse=True)
+        log(
+            f"generation 0: best {pop[0].score:.4f} {pop[0].params}"
+            if pop else "empty seed generation"
+        )
+
+        round_no = 0
+        while len(history) < budget and pop:
+            round_no += 1
+            parents = pop[: self.population]
+            children: list[dict] = []
+            while (
+                len(children) < self.population - self.elite
+                and len(history) + len(children) < budget
+            ):
+                a = self._tournament(parents, rng)
+                b = self._tournament(parents, rng)
+                if rng.random() < self.crossover_prob:
+                    child = space.crossover(a.params, b.params, rng)
+                else:
+                    child = dict(a.params)
+                child = space.mutate(child, rng, self.mutation_prob)
+                children.append(child)
+            if not children:
+                break
+            evaluated = [scored(c, round_no) for c in children]
+            pop = sorted(
+                parents[: self.elite] + evaluated,
+                key=lambda e: e.score,
+                reverse=True,
+            )
+            log(f"generation {round_no}: best {pop[0].score:.4f} {pop[0].params}")
+        return history
+
+    def _tournament(
+        self, parents: list[Evaluation], rng: np.random.Generator
+    ) -> Evaluation:
+        k = min(self.tournament, len(parents))
+        picks = rng.choice(len(parents), size=k, replace=False)
+        return max((parents[int(i)] for i in picks), key=lambda e: e.score)
+
+
+class SuccessiveHalvingStrategy:
+    """Successive halving: a wide cohort at ``--quick``-scale, the top
+    ``1/eta`` promoted up a geometric work-scale ladder to full scale.
+
+    The rung ladder runs ``quick_scale * eta^i`` up to the search's full
+    work scale; the initial cohort size is chosen so the whole schedule
+    fits the evaluation budget.  Cheap rungs disqualify bad regions of
+    the space early; only survivors pay for full-scale evaluation.
+    """
+
+    name = "halving"
+
+    def __init__(self, eta: int = 2, quick_scale: float = 0.05) -> None:
+        require(eta >= 2, "eta must be >= 2")
+        require(quick_scale > 0.0, "quick_scale must be > 0")
+        self.eta = eta
+        self.quick_scale = quick_scale
+
+    def ladder(self, full_scale: float) -> list[float | None]:
+        """Work-scale rungs, smallest first; ``None`` = full scale."""
+        rungs: list[float | None] = []
+        scale = min(self.quick_scale, full_scale)
+        while scale < full_scale:
+            rungs.append(round(scale, 6))
+            scale *= self.eta
+        rungs.append(None)
+        return rungs
+
+    def run(
+        self,
+        space: SearchSpace,
+        evaluate,
+        budget: int,
+        rng: np.random.Generator,
+        log=lambda msg: None,
+        full_scale: float = 1.0,
+    ) -> list[Evaluation]:
+        rungs = self.ladder(full_scale)
+        # Choose the cohort so sum(n0 / eta^i) over rungs <= budget.
+        weight = sum(self.eta ** -i for i in range(len(rungs)))
+        n0 = max(int(budget / weight), 1)
+        history: list[Evaluation] = []
+
+        cohort: list[dict] = []
+        seen: set[tuple] = set()
+        attempts = 0
+        while len(cohort) < n0 and attempts < 50 * n0:
+            point = space.sample(rng)
+            attempts += 1
+            if space.key(point) in seen:
+                continue
+            seen.add(space.key(point))
+            cohort.append(point)
+
+        for i, scale in enumerate(rungs):
+            if not cohort or len(history) >= budget:
+                break
+            room = budget - len(history)
+            cohort = cohort[:room]
+            evaluated = []
+            for point in cohort:
+                ev = Evaluation(
+                    params=point,
+                    score=evaluate(point, scale),
+                    scale=scale,
+                    round=i,
+                )
+                history.append(ev)
+                evaluated.append(ev)
+            evaluated.sort(key=lambda e: e.score, reverse=True)
+            label = "full" if scale is None else f"{scale:g}"
+            log(
+                f"rung {i} (scale {label}): {len(evaluated)} configs, "
+                f"best {evaluated[0].score:.4f} {evaluated[0].params}"
+            )
+            keep = max(len(evaluated) // self.eta, 1)
+            if scale is None:
+                break
+            cohort = [e.params for e in evaluated[:keep]]
+        return history
+
+
+#: Registry of strategy constructors for the CLI's ``--strategy`` flag.
+STRATEGIES = {
+    GAStrategy.name: GAStrategy,
+    SuccessiveHalvingStrategy.name: SuccessiveHalvingStrategy,
+}
